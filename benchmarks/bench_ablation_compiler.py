@@ -1,0 +1,70 @@
+"""Ablation — the three compiler optimisations of Sec. IV-B, toggled
+one at a time on the configurations where they apply.
+
+Expected: layer pipelining is what gets FwAb to ~2% latency overhead;
+neuron pipelining trims BwCu extraction latency; recompute trades
+compute for a large cut in BwCu's DRAM space and energy.
+"""
+
+from repro.eval import Workbench, render_table
+
+
+def test_ablation_compiler_optimizations(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+
+    def run():
+        rows = []
+        fw_on = wb.variant_cost("FwAb")
+        # layer pipelining off
+        from repro.compiler import apply_optimizations
+        from repro.core import PathExtractor
+        from repro.hw import simulate_detection
+
+        config = wb.config_for("FwAb")
+        trace = PathExtractor(wb.model, config).extract(
+            wb.dataset.x_test[:1]
+        ).trace
+        fw_off = simulate_detection(
+            wb.workload, config, trace,
+            apply_optimizations(config, config.num_layers,
+                                layer_pipelining=False),
+        )
+        rows.append(("FwAb layer-pipelining", fw_off.latency_overhead,
+                     fw_on.latency_overhead))
+
+        config = wb.config_for("BwCu")
+        trace = PathExtractor(wb.model, config).extract(
+            wb.dataset.x_test[:1]
+        ).trace
+        np_off = simulate_detection(
+            wb.workload, config, trace,
+            apply_optimizations(config, config.num_layers,
+                                neuron_pipelining=False),
+        )
+        np_on = simulate_detection(
+            wb.workload, config, trace,
+            apply_optimizations(config, config.num_layers,
+                                neuron_pipelining=True),
+        )
+        rows.append(("BwCu neuron-pipelining", np_off.latency_overhead,
+                     np_on.latency_overhead))
+
+        rec_off = wb.variant_cost("BwCu", recompute=False)
+        rec_on = wb.variant_cost("BwCu", recompute=True)
+        rows.append(("BwCu recompute (energy x)", rec_off.energy_overhead,
+                     rec_on.energy_overhead))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Ablation: compiler optimisations (off -> on)",
+        ["optimisation", "off", "on"],
+        rows,
+    ))
+    for name, off, on in rows:
+        assert on <= off, f"{name} made things worse"
+    # layer pipelining is the difference between visible and hidden
+    # forward extraction
+    fw = rows[0]
+    assert fw[2] < 1.10

@@ -1,0 +1,58 @@
+"""Extension — the paper's future-work attack: simulated-annealing
+search against the hard path constraint (Sec. VII-E discussion).
+
+The paper conjectures that un-guided search for perturbations that
+simultaneously (a) flip the prediction and (b) keep the activation
+path matching the target class's canary would be prohibitively hard.
+This benchmark runs the annealer and measures how often it achieves
+both at once with small distortion — the defense's robustness margin
+against its own proposed future attack.
+"""
+
+import numpy as np
+
+from repro.attacks import AnnealingPathAttack
+from repro.core import PathExtractor, profile_class_paths
+from repro.eval import Workbench, render_table
+
+
+def test_ext_annealing_hard_path_attack(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+
+    def run():
+        config = wb.config_for("FwAb")
+        extractor = PathExtractor(wb.model, config)
+        class_paths = profile_class_paths(
+            extractor, wb.dataset.x_train, wb.dataset.y_train,
+            max_per_class=20,
+        )
+        attack = AnnealingPathAttack(
+            wb.model, extractor, class_paths,
+            iterations=250, seed=0,
+        )
+        results = []
+        for i in range(8):
+            results.append(attack.attack(wb.dataset.x_test[i : i + 1]))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (i, r.fools_model, f"{r.path_similarity:.3f}",
+         f"{r.distortion_mse:.4f}")
+        for i, r in enumerate(results)
+    ]
+    print()
+    print(render_table(
+        "Extension: simulated-annealing hard-path attack (paper "
+        "conjectures joint success is prohibitively hard)",
+        ["input", "fooled model", "path similarity", "MSE"],
+        rows,
+    ))
+    # the defense's robustness margin: the attack must not reliably
+    # achieve BOTH misprediction and a benign-looking path
+    joint_wins = sum(
+        1 for r in results if r.fools_model and r.matches_path
+    )
+    print(f"joint successes (fooled AND path-matching): "
+          f"{joint_wins}/{len(results)}")
+    assert joint_wins <= len(results) // 4

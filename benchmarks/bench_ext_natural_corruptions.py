@@ -1,0 +1,68 @@
+"""Extension — detection of *inadvertent* perturbations (Sec. II).
+
+The paper targets "mis-predictions through input perturbations — small
+or large, inadvertent or malicious", citing noisy sensor capture and
+image compression/resizing as natural perturbation sources.  This bench
+corrupts clean test inputs with camera-pipeline artifacts
+(``repro.data.corruptions``) and measures whether Ptolemy's path
+similarity separates corrupted inputs that *changed the prediction*
+(the failures an application must reject) from clean inputs.
+"""
+
+import numpy as np
+
+from repro.core import roc_auc
+from repro.data import apply_corruption
+from repro.eval import Workbench, render_table
+
+CORRUPTION_GRID = (
+    ("gaussian_noise", 5),
+    ("salt_and_pepper", 5),
+    ("gaussian_blur", 5),
+    ("block_compression", 5),
+    ("resize_artifacts", 5),
+    ("motion_streak", 5),
+)
+
+
+def _corruption_row(wb, name, severity):
+    """Detection stats for one corruption cell."""
+    detector = wb.detector("BwCu")
+    clean = wb.eval_benign
+    preds_clean = np.argmax(wb.model.forward(clean), axis=1)
+    result = apply_corruption(name, clean, severity, seed=42)
+    preds_corrupt = np.argmax(wb.model.forward(result.images), axis=1)
+    flipped = preds_clean != preds_corrupt
+    n_flipped = int(flipped.sum())
+    if n_flipped == 0:
+        return (name, severity, result.mse, 0, float("nan"))
+    clean_scores = detector.scores_for_set(clean)
+    corrupt_scores = detector.scores_for_set(result.images[flipped])
+    labels = np.concatenate(
+        [np.zeros(len(clean_scores)), np.ones(len(corrupt_scores))]
+    )
+    scores = np.concatenate([clean_scores, corrupt_scores])
+    auc = roc_auc(labels, scores)
+    return (name, severity, result.mse, n_flipped, auc)
+
+
+def test_ext_natural_corruptions(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+
+    def run():
+        return [_corruption_row(wb, name, sev) for name, sev in CORRUPTION_GRID]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Extension (Sec II): detecting prediction-flipping natural "
+        "corruptions via path similarity (BwCu, theta=0.5)",
+        ["corruption", "severity", "MSE", "# flipped", "detection AUC"],
+        rows,
+    ))
+    aucs = [r[4] for r in rows if r[3] > 0]
+    assert aucs, "expected at least one corruption to flip predictions"
+    # Path-based detection must carry real signal on inadvertent
+    # perturbations too, not just crafted attacks.
+    assert float(np.mean(aucs)) > 0.65
+    assert max(aucs) > 0.75

@@ -1,0 +1,75 @@
+"""Fig. 11 — latency and energy of the Ptolemy variants vs EP,
+normalised to plain inference, on both networks.
+
+Paper result (AlexNet): BwCu 12.3x/7.7x, BwAb 1.2x/1.1x, FwAb
+1.021x/1.16x, Hybrid 1.7x/1.4x; EP ~= BwCu.  ResNet18 overheads are
+far higher (BwCu 195x/106x) because deeper networks have denser
+important neurons.  We check the ordering, the ~2% FwAb headline, and
+the AlexNet-vs-ResNet contrast.
+"""
+
+from repro.baselines import EPDetector, ep_cost
+from repro.core import PathExtractor
+from repro.eval import Workbench, render_table
+
+VARIANTS = ("BwCu", "BwAb", "FwAb", "Hybrid")
+
+
+def _scenario_rows(scenario):
+    wb = Workbench.get(scenario)
+    rows = []
+    for variant in VARIANTS:
+        cost = wb.variant_cost(variant)
+        rows.append((variant, cost.latency_overhead, cost.energy_overhead))
+    # EP on the same workload, software-only extraction
+    ep = EPDetector(wb.model)
+    trace = PathExtractor(wb.model, ep.config).extract(
+        wb.dataset.x_test[:1]
+    ).trace
+    ep_report = ep_cost(wb.workload, ep, trace)
+    rows.append(("EP", ep_report.latency_overhead, ep_report.energy_overhead))
+    return rows
+
+
+def _check_shape(rows):
+    by_name = {r[0]: (r[1], r[2]) for r in rows}
+    lat = {k: v[0] for k, v in by_name.items()}
+    energy = {k: v[1] for k, v in by_name.items()}
+    assert lat["BwCu"] > lat["Hybrid"] > lat["BwAb"] >= lat["FwAb"]
+    assert lat["FwAb"] < 1.10  # the paper's ~2% headline
+    assert energy["BwCu"] > energy["Hybrid"] > energy["FwAb"]
+    assert lat["EP"] >= lat["BwCu"]  # EP has no hardware support
+
+
+def test_fig11a_alexnet_cost(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _scenario_rows("alexnet_imagenet"), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(
+        "Fig 11a: MiniAlexNet overheads (paper: BwCu 12.3/7.7x, BwAb "
+        "1.2/1.1x, FwAb 1.02/1.16x, Hybrid 1.7/1.4x)",
+        ["variant", "latency x", "energy x"],
+        rows,
+    ))
+    _check_shape(rows)
+
+
+def test_fig11b_resnet18_cost(benchmark):
+    rows_resnet = benchmark.pedantic(
+        lambda: _scenario_rows("resnet18_cifar"), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(
+        "Fig 11b: MiniResNet18 overheads (paper: BwCu 195.4/105.9x, "
+        "BwAb 3.2/2.0x, FwAb ~2.1x lat, Hybrid 47.3/36.1x)",
+        ["variant", "latency x", "energy x"],
+        rows_resnet,
+    ))
+    _check_shape(rows_resnet)
+    # deeper network -> higher BwCu overhead (the paper's explanation:
+    # important-neuron density grows with depth)
+    rows_alexnet = _scenario_rows("alexnet_imagenet")
+    bwcu_alexnet = dict((r[0], r[1]) for r in rows_alexnet)["BwCu"]
+    bwcu_resnet = dict((r[0], r[1]) for r in rows_resnet)["BwCu"]
+    assert bwcu_resnet > bwcu_alexnet

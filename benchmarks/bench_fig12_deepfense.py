@@ -1,0 +1,78 @@
+"""Fig. 12 — comparison with DeepFense (DFL/DFM/DFH) on the
+ResNet18 @ CIFAR-10-like workload.
+
+Paper result: every Ptolemy variant beats every DeepFense variant on
+accuracy (FwAb, the weakest Ptolemy variant, beats DFH, the strongest
+DeepFense, by 0.11); BwAb and FwAb are also cheaper than all three
+DeepFense variants (FwAb cuts latency 89% vs DFL).
+"""
+
+import numpy as np
+
+from repro.baselines import DEEPFENSE_VARIANTS, DeepFenseDetector, deepfense_overheads
+from repro.eval import Workbench, render_table
+
+ATTACKS = ("bim", "fgsm", "deepfool")
+PTOLEMY = ("BwCu", "BwAb", "FwAb", "Hybrid")
+
+
+def _accuracy_rows(wb):
+    rows = []
+    for variant in PTOLEMY:
+        rows.append((variant, wb.mean_auc(variant, attacks=ATTACKS)["mean"]))
+    for name, count in DEEPFENSE_VARIANTS.items():
+        df = DeepFenseDetector(wb.model, num_defenders=count, seed=1)
+        df.fit(wb.dataset.x_train)
+        aucs = [
+            df.evaluate_auc(wb.eval_benign, wb.attack_eval(a).x_adv)
+            for a in ATTACKS
+        ]
+        rows.append((name, float(np.mean(aucs))))
+    return rows
+
+
+def _cost_rows(wb):
+    rows = []
+    for variant in PTOLEMY:
+        cost = wb.variant_cost(variant)
+        rows.append((variant, cost.latency_overhead, cost.energy_overhead))
+    for name, count in DEEPFENSE_VARIANTS.items():
+        oh = deepfense_overheads(count)
+        rows.append((name, oh["latency_overhead"], oh["energy_overhead"]))
+    return rows
+
+
+def test_fig12a_deepfense_accuracy(benchmark):
+    wb = Workbench.get("resnet18_cifar")
+    rows = benchmark.pedantic(lambda: _accuracy_rows(wb), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 12a: accuracy vs DeepFense (paper: min(Ptolemy) beats "
+        "max(DeepFense) by 0.11)",
+        ["detector", "mean AUC"],
+        rows,
+    ))
+    by_name = dict(rows)
+    best_deepfense = max(by_name[n] for n in DEEPFENSE_VARIANTS)
+    worst_ptolemy = min(by_name[v] for v in PTOLEMY)
+    assert worst_ptolemy > best_deepfense
+
+
+def test_fig12b_deepfense_cost(benchmark):
+    wb = Workbench.get("resnet18_cifar")
+    rows = benchmark.pedantic(lambda: _cost_rows(wb), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 12b: cost vs DeepFense (paper: FwAb cuts latency 89% and "
+        "energy 59% vs DFL)",
+        ["detector", "latency x", "energy x"],
+        rows,
+    ))
+    by_name = {r[0]: (r[1], r[2]) for r in rows}
+    # FwAb and BwAb are cheaper than every DeepFense variant
+    for cheap in ("FwAb", "BwAb"):
+        for df in DEEPFENSE_VARIANTS:
+            assert by_name[cheap][0] < by_name[df][0]
+    # FwAb-vs-DFL latency saving is large (paper: 89%)
+    saving = 1.0 - (by_name["FwAb"][0] - 1.0) / (by_name["DFL"][0] - 1.0)
+    assert saving > 0.5

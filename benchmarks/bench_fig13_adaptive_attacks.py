@@ -1,0 +1,60 @@
+"""Fig. 13 — detection accuracy under adaptive attacks (ATn).
+
+Paper result: adaptive attacks that match activations of the last n
+layers get harder to detect as n grows (AT8 strongest on 8-layer
+AlexNet), but Ptolemy keeps detecting them; with few layers attacked
+(AT1-AT3) the adaptive samples are *easier* to detect than standard
+attacks.
+"""
+
+import numpy as np
+
+from repro.attacks import AdaptiveAttack
+from repro.eval import Workbench, render_table
+
+AT_LAYERS = (1, 2, 3, 8)
+
+
+def _adaptive_auc(wb, detector, layers, n_samples=12, steps=30):
+    attack = AdaptiveAttack(
+        wb.dataset.x_train, wb.dataset.y_train,
+        layers_considered=layers, steps=steps, seed=layers,
+    )
+    xs = wb.dataset.x_test[: n_samples]
+    ys = wb.dataset.y_test[: n_samples]
+    result = attack.generate(wb.model, xs, ys)
+    benign = wb.eval_benign[:n_samples]
+    auc = detector.evaluate_auc(benign, result.x_adv)
+    mses = [s.distortion_mse for s in attack.last_samples]
+    return auc, float(np.mean(mses)), result.success_rate
+
+
+def test_fig13_adaptive_attacks(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+
+    def run():
+        rows = []
+        for variant in ("BwCu", "FwAb"):
+            detector = wb.detector(variant)
+            baseline = wb.variant_auc(variant, "bim")
+            for layers in AT_LAYERS:
+                auc, mse, success = _adaptive_auc(wb, detector, layers)
+                rows.append((variant, f"AT{layers}", auc, mse, success))
+            rows.append((variant, "BIM", baseline, float("nan"), 1.0))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 13: adaptive attacks on BwCu and FwAb (paper: accuracy "
+        "decreases with n; AT<=3 easier to detect than standard attacks)",
+        ["variant", "attack", "AUC", "mean MSE", "attack success"],
+        rows,
+    ))
+    for variant in ("BwCu", "FwAb"):
+        sub = {r[1]: r[2] for r in rows if r[0] == variant}
+        # stronger adaptive attacks (more layers) are harder to detect
+        assert sub["AT8"] <= sub["AT1"] + 0.05
+        # Ptolemy still detects the strongest adaptive attack far better
+        # than chance
+        assert sub["AT8"] > 0.55

@@ -1,0 +1,99 @@
+"""Fig. 14 and Fig. 15 — validating the adaptive attack, following the
+Carlini et al. checklist for unbounded attacks.
+
+Fig. 14: detection accuracy vs distortion (MSE) of adaptive samples —
+the paper finds a weak downward trend (higher distortion, slightly
+harder to detect).
+Fig. 15: detection accuracy vs the path similarity between the
+original and target classes — the paper finds *no strong correlation*,
+i.e. attacking a similar class does not make Ptolemy more vulnerable.
+"""
+
+import numpy as np
+
+from repro.attacks import AdaptiveAttack
+from repro.core import ExtractionConfig, PathExtractor, profile_class_paths, roc_auc, symmetric_similarity
+from repro.eval import Workbench, render_table
+
+
+def _collect(wb, n_samples=18):
+    detector = wb.detector("BwCu")
+    attack = AdaptiveAttack(
+        wb.dataset.x_train, wb.dataset.y_train,
+        layers_considered=3, steps=30, seed=0,
+    )
+    xs = wb.dataset.x_test[:n_samples]
+    ys = wb.dataset.y_test[:n_samples]
+    attack.generate(wb.model, xs, ys)
+    class_paths = detector.class_paths
+    records = []
+    for i, sample in enumerate(attack.last_samples):
+        score = detector.score(sample.x_adv)
+        original = int(ys[i])
+        target = sample.target_class
+        pair_sim = symmetric_similarity(
+            class_paths.path_for(original), class_paths.path_for(target)
+        )
+        records.append(
+            {"score": score, "mse": sample.distortion_mse, "pair_sim": pair_sim}
+        )
+    benign_scores = [detector.score(x[None]) for x in wb.eval_benign[:n_samples]]
+    return records, benign_scores
+
+
+def _auc_below(records, benign_scores, key, cutoff):
+    """AUC restricted to adaptive samples whose `key` <= cutoff
+    (the paper's <x, y> accumulation in Figs. 14/15)."""
+    adv = [r["score"] for r in records if r[key] <= cutoff]
+    if not adv:
+        return float("nan")
+    labels = np.concatenate([np.zeros(len(benign_scores)), np.ones(len(adv))])
+    scores = np.concatenate([benign_scores, adv])
+    if labels.min() == labels.max():
+        return float("nan")
+    return roc_auc(labels, scores)
+
+
+def test_fig14_distortion_analysis(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    records, benign_scores = benchmark.pedantic(
+        lambda: _collect(wb), rounds=1, iterations=1
+    )
+    mses = sorted(r["mse"] for r in records)
+    cutoffs = [mses[len(mses) // 4], mses[len(mses) // 2], mses[-1]]
+    rows = [(c, _auc_below(records, benign_scores, "mse", c)) for c in cutoffs]
+    print()
+    print(render_table(
+        "Fig 14: detection accuracy vs adaptive distortion (paper: weak "
+        "downward trend; avg MSE 0.007)",
+        ["MSE cutoff", "AUC (samples below cutoff)"],
+        rows, float_fmt="{:.4f}",
+    ))
+    aucs = [r[1] for r in rows if not np.isnan(r[1])]
+    assert aucs, "no valid distortion buckets"
+    # detection stays useful across the whole distortion range
+    assert min(aucs) > 0.5
+    # distortions stay small (valid adversarial samples)
+    assert np.mean([r["mse"] for r in records]) < 0.05
+
+
+def test_fig15_path_similarity_analysis(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    records, benign_scores = benchmark.pedantic(
+        lambda: _collect(wb), rounds=1, iterations=1
+    )
+    sims = sorted(r["pair_sim"] for r in records)
+    cutoffs = [sims[len(sims) // 4], sims[len(sims) // 2], sims[-1]]
+    rows = [(c, _auc_below(records, benign_scores, "pair_sim", c))
+            for c in cutoffs]
+    print()
+    print(render_table(
+        "Fig 15: detection accuracy vs original-target class path "
+        "similarity (paper: no strong correlation)",
+        ["similarity cutoff", "AUC (pairs below cutoff)"],
+        rows, float_fmt="{:.4f}",
+    ))
+    aucs = [r[1] for r in rows if not np.isnan(r[1])]
+    assert aucs
+    # no catastrophic weakness when targeting similar classes
+    assert min(aucs) > 0.5

@@ -1,0 +1,45 @@
+"""Fig. 16 — early-termination in backward extraction (BwCu).
+
+Paper result: accuracy rises as extraction terminates later (more
+layers extracted) and plateaus beyond ~3 layers; extracting all layers
+costs 11.2x more latency and 6.6x more energy than extracting only the
+last three, which is virtually as accurate.
+"""
+
+from repro.eval import Workbench, render_table
+
+
+def test_fig16_early_termination(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    num_layers = wb.model.num_extraction_units()
+    termination_layers = (num_layers, num_layers - 2, num_layers - 4, 1)
+
+    def run():
+        rows = []
+        for term in termination_layers:
+            auc = wb.mean_auc("BwCu", attacks=("bim", "fgsm"),
+                              first_layer=term)["mean"]
+            cost = wb.variant_cost("BwCu", first_layer=term)
+            rows.append((term, num_layers - term + 1, auc,
+                         cost.latency_overhead, cost.energy_overhead))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 16: BwCu early-termination (paper: accuracy plateaus "
+        "beyond 3 layers; full extraction costs 11.2x/6.6x vs 3 layers)",
+        ["termination layer", "layers extracted", "AUC", "latency x",
+         "energy x"],
+        rows,
+    ))
+    lat = [r[3] for r in rows]
+    energy = [r[4] for r in rows]
+    aucs = [r[2] for r in rows]
+    # extracting more layers strictly costs more
+    assert lat == sorted(lat)
+    assert energy == sorted(energy)
+    # extracting everything is much more expensive than the last layers
+    assert lat[-1] > 2 * lat[0]
+    # accuracy with several layers is at least as good as one layer
+    assert max(aucs[1:]) >= aucs[0] - 0.02

@@ -1,0 +1,41 @@
+"""Fig. 17 — late-start in forward extraction (FwAb).
+
+Paper result: starting extraction earlier (more layers) increases
+accuracy, like early-termination; but because forward extraction is
+hidden behind inference, starting later does NOT reduce latency — it
+only reduces energy (by ~8.4% for the latest start).
+"""
+
+from repro.eval import Workbench, render_table
+
+
+def test_fig17_late_start(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    num_layers = wb.model.num_extraction_units()
+    start_layers = (num_layers, num_layers - 2, num_layers - 4, 1)
+
+    def run():
+        rows = []
+        for start in start_layers:
+            auc = wb.mean_auc("FwAb", attacks=("bim", "fgsm"),
+                              first_layer=start)["mean"]
+            cost = wb.variant_cost("FwAb", first_layer=start)
+            rows.append((start, num_layers - start + 1, auc,
+                         cost.latency_overhead, cost.energy_overhead))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 17: FwAb late-start (paper: latency flat ~1.02x regardless "
+        "of start; energy drops up to 8.4% with later starts)",
+        ["start layer", "layers extracted", "AUC", "latency x", "energy x"],
+        rows,
+    ))
+    lat = [r[3] for r in rows]
+    energy = [r[4] for r in rows]
+    # latency stays essentially flat: extraction is hidden (Fig. 7a)
+    assert max(lat) - min(lat) < 0.15
+    assert max(lat) < 1.15
+    # starting later (fewer layers) uses no more energy
+    assert energy[0] <= energy[-1] + 1e-9

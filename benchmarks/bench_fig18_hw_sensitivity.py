@@ -1,0 +1,81 @@
+"""Fig. 18 — path-constructor resource sensitivity (BwCu on AlexNet).
+
+Paper result: (a) longer merge trees cut latency (31x -> 12.3x from
+4-way to 32-way) with nearly flat power; (b) extra sort units barely
+improve latency (sorting is memory-bound) while raising power
+significantly (the sort units are 33.4% of constructor power).
+"""
+
+from repro.eval import Workbench, render_table
+from repro.hw import DEFAULT_HW
+
+MERGE_LENGTHS = (4, 8, 16, 32)
+SORT_UNITS = (2, 4, 8, 16)
+
+# power proxy: per-block relative power weights (sort units dominate,
+# Sec. VII-G: 33.4% of constructor power for the 2-unit default)
+_SORT_UNIT_POWER = 1.00
+_MERGE_WAY_POWER = 0.0075
+
+
+def _relative_power(hw):
+    return (
+        hw.num_sort_units * _SORT_UNIT_POWER
+        + hw.merge_tree_length * _MERGE_WAY_POWER
+    )
+
+
+def test_fig18a_merge_tree_length(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+
+    def run():
+        rows = []
+        base_power = _relative_power(DEFAULT_HW)
+        for length in MERGE_LENGTHS:
+            hw = DEFAULT_HW.with_merge_length(length)
+            cost = wb.variant_cost("BwCu", hw=hw)
+            rows.append((length, cost.latency_overhead,
+                         _relative_power(hw) / base_power))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 18a: merge-tree length sweep (paper: latency 31x -> 12.3x, "
+        "power ~flat; the 16-way tree is ~2% of power)",
+        ["merge length", "latency x", "relative power"],
+        rows,
+    ))
+    lats = [r[1] for r in rows]
+    powers = [r[2] for r in rows]
+    assert lats[0] >= lats[-1]          # longer tree -> lower latency
+    assert max(powers) / min(powers) < 1.2  # power nearly flat
+
+
+def test_fig18b_sort_units(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+
+    def run():
+        rows = []
+        base_power = _relative_power(DEFAULT_HW)
+        for count in SORT_UNITS:
+            hw = DEFAULT_HW.with_sort_units(count)
+            cost = wb.variant_cost("BwCu", hw=hw)
+            rows.append((count, cost.latency_overhead,
+                         _relative_power(hw) / base_power))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 18b: sort-unit sweep (paper: latency barely improves — "
+        "sorting is memory-bound — while power grows significantly)",
+        ["sort units", "latency x", "relative power"],
+        rows,
+    ))
+    lats = [r[1] for r in rows]
+    powers = [r[2] for r in rows]
+    # latency improves only marginally with 8x the sort units
+    assert (lats[0] - lats[-1]) / lats[0] < 0.2
+    # power grows steeply (linear in sort units)
+    assert powers[-1] > 4 * powers[0]

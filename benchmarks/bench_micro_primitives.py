@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the detection primitives (real timed runs):
+per-input path extraction for each variant, bitmask algebra on
+class-path-sized vectors, and compiled-program execution on the ISS.
+
+These are the operations the hardware accelerates; their software
+timings motivate the co-design (Sec. III-B's 15.4x software overhead).
+"""
+
+import numpy as np
+
+from repro.compiler import MemoryMap, compile_bwcu
+from repro.core import Bitmask, ExtractionConfig, PathExtractor
+from repro.eval import Workbench
+from repro.isa import Machine, ModelAdapter
+
+
+def test_micro_extract_bwcu(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    extractor = PathExtractor(wb.model, wb.config_for("BwCu"))
+    x = wb.dataset.x_test[:1]
+    result = benchmark(lambda: extractor.extract(x))
+    assert result.path.popcount() > 0
+
+
+def test_micro_extract_fwab(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    extractor = PathExtractor(wb.model, wb.config_for("FwAb"))
+    x = wb.dataset.x_test[:1]
+    result = benchmark(lambda: extractor.extract(x))
+    assert result.predicted_class in range(wb.dataset.num_classes)
+
+
+def test_micro_bitmask_similarity(benchmark):
+    rng = np.random.default_rng(0)
+    size = 1 << 16
+    a = Bitmask.from_bool(rng.random(size) < 0.05)
+    b = Bitmask.from_bool(rng.random(size) < 0.3)
+    count = benchmark(lambda: a.intersection_count(b))
+    assert 0 <= count <= a.popcount()
+
+
+def test_micro_iss_bwcu_program(benchmark, trained_mlp=None):
+    from repro.data import make_imagenet_like
+    from repro.nn import TrainConfig, build_mlp, train_classifier
+
+    ds = make_imagenet_like(num_classes=4, train_per_class=15,
+                            test_per_class=4, seed=11)
+    x_train = ds.x_train.reshape(len(ds.x_train), -1)
+    model = build_mlp(in_features=x_train.shape[1], hidden=(20, 12),
+                      num_classes=4, seed=2)
+    for node in model.extraction_units():
+        node.module.bias = None
+    train_classifier(model, x_train, ds.y_train, TrainConfig(epochs=6, seed=2))
+    config = ExtractionConfig.bwcu(3, theta=0.5)
+    model.forward(x_train[:1])
+    mem_map = MemoryMap(model, config)
+    program = compile_bwcu(model, config, mem_map)
+    x = ds.x_test[:1].reshape(1, -1)
+
+    def run():
+        machine = Machine(1 << 16, adapter=ModelAdapter(model, mem_map, x))
+        machine.run(program)
+        return machine
+
+    machine = benchmark(run)
+    assert machine.stats.total > 0

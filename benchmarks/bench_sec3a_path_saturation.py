@@ -1,0 +1,57 @@
+"""Sec. III-A — class-path saturation.
+
+Paper claim: "We observe that P_c starts to saturate around 100 images
+and including more images from the training dataset does not result
+[in] all bits being 1."  On the scaled-down substrate the same two
+properties must hold: the class-path density curve flattens as samples
+accumulate, and it saturates far below density 1.0.
+"""
+
+import numpy as np
+
+from repro.core import saturation_curve
+from repro.eval import Workbench, render_table, sparkline
+
+CHECKPOINTS = [1, 2, 5, 10, 20, 30]
+
+
+def _curves(wb, num_classes=4):
+    extractor = wb.detector("BwCu").extractor
+    curves = {}
+    for class_id in range(num_classes):
+        curve = saturation_curve(
+            extractor, wb.dataset.x_train, wb.dataset.y_train,
+            class_id, checkpoints=CHECKPOINTS,
+        )
+        if len(curve) == len(CHECKPOINTS):
+            curves[class_id] = curve
+    return curves
+
+
+def test_sec3a_path_saturation(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    curves = benchmark.pedantic(lambda: _curves(wb), rounds=1, iterations=1)
+    assert curves, "need at least one class with enough correct samples"
+
+    print()
+    rows = []
+    for class_id, curve in sorted(curves.items()):
+        rows.append([f"class {class_id}"] + [f"{d:.3f}" for d in curve]
+                    + [sparkline(curve)])
+    print(render_table(
+        "Sec III-A: class-path density vs profiled samples "
+        "(paper: saturates around ~100 images, never all-ones)",
+        ["class"] + [str(c) for c in CHECKPOINTS] + ["trend"],
+        rows,
+    ))
+
+    for curve in curves.values():
+        arr = np.array(curve)
+        # density grows monotonically (OR aggregation only sets bits)
+        assert (np.diff(arr) >= -1e-12).all()
+        # saturation: the late increments are much smaller than early ones
+        early_gain = arr[2] - arr[0]
+        late_gain = arr[-1] - arr[-2]
+        assert late_gain <= early_gain + 1e-9
+        # never saturates to the full network (paper: not all bits 1)
+        assert arr[-1] < 0.9

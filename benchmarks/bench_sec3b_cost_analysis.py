@@ -1,0 +1,100 @@
+"""Sec. III-B — cost analysis of the naive (BwCu store-all) algorithm.
+
+Paper result: storing every partial sum costs 9x-420x the feature-map
+memory; fewer than 5% of stored partial sums are ever read back;
+important neurons are generally below 5% of the network even at
+theta=0.9; and a pure software implementation costs 15.4x (AlexNet) /
+50.7x (ResNet50) over inference.
+"""
+
+from repro.baselines import EPDetector, ep_cost
+from repro.core import ExtractionConfig, PathExtractor
+from repro.eval import Workbench, render_table
+from repro.hw import DEFAULT_HW, controller_cost
+
+
+def _analyze(wb, theta=0.5):
+    model, workload = wb.model, wb.workload
+    n = model.num_extraction_units()
+    config = ExtractionConfig.bwcu(n, theta=theta)
+    extractor = PathExtractor(model, config)
+    result = extractor.extract(wb.dataset.x_test[:1])
+    trace = result.trace
+    fmap_words = sum(l.out_words for l in workload.layers)
+    psum_words = workload.total_psums
+    memory_ratio = psum_words / fmap_words
+    read_back = sum(u.n_out_processed * u.rf_size for u in trace.units)
+    read_fraction = read_back / psum_words
+    density = result.path.density()
+    ep = EPDetector(model, theta=theta)
+    sw = ep_cost(workload, ep, trace)
+    return {
+        "psum/fmap memory ratio": memory_ratio,
+        "fraction of psums read back": read_fraction,
+        "important-neuron density": density,
+        "software latency overhead": sw.latency_overhead,
+    }
+
+
+def test_sec3b_cost_analysis(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    stats = benchmark.pedantic(lambda: _analyze(wb), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Sec III-B: naive-algorithm cost analysis (paper: 9-420x memory, "
+        "<5% psums reused, <5% neurons important, software 15.4x)",
+        ["quantity", "value"],
+        [(k, v) for k, v in stats.items()],
+    ))
+    # storing all psums costs many times the feature-map footprint
+    assert stats["psum/fmap memory ratio"] > 5.0
+    # only a small fraction of stored psums is ever used again
+    assert stats["fraction of psums read back"] < 0.30
+    # important neurons are sparse
+    assert stats["important-neuron density"] < 0.30
+    # software-only detection is many times slower than inference
+    assert stats["software latency overhead"] > 5.0
+
+
+def test_sec3b_classifier_is_lightweight(benchmark):
+    """Paper: "The classification module is lightweight, contributing
+    to less than 0.1% of the total detection cost" — ~2,000 RF
+    operations (Sec. V-D) against tens of millions of detection cycles.
+
+    The RF cost is a model-independent constant, so its share shrinks
+    as the network grows; at the paper's full-AlexNet scale (~1000x our
+    mini substrate's MACs) the share lands below 0.1%.  Here we check
+    the constant is the paper's ~2,000 ops, that it is already a small
+    fraction on the mini substrate, and that the share *decreases* with
+    model size.
+    """
+    wb_small = Workbench.get("alexnet_imagenet")
+    wb_large = Workbench.get("resnet18_cifar")
+
+    def run():
+        mcu = controller_cost(DEFAULT_HW)
+        return (mcu, wb_small.variant_cost("BwCu"),
+                wb_large.variant_cost("BwCu"))
+
+    mcu, small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    share_small = mcu.classify_cycles / small.total_cycles
+    share_large = mcu.classify_cycles / large.total_cycles
+    rf_ops = DEFAULT_HW.rf_trees * DEFAULT_HW.rf_depth
+    print()
+    print(render_table(
+        "Sec III-B / V-D: classifier share of total detection cost "
+        "(paper: <0.1% at full scale; constant RF cost, growing "
+        "detection cost)",
+        ["quantity", "value"],
+        [
+            ("random-forest operations", rf_ops),
+            ("classifier cycles (MCU)", mcu.classify_cycles),
+            ("share on MiniAlexNet", f"{100 * share_small:.4f}%"),
+            ("share on MiniResNet18", f"{100 * share_large:.4f}%"),
+        ],
+    ))
+    assert rf_ops <= 2500                   # ~2,000 ops in the paper
+    # already a small fraction on the mini substrate...
+    assert share_small < 0.15
+    # ...and the share shrinks as the network grows (towards <0.1%)
+    assert share_large < share_small

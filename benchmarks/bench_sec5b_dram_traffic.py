@@ -1,0 +1,78 @@
+"""Sec. V-B — extra DRAM traffic of mask/psum storage.
+
+Paper claim: "The additional DRAM traffic incurred by storing and
+reading partial sums is negligible (<0.1%) compared to the original
+DRAM traffic since each partial sum is read and stored only once" —
+said of the mask-based (absolute threshold) regimes, while the
+store-every-psum regime of the basic algorithm is exactly the memory
+explosion Sec. III-B calls out (9x–420x over inference feature traffic).
+
+This bench reports extra detection traffic relative to baseline
+inference DRAM traffic for the three storage regimes.
+"""
+
+from repro.compiler import apply_optimizations
+from repro.core import ExtractionConfig, PathExtractor, calibrate_phi
+from repro.eval import Workbench, render_table
+from repro.hw import DEFAULT_HW, detection_dram_footprint, inference_cost
+
+
+def _traffic_rows(wb):
+    model, workload = wb.model, wb.workload
+    n = model.num_extraction_units()
+    x = wb.dataset.x_test[:1]
+    base_bytes = inference_cost(workload, DEFAULT_HW).dram_bytes
+
+    regimes = []
+    bwab = calibrate_phi(model, ExtractionConfig.bwab(n),
+                         wb.dataset.x_train[:4])
+    trace = PathExtractor(model, bwab).extract(x).trace
+    regimes.append(("BwAb masks", bwab, trace, False))
+
+    fwab = wb.config_for("FwAb")
+    trace = PathExtractor(model, fwab).extract(x).trace
+    regimes.append(("FwAb masks", fwab, trace, False))
+
+    bwcu = ExtractionConfig.bwcu(n, theta=0.5)
+    trace = PathExtractor(model, bwcu).extract(x).trace
+    regimes.append(("BwCu recompute", bwcu, trace, True))
+    regimes.append(("BwCu store-all", bwcu, trace, False))
+
+    rows = []
+    for name, config, trace_, recompute in regimes:
+        fp = detection_dram_footprint(workload, config, trace_, DEFAULT_HW,
+                                      recompute)
+        rows.append((
+            name,
+            fp.write_bytes / 1024,
+            fp.read_bytes / 1024,
+            100.0 * fp.traffic_bytes / base_bytes,
+        ))
+    return rows, base_bytes
+
+
+def test_sec5b_dram_traffic(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+    rows, base_bytes = benchmark.pedantic(
+        lambda: _traffic_rows(wb), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(
+        f"Sec V-B: extra DRAM traffic vs inference "
+        f"(baseline {base_bytes / 1024:.0f} KiB/inference; paper: masks "
+        f"<0.1%, store-all is the Sec III-B blow-up)",
+        ["regime", "extra writes (KiB)", "extra reads (KiB)",
+         "traffic overhead %"],
+        rows, float_fmt="{:.2f}",
+    ))
+    by_name = {r[0]: r for r in rows}
+    # The paper's absolute claim (<0.1%) holds at full-network scale,
+    # where feature/weight traffic dwarfs one mask bit per MAC; on the
+    # scaled-down substrate the *relative* structure is what must hold:
+    # 1-bit masks cost ~1/16 of storing 16-bit psums ...
+    assert by_name["BwAb masks"][3] < by_name["BwCu store-all"][3] / 8
+    # ... forward masks cover only output activations, cheaper still ...
+    assert by_name["FwAb masks"][3] < by_name["BwAb masks"][3]
+    # ... and recompute eliminates the psum DRAM round-trip entirely.
+    assert by_name["BwCu recompute"][3] == 0.0
+    assert by_name["BwCu store-all"][3] > 100.0  # the Sec III-B blow-up

@@ -1,0 +1,78 @@
+"""Sec. VIII — the Carlini et al. evaluation-checklist sanity checks.
+
+The paper lists the "basic sanity checks" it performed when red-teaming
+its own defense:
+
+* iterative attacks perform better than single-step attacks;
+* increasing the perturbation budget strictly increases attack success
+  rate;
+* with "high" distortion, model accuracy reaches random guessing.
+
+This bench re-runs those checks on the reproduction substrate, so the
+attack suite itself is validated the same way the paper validates its
+attacks.
+"""
+
+import numpy as np
+
+from repro.attacks import BIM, FGSM
+from repro.eval import Workbench, render_table, sparkline
+
+EPS_LADDER = (0.02, 0.05, 0.10, 0.20, 0.40)
+
+
+def _success_curve(wb, attack_cls, **kwargs):
+    n = 25
+    x = wb.dataset.x_test[:n]
+    y = wb.dataset.y_test[:n]
+    rates = []
+    for eps in EPS_LADDER:
+        result = attack_cls(eps=eps, **kwargs).generate(wb.model, x, y)
+        rates.append(result.success_rate)
+    return rates
+
+
+def _accuracy_under(wb, eps):
+    n = 25
+    x = wb.dataset.x_test[:n]
+    y = wb.dataset.y_test[:n]
+    adv = FGSM(eps=eps).generate(wb.model, x, y).x_adv
+    preds = np.argmax(wb.model.forward(adv), axis=1)
+    return float(np.mean(preds == y))
+
+
+def test_sec8_sanity_checks(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+
+    def run():
+        fgsm = _success_curve(wb, FGSM)
+        bim = _success_curve(wb, BIM)
+        acc_high = _accuracy_under(wb, eps=0.6)
+        return fgsm, bim, acc_high
+
+    fgsm, bim, acc_high = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    rows = [
+        ["FGSM (single-step)"] + [f"{r:.2f}" for r in fgsm] + [sparkline(fgsm)],
+        ["BIM (iterative)"] + [f"{r:.2f}" for r in bim] + [sparkline(bim)],
+    ]
+    print(render_table(
+        "Sec VIII sanity checks: attack success rate vs eps "
+        "(paper checklist: iterative > single-step; budget strictly helps)",
+        ["attack"] + [f"eps={e}" for e in EPS_LADDER] + ["trend"],
+        rows,
+    ))
+    num_classes = wb.dataset.num_classes
+    print(f"model accuracy at eps=0.6: {acc_high:.2f} "
+          f"(random guessing = {1.0 / num_classes:.2f})")
+
+    # 1. iterative >= single-step at every budget
+    assert all(b >= f - 1e-9 for b, f in zip(bim, fgsm))
+    assert np.mean(bim) > np.mean(fgsm) - 1e-9
+    # 2. success rate is (weakly) monotone in the budget and genuinely
+    #    grows across the ladder
+    assert all(np.diff(fgsm) >= -0.05)
+    assert fgsm[-1] > fgsm[0]
+    assert bim[-1] > bim[0]
+    # 3. high distortion collapses accuracy to ~random guessing
+    assert acc_high <= 1.0 / num_classes + 0.15

@@ -1,0 +1,44 @@
+"""Table II — BwCu sensitivity to theta.
+
+Paper result: accuracy rises from theta=0.1 (0.86) to theta=0.5 (0.94)
+then dips at theta=0.9 (0.91, class paths start to overlap); latency
+and energy grow roughly proportionally with theta (4.7x -> 12.3x ->
+25.7x latency; 2.9x -> 7.7x -> 15.6x energy).
+"""
+
+from repro.eval import Workbench, render_table
+
+THETAS = (0.1, 0.5, 0.9)
+
+
+def test_table2_theta_sensitivity(benchmark):
+    wb = Workbench.get("alexnet_imagenet")
+
+    def run():
+        rows = []
+        for theta in THETAS:
+            auc = wb.mean_auc("BwCu", attacks=("bim", "fgsm", "deepfool"),
+                              theta=theta)["mean"]
+            cost = wb.variant_cost("BwCu", theta=theta)
+            rows.append((theta, auc, cost.latency_overhead,
+                         cost.energy_overhead))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Table II: BwCu theta sensitivity (paper: acc .86/.94/.91, "
+        "lat 4.7/12.3/25.7x, energy 2.9/7.7/15.6x)",
+        ["theta", "accuracy (AUC)", "latency x", "energy x"],
+        rows,
+    ))
+    accs = [r[1] for r in rows]
+    lats = [r[2] for r in rows]
+    energies = [r[3] for r in rows]
+    # latency/energy must grow monotonically with theta
+    assert lats[0] < lats[1] < lats[2]
+    assert energies[0] < energies[1] < energies[2]
+    # theta=0.5 accuracy must be at least on par with theta=0.1
+    assert accs[1] >= accs[0] - 0.02
+    # all thetas remain useful detectors
+    assert min(accs) > 0.7

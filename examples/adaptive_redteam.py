@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Red-team exercise: adaptive attacks against Ptolemy (Sec. VII-E).
+
+Plays the attacker who knows everything about the defense: generates
+activation-matching adaptive samples (AT1..ATn), reports their
+distortion and success rate (the Carlini et al. validation protocol),
+and shows how detection accuracy degrades — but survives — as the
+attack constrains more layers.
+
+Run: python examples/adaptive_redteam.py
+"""
+
+import numpy as np
+
+from repro.attacks import AdaptiveAttack, BIM
+from repro.core import ExtractionConfig, PtolemyDetector
+from repro.data import make_imagenet_like
+from repro.eval import render_table
+from repro.nn import TrainConfig, build_mini_alexnet, train_classifier
+
+
+def main():
+    dataset = make_imagenet_like(num_classes=6, train_per_class=40,
+                                 test_per_class=25, seed=9)
+    model = build_mini_alexnet(num_classes=6, seed=9)
+    print("training the victim...")
+    train_classifier(model, dataset.x_train, dataset.y_train,
+                     TrainConfig(epochs=8, seed=9))
+    num_layers = model.num_extraction_units()
+
+    # the defense: BwCu, the paper's most accurate variant
+    detector = PtolemyDetector(
+        model, ExtractionConfig.bwcu(num_layers, theta=0.5),
+        n_trees=60, seed=9,
+    )
+    print("deploying the defense (profiling + classifier)...")
+    detector.profile(dataset.x_train, dataset.y_train, max_per_class=25)
+    adv_fit = BIM(eps=0.08).generate(model, dataset.x_train[:40],
+                                     dataset.y_train[:40]).x_adv
+    detector.fit_classifier(dataset.x_train[40:80], adv_fit)
+
+    benign = dataset.x_test[12:24]
+    xs, ys = dataset.x_test[:12], dataset.y_test[:12]
+
+    # baseline: a non-adaptive attack
+    bim_eval = BIM(eps=0.08).generate(model, xs, ys)
+    bim_auc = detector.evaluate_auc(benign, bim_eval.x_adv)
+
+    rows = [("BIM (non-adaptive)", 1.0, float("nan"), bim_auc)]
+    for layers in (1, 3, num_layers):
+        print(f"red team: building AT{layers} adaptive samples...")
+        attack = AdaptiveAttack(
+            dataset.x_train, dataset.y_train,
+            layers_considered=layers, steps=35, seed=layers,
+        )
+        result = attack.generate(model, xs, ys)
+        mse = float(np.mean([s.distortion_mse for s in attack.last_samples]))
+        auc = detector.evaluate_auc(benign, result.x_adv)
+        rows.append((f"AT{layers} (adaptive)", result.success_rate, mse, auc))
+
+    print()
+    print(render_table(
+        "adaptive red team vs Ptolemy BwCu (paper: detection degrades "
+        "with n but survives; avg adaptive MSE 0.007)",
+        ["attack", "success rate", "mean MSE", "detection AUC"],
+        rows, float_fmt="{:.3f}",
+    ))
+    at_full = rows[-1][3]
+    print(f"\nEven the strongest adaptive attack (all {num_layers} layers "
+          f"constrained) is detected with AUC {at_full:.3f} — the "
+          f"differentiable relaxation cannot force the discrete activation "
+          f"path to match the canary (Sec. VII-E's discussion).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Corrupted-camera triage: Ptolemy on *inadvertent* perturbations.
+
+Sec. II of the paper says perturbations "could also be an artifact of
+normal data acquisition such as noisy sensor capturing and image
+compression/resizing".  This example degrades a camera feed with
+realistic pipeline artifacts (sensor noise, defocus, block compression,
+resize) at increasing severity and shows that
+
+1. corruption flips predictions more and more often as severity grows,
+2. the Ptolemy detector flags most of the *prediction-flipping* frames
+   (the ones an application must reject), while
+3. corrupted frames whose prediction survived are mostly left alone —
+   the detector keys on the activation path, not on pixel damage.
+
+Run: python examples/corrupted_camera.py
+"""
+
+import numpy as np
+
+from repro.attacks import BIM
+from repro.core import ExtractionConfig, PtolemyDetector
+from repro.data import apply_corruption, make_imagenet_like
+from repro.eval import render_table, sparkline
+from repro.nn import TrainConfig, build_mini_alexnet, train_classifier
+
+CORRUPTIONS = ("gaussian_noise", "gaussian_blur", "block_compression",
+               "resize_artifacts")
+SEVERITIES = (1, 2, 3, 4, 5)
+
+
+def main():
+    print("== setting up a protected classifier ==")
+    dataset = make_imagenet_like(num_classes=6, train_per_class=40,
+                                 test_per_class=20, seed=3)
+    model = build_mini_alexnet(num_classes=6, seed=3)
+    train_classifier(model, dataset.x_train, dataset.y_train,
+                     TrainConfig(epochs=8, seed=3))
+
+    config = ExtractionConfig.bwcu(model.num_extraction_units(), theta=0.5)
+    detector = PtolemyDetector(model, config, n_trees=60, seed=3)
+    detector.profile(dataset.x_train, dataset.y_train, max_per_class=25)
+    adv = BIM(eps=0.08).generate(model, dataset.x_train[:40],
+                                 dataset.y_train[:40]).x_adv
+    detector.fit_classifier(dataset.x_train[40:80], adv)
+
+    # rejection threshold: ~10% false rejects on held-out clean frames
+    val = dataset.x_test[-30:]
+    threshold = float(np.quantile(detector.scores_for_set(val), 0.9)) + 1e-6
+    frames = dataset.x_test[:30]
+    preds_clean = np.argmax(model.forward(frames), axis=1)
+
+    print("\n== sweeping camera corruptions ==")
+    rows = []
+    flip_trends = {}
+    for name in CORRUPTIONS:
+        flips_per_severity = []
+        for severity in SEVERITIES:
+            result = apply_corruption(name, frames, severity, seed=17)
+            preds = np.argmax(model.forward(result.images), axis=1)
+            flipped = preds != preds_clean
+            flips_per_severity.append(int(flipped.sum()))
+
+            scores = detector.scores_for_set(result.images)
+            rejected = scores > threshold
+            caught = int((rejected & flipped).sum())
+            spared = int((~rejected & ~flipped).sum())
+            rows.append((
+                name, severity, f"{result.mse:.4f}",
+                f"{int(flipped.sum())}/{len(frames)}",
+                f"{caught}/{max(int(flipped.sum()), 1)}",
+                f"{spared}/{max(int((~flipped).sum()), 1)}",
+            ))
+        flip_trends[name] = flips_per_severity
+
+    print(render_table(
+        "corruption sweep (30 camera frames per cell)",
+        ["corruption", "sev", "MSE", "flipped", "flipped & caught",
+         "intact & accepted"],
+        rows,
+    ))
+
+    print("\nprediction flips vs severity (1..5):")
+    for name, trend in flip_trends.items():
+        print(f"  {name:18s} {sparkline([float(t) for t in trend])}  {trend}")
+
+    print("\nInterpretation: severe corruption behaves like an attack — the "
+          "activation path leaves the canary path and the frame is "
+          "rejected; mild corruption that leaves the prediction intact "
+          "also leaves the path intact and is accepted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Thin setup.py shim so ``pip install -e .`` works without the
+``wheel`` package (this environment is offline)."""
+
+from setuptools import setup
+
+setup()

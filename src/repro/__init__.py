@@ -1,0 +1,18 @@
+"""Ptolemy: Architecture Support for Robust Deep Learning — reproduction.
+
+Subpackages
+-----------
+``repro.nn``        from-scratch DNN framework (training + inference)
+``repro.data``      synthetic class-structured datasets
+``repro.attacks``   adversarial attacks (FGSM/BIM/PGD/JSMA/DeepFool/CW + adaptive)
+``repro.core``      the Ptolemy detection framework (paths, profiling, detector)
+``repro.isa``       the Ptolemy custom ISA (Table I) + functional interpreter
+``repro.compiler``  codegen + pipelining/recompute optimizations
+``repro.hw``        cycle-level hardware simulator + area/energy models
+``repro.baselines`` EP, CDRP, DeepFense reimplementations
+``repro.defenses``  adversarial retraining (+ Ptolemy integration),
+                    feature squeezing, stochastic activation pruning
+``repro.eval``      experiment harness used by the benchmarks
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,42 @@
+"""repro.attacks — adversarial attacks covering all three perturbation
+measures the paper evaluates (L0: JSMA; L2: CW-L2, DeepFool, adaptive;
+L-inf: FGSM, BIM, PGD), plus the adaptive activation-matching attack of
+Sec. VII-E."""
+
+from repro.attacks.base import Attack, AttackResult, input_gradient
+from repro.attacks.fgsm import FGSM
+from repro.attacks.bim import BIM
+from repro.attacks.pgd import PGD
+from repro.attacks.jsma import JSMA
+from repro.attacks.deepfool import DeepFool
+from repro.attacks.cw import CWL2
+from repro.attacks.adaptive import AdaptiveAttack, AdaptiveSample
+from repro.attacks.annealing import AnnealingPathAttack, AnnealingResult
+from repro.attacks.bpda import BPDA
+
+#: The paper's five non-adaptive attacks (Sec. VI-A).
+STANDARD_ATTACKS = {
+    "bim": BIM,
+    "cwl2": CWL2,
+    "deepfool": DeepFool,
+    "fgsm": FGSM,
+    "jsma": JSMA,
+}
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "input_gradient",
+    "FGSM",
+    "BIM",
+    "PGD",
+    "JSMA",
+    "DeepFool",
+    "CWL2",
+    "AdaptiveAttack",
+    "AdaptiveSample",
+    "AnnealingPathAttack",
+    "AnnealingResult",
+    "BPDA",
+    "STANDARD_ATTACKS",
+]

@@ -1,0 +1,163 @@
+"""Simulated-annealing hard-path attack (the paper's future work).
+
+Sec. VII-E's discussion: the adaptive attack relaxes the hard path
+constraint because path construction is non-differentiable, and the
+paper leaves "intelligent search heuristics (e.g., simulated
+annealing) to find perturbations that meet the hard path constraint
+while fooling Ptolemy" to future work.  This module implements that
+attack so the defense can be evaluated against it.
+
+The annealer searches pixel-space perturbations minimising::
+
+    loss = w_cls * margin(target)                 # mispredict as target
+         + w_path * (1 - S(P(x'), P_target))      # match the canary path
+         + w_dist * ||x' - x||_2^2                # stay close to x
+
+where ``S`` is Ptolemy's own (discrete, non-differentiable) path
+similarity — evaluated exactly, not relaxed.  Acceptance follows the
+Metropolis rule with a geometric temperature schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.extraction import PathExtractor
+from repro.core.path import path_similarity
+from repro.core.profiling import ClassPathSet
+from repro.nn.graph import Graph
+
+__all__ = ["AnnealingPathAttack", "AnnealingResult"]
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of one simulated-annealing run."""
+
+    x_adv: np.ndarray
+    predicted_class: int
+    target_class: int
+    path_similarity: float
+    distortion_mse: float
+    loss: float
+    iterations: int
+
+    @property
+    def fools_model(self) -> bool:
+        return self.predicted_class == self.target_class
+
+    @property
+    def matches_path(self) -> bool:
+        """Whether the perturbed input achieved a benign-looking path
+        (similarity above the typical benign operating point)."""
+        return self.path_similarity > 0.9
+
+
+class AnnealingPathAttack:
+    """Simulated annealing against the hard path constraint."""
+
+    def __init__(
+        self,
+        model: Graph,
+        extractor: PathExtractor,
+        class_paths: ClassPathSet,
+        iterations: int = 400,
+        initial_temperature: float = 1.0,
+        cooling: float = 0.99,
+        pixel_step: float = 0.15,
+        pixels_per_move: int = 4,
+        w_cls: float = 1.0,
+        w_path: float = 2.0,
+        w_dist: float = 4.0,
+        seed: int = 0,
+    ):
+        if iterations < 1 or not 0 < cooling < 1:
+            raise ValueError("invalid annealing parameters")
+        self.model = model
+        self.extractor = extractor
+        self.class_paths = class_paths
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.pixel_step = pixel_step
+        self.pixels_per_move = pixels_per_move
+        self.w_cls = w_cls
+        self.w_path = w_path
+        self.w_dist = w_dist
+        self._rng = np.random.default_rng(seed)
+
+    # -- objective ----------------------------------------------------
+    def _loss(self, x_adv: np.ndarray, x: np.ndarray, target: int):
+        result = self.extractor.extract(x_adv)
+        logits = result.logits
+        margin = float(logits.max() - logits[target])
+        if target in self.class_paths:
+            similarity = path_similarity(
+                result.path, self.class_paths.path_for(target)
+            )
+        else:
+            similarity = 0.0
+        distortion = float(((x_adv - x) ** 2).mean())
+        loss = (
+            self.w_cls * margin
+            + self.w_path * (1.0 - similarity)
+            + self.w_dist * distortion
+        )
+        return loss, result.predicted_class, similarity, distortion
+
+    def _propose(self, x_adv: np.ndarray) -> np.ndarray:
+        """Tweak a few random pixels (the hard-constraint search moves
+        in raw input space; no gradients anywhere)."""
+        proposal = x_adv.copy()
+        flat = proposal.reshape(-1)
+        picks = self._rng.integers(0, flat.size, size=self.pixels_per_move)
+        flat[picks] = np.clip(
+            flat[picks]
+            + self._rng.normal(0.0, self.pixel_step, size=picks.size),
+            0.0,
+            1.0,
+        )
+        return proposal
+
+    # -- search ----------------------------------------------------------
+    def attack(
+        self, x: np.ndarray, target_class: Optional[int] = None
+    ) -> AnnealingResult:
+        """Anneal one input toward (mispredicted-as-target AND
+        benign-looking-path).  ``x`` is a batch of one."""
+        if x.shape[0] != 1:
+            raise ValueError("attack expects a single-sample batch")
+        baseline = self.extractor.extract(x)
+        if target_class is None:
+            order = np.argsort(baseline.logits)[::-1]
+            target_class = int(
+                order[1] if order[0] == baseline.predicted_class else order[0]
+            )
+        current = x.copy()
+        current_loss, pred, sim, dist = self._loss(current, x, target_class)
+        best = AnnealingResult(
+            x_adv=current.copy(), predicted_class=pred,
+            target_class=target_class, path_similarity=sim,
+            distortion_mse=dist, loss=current_loss, iterations=0,
+        )
+        temperature = self.initial_temperature
+        for step in range(1, self.iterations + 1):
+            proposal = self._propose(current)
+            loss, pred, sim, dist = self._loss(proposal, x, target_class)
+            delta = loss - current_loss
+            if delta <= 0 or self._rng.random() < np.exp(
+                -delta / max(temperature, 1e-9)
+            ):
+                current = proposal
+                current_loss = loss
+                if loss < best.loss:
+                    best = AnnealingResult(
+                        x_adv=current.copy(), predicted_class=pred,
+                        target_class=target_class, path_similarity=sim,
+                        distortion_mse=dist, loss=loss, iterations=step,
+                    )
+            temperature *= self.cooling
+        return best

@@ -1,0 +1,75 @@
+"""Attack base class and shared gradient helpers.
+
+All attacks operate on single samples or batches in [0, 1] image space
+and return perturbed inputs of the same shape.  They need only the
+model's input gradient, which :class:`~repro.nn.graph.Graph` provides
+through its explicit backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import one_hot, softmax
+from repro.nn.graph import Graph
+
+__all__ = ["Attack", "AttackResult", "input_gradient", "logit_gradient"]
+
+
+def input_gradient(model: Graph, x: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """d(cross-entropy)/dx for the given labels."""
+    logits = model.forward(x)
+    probs = softmax(logits)
+    grad_logits = (probs - one_hot(labels, logits.shape[1])) / x.shape[0]
+    return model.backward(grad_logits)
+
+
+def logit_gradient(model: Graph, x: np.ndarray, seed: np.ndarray) -> np.ndarray:
+    """dx of an arbitrary linear combination of logits (``seed`` are the
+    per-logit weights).  Requires a prior ``model.forward(x)``."""
+    return model.backward(seed)
+
+
+@dataclass
+class AttackResult:
+    """Adversarial samples plus bookkeeping."""
+
+    x_adv: np.ndarray
+    success: np.ndarray  # per-sample: prediction changed from true label
+    queries: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return float(self.success.mean()) if self.success.size else 0.0
+
+
+class Attack:
+    """Base class; subclasses implement :meth:`perturb`."""
+
+    name = "attack"
+    #: perturbation measure, one of "l0", "l2", "linf" (Sec. VI-A)
+    norm = "linf"
+
+    def perturb(self, model: Graph, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def generate(self, model: Graph, x: np.ndarray, y: np.ndarray) -> AttackResult:
+        """Run the attack and record per-sample success."""
+        was_training = model.training
+        model.train(False)
+        try:
+            x_adv = self.perturb(model, np.asarray(x, dtype=np.float64), y)
+        finally:
+            model.train(was_training)
+        preds = model.predict(x_adv)
+        return AttackResult(x_adv=x_adv, success=preds != np.asarray(y))
+
+    @staticmethod
+    def _clip(x: np.ndarray) -> np.ndarray:
+        return np.clip(x, 0.0, 1.0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

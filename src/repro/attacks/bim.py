@@ -1,0 +1,33 @@
+"""BIM — basic iterative method (Kurakin et al., 2016)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, input_gradient
+from repro.nn.graph import Graph
+
+__all__ = ["BIM"]
+
+
+class BIM(Attack):
+    """Iterated FGSM with an L-inf ball projection around the input."""
+
+    name = "bim"
+    norm = "linf"
+
+    def __init__(self, eps: float = 0.06, alpha: float = 0.015, steps: int = 10):
+        if eps <= 0 or alpha <= 0 or steps < 1:
+            raise ValueError("invalid BIM parameters")
+        self.eps = eps
+        self.alpha = alpha
+        self.steps = steps
+
+    def perturb(self, model: Graph, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x_adv = x.copy()
+        for _ in range(self.steps):
+            grad = input_gradient(model, x_adv, y)
+            x_adv = x_adv + self.alpha * np.sign(grad)
+            x_adv = np.clip(x_adv, x - self.eps, x + self.eps)
+            x_adv = self._clip(x_adv)
+        return x_adv

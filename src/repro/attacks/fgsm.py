@@ -1,0 +1,26 @@
+"""FGSM — fast gradient sign method (Goodfellow et al., 2014)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, input_gradient
+from repro.nn.graph import Graph
+
+__all__ = ["FGSM"]
+
+
+class FGSM(Attack):
+    """Single-step L-inf attack: ``x + eps * sign(grad)``."""
+
+    name = "fgsm"
+    norm = "linf"
+
+    def __init__(self, eps: float = 0.06):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = eps
+
+    def perturb(self, model: Graph, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        grad = input_gradient(model, x, y)
+        return self._clip(x + self.eps * np.sign(grad))

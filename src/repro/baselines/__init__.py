@@ -1,0 +1,20 @@
+"""repro.baselines — the three detection mechanisms the paper compares
+against: EP (class-level effective paths), CDRP (channel routing
+gates, retraining-based) and DeepFense (modular redundancy)."""
+
+from repro.baselines.ep import EPDetector, ep_cost
+from repro.baselines.cdrp import CDRPDetector
+from repro.baselines.deepfense import (
+    DEEPFENSE_VARIANTS,
+    DeepFenseDetector,
+    deepfense_overheads,
+)
+
+__all__ = [
+    "EPDetector",
+    "ep_cost",
+    "CDRPDetector",
+    "DEEPFENSE_VARIANTS",
+    "DeepFenseDetector",
+    "deepfense_overheads",
+]

@@ -1,0 +1,70 @@
+"""EP baseline — effective-path defense (Qiu et al., CVPR 2019).
+
+EP profiles per-class *effective paths* (the same class-level sparsity
+observation Ptolemy builds on) and detects adversaries from path
+similarity, but as a pure software technique: full backward cumulative
+extraction over every layer, a scalar similarity feature, and no
+hardware support.  Accuracy therefore tracks Ptolemy's BwCu closely
+(Fig. 10) while its cost is far higher (Fig. 11) because extraction is
+serialized software without the sort/merge hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.compiler import apply_optimizations
+from repro.core import ExtractionConfig, PtolemyDetector
+from repro.hw import DEFAULT_HW, HardwareConfig, simulate_detection
+from repro.hw.workload import ModelWorkload
+from repro.nn.graph import Graph
+
+__all__ = ["EPDetector", "ep_cost"]
+
+
+class EPDetector(PtolemyDetector):
+    """EP = full-network backward-cumulative profiling with a scalar
+    similarity feature (EP has no per-layer feature machinery)."""
+
+    def __init__(self, model: Graph, theta: float = 0.5, n_trees: int = 100,
+                 seed: int = 0):
+        config = ExtractionConfig.bwcu(
+            model.num_extraction_units(), theta=theta
+        )
+        super().__init__(
+            model,
+            config,
+            feature_mode="scalar",
+            n_trees=n_trees,
+            seed=seed,
+        )
+
+
+def _software_hw(hw: HardwareConfig) -> HardwareConfig:
+    """EP runs without Ptolemy's path-constructor hardware: sorting is
+    effectively scalar (one narrow sort 'unit', no merge parallelism)
+    and no neuron pipelining applies."""
+    return replace(hw, num_sort_units=1, sort_unit_width=2, merge_tree_length=2)
+
+
+def ep_cost(
+    workload: ModelWorkload,
+    detector: EPDetector,
+    trace,
+    hw: HardwareConfig = DEFAULT_HW,
+):
+    """Latency/energy of EP detection on the same platform: BwCu-style
+    extraction with software sorting and no compiler optimisations."""
+    schedule = apply_optimizations(
+        detector.config,
+        detector.config.num_layers,
+        layer_pipelining=False,
+        neuron_pipelining=False,
+        recompute=False,
+    )
+    return simulate_detection(
+        workload, detector.config, trace, schedule, _software_hw(hw)
+    )

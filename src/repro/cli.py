@@ -1,0 +1,408 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``train``       train a zoo model on a synthetic dataset and save it
+``profile``     build + save canary class paths for a saved model
+``detect``      score test inputs with a saved detector
+``cost``        print the modelled hardware cost of a variant
+``compile``     compile a BwCu detection program and print the assembly
+``area``        print the hardware area report
+``scenarios``   list the named evaluation scenarios
+``corrupt``     sweep natural corruptions over a scenario's test set
+``monitor``     deploy an InferenceMonitor and stream mixed traffic
+``explain``     saliency + per-layer divergence for a benign/attacked pair
+``defend``      adversarial retraining + re-profiled Ptolemy (Sec. VIII)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _build_scenario(name: str):
+    from repro.eval import SCENARIOS
+
+    if name not in SCENARIOS:
+        raise SystemExit(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    return SCENARIOS[name]
+
+
+def cmd_train(args) -> None:
+    """Train a scenario model and save its weights."""
+    from repro.nn import save_model, train_classifier
+
+    scenario = _build_scenario(args.scenario)
+    dataset = scenario.build_dataset()
+    model = scenario.build_model()
+    print(f"training {scenario.name} ({args.epochs} epochs)...")
+    config = scenario.train_config()
+    config.epochs = args.epochs
+    result = train_classifier(model, dataset.x_train, dataset.y_train, config)
+    print(f"final train accuracy: {result.final_accuracy:.3f}")
+    save_model(model, args.output)
+    print(f"saved model to {args.output}")
+
+
+def cmd_profile(args) -> None:
+    """Profile canary class paths and save the detector."""
+    from repro.core import ExtractionConfig, PtolemyDetector, save_detector
+    from repro.nn import load_model_into
+
+    scenario = _build_scenario(args.scenario)
+    dataset = scenario.build_dataset()
+    model = scenario.build_model()
+    load_model_into(model, args.model)
+    config = ExtractionConfig.bwcu(
+        model.num_extraction_units(), theta=args.theta
+    )
+    detector = PtolemyDetector(model, config, seed=scenario.seed)
+    print("profiling canary class paths...")
+    class_paths = detector.profile(
+        dataset.x_train, dataset.y_train, max_per_class=args.max_per_class
+    )
+    print(f"profiled {class_paths.num_classes} classes, "
+          f"{class_paths.storage_bytes()} bytes of canary paths")
+    if args.fit_attack:
+        from repro.attacks import STANDARD_ATTACKS
+
+        attack = STANDARD_ATTACKS[args.fit_attack]()
+        adv = attack.generate(
+            model, dataset.x_train[:40], dataset.y_train[:40]
+        ).x_adv
+        detector.fit_classifier(dataset.x_train[40:80], adv)
+        print(f"fitted classifier against {args.fit_attack}")
+    save_detector(detector, args.output)
+    print(f"saved detector to {args.output}")
+
+
+def cmd_detect(args) -> None:
+    """Score clean test inputs with a saved detector."""
+    from repro.core import load_detector
+    from repro.nn import load_model_into
+
+    scenario = _build_scenario(args.scenario)
+    dataset = scenario.build_dataset()
+    model = scenario.build_model()
+    load_model_into(model, args.model)
+    detector = load_detector(model, args.detector)
+    flagged = 0
+    for i in range(min(args.count, len(dataset.x_test))):
+        outcome = detector.detect(dataset.x_test[i : i + 1])
+        flagged += outcome.is_adversarial
+        print(f"input {i}: class={outcome.predicted_class} "
+              f"score={outcome.score:.2f} "
+              f"{'ADVERSARIAL' if outcome.is_adversarial else 'benign'}")
+    print(f"\nflagged {flagged}/{min(args.count, len(dataset.x_test))} "
+          f"clean inputs (false positives)")
+
+
+def cmd_cost(args) -> None:
+    """Print the modelled hardware cost of a variant."""
+    from repro.eval import Workbench
+
+    workbench = Workbench.get(args.scenario)
+    cost = workbench.variant_cost(args.variant, theta=args.theta)
+    print(f"{args.variant} on {args.scenario}:")
+    print(f"  latency overhead : {cost.latency_overhead:.2f}x")
+    print(f"  energy overhead  : {cost.energy_overhead:.2f}x")
+    if cost.dram:
+        print(f"  extra DRAM space : {cost.dram.space_bytes / 1024:.1f} KiB")
+
+
+def cmd_compile(args) -> None:
+    """Compile a BwCu program and print its assembly."""
+    from repro.compiler import MemoryMap, compile_bwcu
+    from repro.core import ExtractionConfig
+    from repro.eval import Workbench
+
+    workbench = Workbench.get(args.scenario)
+    model = workbench.model
+    config = ExtractionConfig.bwcu(
+        model.num_extraction_units(), theta=args.theta
+    )
+    model.forward(workbench.dataset.x_test[:1])
+    mem_map = MemoryMap(model, config)
+    program = compile_bwcu(model, config, mem_map,
+                           recompute=args.recompute)
+    print(f"; {len(program)} instructions, {program.size_bytes} bytes")
+    print(program)
+
+
+def cmd_area(args) -> None:
+    """Print the hardware area report."""
+    from repro.hw import DEFAULT_HW, area_report
+
+    hw = DEFAULT_HW
+    if args.bits == 8:
+        hw = hw.with_8bit()
+    if args.array:
+        hw = hw.with_array(args.array, args.array)
+    report = area_report(hw)
+    for key, value in report.breakdown().items():
+        print(f"  {key:20s}: {value:.3f}")
+
+
+def cmd_corrupt(args) -> None:
+    """Sweep natural corruptions over a scenario's test set."""
+    from repro.data import corruption_sweep
+    from repro.eval import Workbench, render_table
+
+    workbench = Workbench.get(args.scenario)
+    frames = workbench.dataset.x_test[: args.count]
+    preds_clean = np.argmax(workbench.model.forward(frames), axis=1)
+    rows = []
+    for result in corruption_sweep(frames, severities=tuple(args.severities)):
+        preds = np.argmax(workbench.model.forward(result.images), axis=1)
+        flipped = int((preds != preds_clean).sum())
+        rows.append((result.name, result.severity, result.mse,
+                     f"{flipped}/{len(frames)}"))
+    print(render_table(
+        f"corruption sweep on {args.scenario} ({args.count} frames)",
+        ["corruption", "severity", "MSE", "prediction flips"],
+        rows, float_fmt="{:.4f}",
+    ))
+
+
+def cmd_monitor(args) -> None:
+    """Deploy an InferenceMonitor and stream mixed traffic."""
+    from repro.core import InferenceMonitor
+    from repro.eval import Workbench, render_table
+
+    workbench = Workbench.get(args.scenario)
+    detector = workbench.detector("FwAb" if args.fast else "BwCu")
+    calibration = workbench.dataset.x_test[-30:]
+    monitor = InferenceMonitor.deploy(
+        detector, calibration, target_fpr=args.fpr
+    )
+    print(f"deployed: threshold={monitor.threshold:.2f} "
+          f"(target FPR {args.fpr})")
+    adv = workbench.attack_eval(args.attack).x_adv
+    benign = workbench.eval_benign
+    rng = np.random.default_rng(0)
+    rows = []
+    for i in range(args.count):
+        is_attack = rng.random() < args.attack_rate
+        pool = adv if is_attack else benign
+        idx = int(rng.integers(0, len(pool)))
+        decision = monitor.submit(pool[idx : idx + 1])
+        rows.append((
+            i, "attack" if is_attack else "benign",
+            f"{decision.score:.2f}",
+            "accept" if decision.accepted else "REJECT",
+        ))
+    print(render_table(
+        "streamed traffic", ["frame", "truth", "score", "action"], rows,
+    ))
+    stats = monitor.stats()
+    print(f"\nserved={stats.served} rejected={stats.rejected} "
+          f"rolling rejection rate={stats.rejection_rate:.2f}")
+
+
+def cmd_explain(args) -> None:
+    """Print saliency + divergence for a benign/attacked pair."""
+    from repro.core import divergence_report, input_saliency
+    from repro.eval import Workbench, heatmap, render_table
+
+    workbench = Workbench.get(args.scenario)
+    detector = workbench.detector("BwCu")
+    frame = workbench.dataset.x_test[args.index : args.index + 1]
+    adv = workbench.attack_eval(args.attack).x_adv[args.index : args.index + 1]
+    shape = workbench.dataset.input_shape
+
+    for label, x in (("benign", frame), ("adversarial", adv)):
+        result = detector.extractor.extract(x)
+        saliency = input_saliency(result, shape)
+        print(heatmap(
+            f"{label} input saliency (class {result.predicted_class})",
+            saliency.tolist(),
+        ))
+        if result.predicted_class in detector.class_paths:
+            canary = detector.class_paths.path_for(result.predicted_class)
+            rows = [
+                (d.name, d.similarity, d.path_ones, d.canary_ones)
+                for d in divergence_report(result.path, canary)[: args.top]
+            ]
+            print(render_table(
+                f"{label}: taps most divergent from the class canary",
+                ["layer", "similarity", "path ones", "canary ones"],
+                rows,
+            ))
+        print()
+
+
+def cmd_defend(args) -> None:
+    """Adversarially retrain, re-profile Ptolemy, report coverage."""
+    from repro.attacks import STANDARD_ATTACKS
+    from repro.core import ExtractionConfig, PtolemyDetector, calibrate_phi
+    from repro.defenses import (
+        AdversarialTrainConfig,
+        adversarial_retrain,
+        evaluate_combined_defense,
+        robust_accuracy,
+    )
+    from repro.eval import render_table
+    from repro.nn import train_classifier
+
+    scenario = _build_scenario(args.scenario)
+    dataset = scenario.build_dataset()
+    model = scenario.build_model()
+    attack = STANDARD_ATTACKS[args.attack]()
+    print(f"training {scenario.name}...")
+    train_classifier(
+        model, dataset.x_train, dataset.y_train, scenario.train_config()
+    )
+    n = min(30, len(dataset.x_test) // 3)
+    x_eval, y_eval = dataset.x_test[:n], dataset.y_test[:n]
+    before = robust_accuracy(model, x_eval, y_eval, attack)
+    print(f"robust accuracy before retraining: {before:.3f}")
+
+    print(f"adversarial retraining ({args.epochs} epochs, {args.attack})...")
+    adversarial_retrain(
+        model, dataset.x_train, dataset.y_train, attack,
+        AdversarialTrainConfig(epochs=args.epochs, seed=scenario.seed),
+    )
+    after = robust_accuracy(model, x_eval, y_eval, attack)
+    print(f"robust accuracy after retraining : {after:.3f}")
+
+    print("re-profiling Ptolemy on the retrained weights...")
+    config = calibrate_phi(
+        model, ExtractionConfig.fwab(model.num_extraction_units()),
+        dataset.x_train[:4], quantile=0.95,
+    )
+    detector = PtolemyDetector(model, config, n_trees=60, seed=scenario.seed)
+    detector.profile(dataset.x_train, dataset.y_train, max_per_class=20)
+    attempts = attack.generate(
+        model, dataset.x_train[:90], dataset.y_train[:90]
+    )
+    detector.fit_classifier(
+        dataset.x_test[2 * n : 3 * n], attempts.x_adv[attempts.success]
+    )
+    adv_eval = attack.generate(model, x_eval, y_eval).x_adv
+    report = evaluate_combined_defense(
+        model, detector, adv_eval, y_eval, dataset.x_test[n : 2 * n]
+    )
+    print(render_table(
+        "combined coverage over attack traffic",
+        ["quantity", "value"],
+        [
+            ("handled by retrained model", f"{report.model_correct_rate:.3f}"),
+            ("flagged by Ptolemy", f"{report.detector_flag_rate:.3f}"),
+            ("handled combined", f"{report.handled_combined:.3f}"),
+            ("benign false alarms", f"{report.benign_false_alarm_rate:.3f}"),
+        ],
+    ))
+
+
+def cmd_scenarios(args) -> None:
+    """List the named evaluation scenarios."""
+    from repro.eval import SCENARIOS
+
+    for name, scenario in SCENARIOS.items():
+        print(f"  {name:22s} {scenario.model_builder.__name__} "
+              f"x{scenario.num_classes} classes, {scenario.epochs} epochs")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Ptolemy reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="train a scenario model")
+    p.add_argument("scenario")
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--output", default="model.npz")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("profile", help="profile class paths for a model")
+    p.add_argument("scenario")
+    p.add_argument("--model", required=True)
+    p.add_argument("--theta", type=float, default=0.5)
+    p.add_argument("--max-per-class", type=int, default=30)
+    p.add_argument("--fit-attack", choices=["bim", "fgsm", "deepfool",
+                                            "cwl2", "jsma"], default="bim")
+    p.add_argument("--output", default="detector")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("detect", help="run detection on clean test inputs")
+    p.add_argument("scenario")
+    p.add_argument("--model", required=True)
+    p.add_argument("--detector", required=True)
+    p.add_argument("--count", type=int, default=10)
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("cost", help="modelled hardware cost of a variant")
+    p.add_argument("scenario")
+    p.add_argument("--variant", default="FwAb",
+                   choices=["BwCu", "BwAb", "FwAb", "FwCu", "Hybrid"])
+    p.add_argument("--theta", type=float, default=0.5)
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser("compile", help="compile and print a BwCu program")
+    p.add_argument("scenario")
+    p.add_argument("--theta", type=float, default=0.5)
+    p.add_argument("--recompute", action="store_true")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("area", help="hardware area report")
+    p.add_argument("--bits", type=int, default=16, choices=[8, 16])
+    p.add_argument("--array", type=int, default=0)
+    p.set_defaults(func=cmd_area)
+
+    p = sub.add_parser("corrupt", help="natural-corruption sweep")
+    p.add_argument("scenario")
+    p.add_argument("--count", type=int, default=20)
+    p.add_argument("--severities", type=int, nargs="+", default=[1, 3, 5])
+    p.set_defaults(func=cmd_corrupt)
+
+    p = sub.add_parser("monitor", help="deploy a monitor, stream traffic")
+    p.add_argument("scenario")
+    p.add_argument("--count", type=int, default=12)
+    p.add_argument("--fpr", type=float, default=0.1)
+    p.add_argument("--attack", choices=["bim", "fgsm", "deepfool",
+                                        "cwl2", "jsma"], default="bim")
+    p.add_argument("--attack-rate", type=float, default=0.33)
+    p.add_argument("--fast", action="store_true",
+                   help="use the low-latency FwAb variant")
+    p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser("explain", help="saliency + divergence explanation")
+    p.add_argument("scenario")
+    p.add_argument("--index", type=int, default=0)
+    p.add_argument("--attack", choices=["bim", "fgsm", "deepfool",
+                                        "cwl2", "jsma"], default="bim")
+    p.add_argument("--top", type=int, default=4)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "defend", help="adversarial retraining + re-profiled Ptolemy"
+    )
+    p.add_argument("scenario")
+    p.add_argument("--attack", choices=["bim", "fgsm", "deepfool",
+                                        "cwl2", "jsma"], default="fgsm")
+    p.add_argument("--epochs", type=int, default=4)
+    p.set_defaults(func=cmd_defend)
+
+    p = sub.add_parser("scenarios", help="list named scenarios")
+    p.set_defaults(func=cmd_scenarios)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

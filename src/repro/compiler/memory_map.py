@@ -1,0 +1,121 @@
+"""Static memory layout for compiled detection programs.
+
+The compiler statically allocates every buffer the detection program
+touches (possible because, as the paper notes in Sec. IV-B, compute
+and memory behaviour of both inference and detection are known at
+compile time).  Mask regions for the extracted taps are laid out
+contiguously in layout order so the activation path is a single
+region the ``cls`` instruction can scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.config import Direction, ExtractionConfig
+from repro.nn.graph import Graph
+
+__all__ = ["MemoryMap"]
+
+
+@dataclass
+class Region:
+    """A named, contiguous range of memory words."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class MemoryMap:
+    """Allocates word-addressed regions for one (model, config) pair.
+
+    Must be built after a model warm-up forward pass (feature-map
+    shapes must be known).
+    """
+
+    def __init__(self, model: Graph, config: ExtractionConfig,
+                 base: int = 16):
+        self.model = model
+        self.config = config
+        self.units = model.extraction_units()
+        self._next = base
+        self.regions: Dict[str, Region] = {}
+
+        out_sizes = [n.module.output_feature_size for n in self.units]
+        in_sizes = [n.module.input_feature_size for n in self.units]
+        rf_sizes = [n.module.nominal_rf_size() for n in self.units]
+
+        # feature-map value buffers (written by inf, read by findneuron)
+        for i, size in enumerate(out_sizes):
+            self._alloc(f"ofmap{i}", size)
+        # weight-region handles (not materialised; operand fidelity only)
+        for i in range(len(self.units)):
+            self._alloc(f"weights{i}", 0)
+        # activation-path mask regions, contiguous in layout order
+        extracted = config.extracted_indices()
+        first_tap = None
+        for i in extracted:
+            size = (
+                in_sizes[i]
+                if config.direction is Direction.BACKWARD
+                else out_sizes[i]
+            )
+            region = self._alloc(f"mask{i}", size)
+            if first_tap is None:
+                first_tap = region
+        assert first_tap is not None
+        self.path_base = first_tap.base
+        self.path_bits = sum(
+            self.regions[f"mask{i}"].size for i in extracted
+        )
+        # seed mask over the final logits feature map (backward start)
+        self._alloc("seed", out_sizes[-1])
+        # scratch: psum pair lists (count + 2N words) and index list
+        max_rf = max(rf_sizes)
+        self._alloc("psum_raw", 1 + 2 * max_rf)
+        self._alloc("psum_sorted", 1 + 2 * max_rf)
+        self._alloc("implist", 1 + max(in_sizes))
+        # canary class path (count-prefixed) + result word
+        self._alloc("classpath", 1 + self.path_bits)
+        self._alloc("result", 1)
+
+    def _alloc(self, name: str, size: int) -> Region:
+        region = Region(name, self._next, size)
+        self.regions[name] = region
+        self._next += size
+        return region
+
+    # -- lookups ----------------------------------------------------------
+    def base(self, name: str) -> int:
+        return self.regions[name].base
+
+    def ofmap(self, unit: int) -> int:
+        return self.base(f"ofmap{unit}")
+
+    def mask(self, unit: int) -> int:
+        return self.base(f"mask{unit}")
+
+    def output_mask(self, unit: int) -> int:
+        """Mask region covering unit ``unit``'s *output* feature map in a
+        backward program: the input mask of the next extracted unit, or
+        the seed region for the final unit."""
+        if unit == len(self.units) - 1:
+            return self.base("seed")
+        return self.mask(unit + 1)
+
+    @property
+    def total_words(self) -> int:
+        return self._next
+
+    def describe(self) -> List[str]:
+        return [
+            f"{r.base:6d}..{r.end - 1:6d}  {r.name} ({r.size} words)"
+            for r in self.regions.values()
+            if r.size
+        ]

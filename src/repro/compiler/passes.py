@@ -1,0 +1,121 @@
+"""Compiler optimisation passes (Sec. IV-B).
+
+Three optimisations, all decided statically:
+
+* **Layer-level pipelining** (Fig. 7a) — for forward extraction,
+  reorder so layer j+1's inference overlaps layer j's extraction.
+* **Neuron-level pipelining** (Fig. 7b) — overlap sort(i+1) with
+  acum(i) across important neurons within a layer.
+* **Compute-for-memory trade-off** — re-compute partial sums with
+  ``csps`` for important receptive fields instead of storing all
+  partial sums with ``infsp``.
+
+The passes operate on a block-level schedule (inference vs extraction
+blocks per layer); the timing model consumes the schedule, and for
+forward configs the block order also shows the Fig. 7a interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from repro.core.config import Direction, ExtractionConfig, Thresholding
+
+__all__ = ["Block", "Schedule", "build_schedule", "apply_optimizations"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One schedulable unit of work: a layer's inference or extraction."""
+
+    kind: str  # "inf" | "extract"
+    unit: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.unit})"
+
+
+@dataclass
+class Schedule:
+    """Block order plus the optimisation flags the timing model reads."""
+
+    blocks: List[Block]
+    direction: Direction
+    layer_pipelined: bool = False
+    neuron_pipelined: bool = False
+    recompute: bool = False
+
+    def overlapped_pairs(self) -> List[Tuple[Block, Block]]:
+        """(inference, extraction) block pairs that run concurrently
+        under layer pipelining: inf(j+1) with extract(j)."""
+        if not self.layer_pipelined:
+            return []
+        pairs = []
+        for a, b in zip(self.blocks, self.blocks[1:]):
+            if a.kind == "inf" and b.kind == "extract" and b.unit < a.unit:
+                pairs.append((a, b))
+        return pairs
+
+
+def build_schedule(config: ExtractionConfig, num_units: int) -> Schedule:
+    """Naive (source-order) schedule: all inference, then extraction in
+    the order the algorithm produces it."""
+    blocks = [Block("inf", i) for i in range(num_units)]
+    extracted = config.extracted_indices()
+    if config.direction is Direction.BACKWARD:
+        blocks += [Block("extract", i) for i in reversed(extracted)]
+    else:
+        blocks += [Block("extract", i) for i in extracted]
+    return Schedule(blocks, config.direction)
+
+
+def _layer_pipeline(schedule: Schedule) -> Schedule:
+    """Fig. 7a: interleave inf(j+1) with extract(j) for forward configs."""
+    if schedule.direction is not Direction.FORWARD:
+        return schedule
+    inf_blocks = [b for b in schedule.blocks if b.kind == "inf"]
+    ext_blocks = {b.unit: b for b in schedule.blocks if b.kind == "extract"}
+    interleaved: List[Block] = []
+    for inf in inf_blocks:
+        interleaved.append(inf)
+        prev = inf.unit - 1
+        if prev in ext_blocks:
+            interleaved.append(ext_blocks.pop(prev))
+    interleaved.extend(ext_blocks.values())  # the final layer's extraction
+    return replace(schedule, blocks=interleaved, layer_pipelined=True)
+
+
+def _wants_recompute(config: ExtractionConfig) -> bool:
+    """Recompute applies where cumulative thresholds would otherwise
+    store every partial sum (Sec. IV-B: <5% are ever read back)."""
+    return config.direction is Direction.BACKWARD and any(
+        spec.extract and spec.mechanism is Thresholding.CUMULATIVE
+        for spec in config.layers
+    )
+
+
+def apply_optimizations(
+    config: ExtractionConfig,
+    num_units: int,
+    layer_pipelining: bool = True,
+    neuron_pipelining: bool = True,
+    recompute: bool = False,
+) -> Schedule:
+    """Build the optimised schedule for a config.
+
+    Pipelining is on by default (Sec. VI-B).  ``recompute`` defaults to
+    off because the paper's headline BwCu latency/energy numbers
+    (Fig. 11: 7.7x energy on AlexNet, 105.9x on ResNet18) are only
+    consistent with the store-all-partial-sums regime; the
+    compute-for-memory trade-off is evaluated separately as the
+    DRAM-space optimisation of Sec. VII-A and in the recompute
+    ablation benchmark."""
+    schedule = build_schedule(config, num_units)
+    if layer_pipelining:
+        schedule = _layer_pipeline(schedule)
+    if neuron_pipelining:
+        schedule.neuron_pipelined = True
+    if recompute and _wants_recompute(config):
+        schedule.recompute = True
+    return schedule

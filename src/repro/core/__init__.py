@@ -1,0 +1,85 @@
+"""repro.core — the Ptolemy detection framework (the paper's primary
+contribution): path extraction, canary class paths, similarity, and
+the random-forest adversarial classifier."""
+
+from repro.core.config import Direction, ExtractionConfig, LayerSpec, Thresholding
+from repro.core.bitmask import Bitmask
+from repro.core.path import (
+    ActivationPath,
+    ClassPath,
+    PathLayout,
+    path_similarity,
+    per_tap_similarity,
+    symmetric_similarity,
+)
+from repro.core.trace import ExtractionTrace, UnitTrace
+from repro.core.extraction import (
+    ExtractionResult,
+    PathExtractor,
+    calibrate_phi,
+)
+from repro.core.profiling import ClassPathSet, profile_class_paths, saturation_curve
+from repro.core.metrics import DetectionReport, detection_report, roc_auc, roc_curve
+from repro.core.classifier import DecisionTree, RandomForest
+from repro.core.detector import DetectionOutcome, PtolemyDetector
+from repro.core.explain import TapDivergence, divergence_report, input_saliency
+from repro.core.monitor import (
+    InferenceMonitor,
+    MonitorDecision,
+    MonitorStats,
+    calibrate_threshold,
+)
+from repro.core.interface import DetectionProgram, fig6_program
+from repro.core.serialization import (
+    config_from_dict,
+    config_to_dict,
+    load_class_paths,
+    load_detector,
+    save_class_paths,
+    save_detector,
+)
+
+__all__ = [
+    "Direction",
+    "ExtractionConfig",
+    "LayerSpec",
+    "Thresholding",
+    "Bitmask",
+    "ActivationPath",
+    "ClassPath",
+    "PathLayout",
+    "path_similarity",
+    "per_tap_similarity",
+    "symmetric_similarity",
+    "ExtractionTrace",
+    "UnitTrace",
+    "ExtractionResult",
+    "PathExtractor",
+    "calibrate_phi",
+    "ClassPathSet",
+    "profile_class_paths",
+    "saturation_curve",
+    "DetectionReport",
+    "detection_report",
+    "roc_auc",
+    "roc_curve",
+    "DecisionTree",
+    "RandomForest",
+    "DetectionOutcome",
+    "PtolemyDetector",
+    "TapDivergence",
+    "divergence_report",
+    "input_saliency",
+    "InferenceMonitor",
+    "MonitorDecision",
+    "MonitorStats",
+    "calibrate_threshold",
+    "DetectionProgram",
+    "fig6_program",
+    "save_class_paths",
+    "load_class_paths",
+    "config_to_dict",
+    "config_from_dict",
+    "save_detector",
+    "load_detector",
+]

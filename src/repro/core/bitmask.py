@@ -1,0 +1,136 @@
+"""Packed bit-vector used to represent activation and class paths.
+
+The paper represents a path as a bitmask where bit ``m(i, j)`` marks
+neuron ``j`` of layer ``i`` as important (Sec. III-A).  We pack bits
+8-per-byte (``numpy.packbits``) so class paths for all classes of a
+model stay small, and implement the three operations the detection
+algorithm needs: OR (class-path aggregation), AND + popcount
+(similarity).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Bitmask"]
+
+
+class Bitmask:
+    """Fixed-length packed bit vector."""
+
+    __slots__ = ("length", "_bits")
+
+    def __init__(self, length: int, bits: np.ndarray | None = None):
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self.length = length
+        nbytes = (length + 7) // 8
+        if bits is None:
+            self._bits = np.zeros(nbytes, dtype=np.uint8)
+        else:
+            bits = np.asarray(bits, dtype=np.uint8)
+            if bits.shape != (nbytes,):
+                raise ValueError(
+                    f"bits buffer has shape {bits.shape}, expected ({nbytes},)"
+                )
+            self._bits = bits.copy()
+            self._mask_tail()
+
+    def _mask_tail(self) -> None:
+        """Zero any bits beyond ``length`` in the final byte."""
+        extra = self._bits.size * 8 - self.length
+        if extra:
+            # packbits order is big-endian within a byte: bit k of the
+            # vector is bit (7 - k%8) of byte k//8, so the tail padding
+            # occupies the *lowest* bits of the final byte.
+            self._bits[-1] &= (0xFF << extra) & 0xFF
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_bool(cls, flags: np.ndarray) -> "Bitmask":
+        flags = np.asarray(flags, dtype=bool).ravel()
+        mask = cls(flags.size)
+        mask._bits = np.packbits(flags)
+        return mask
+
+    @classmethod
+    def from_positions(cls, length: int, positions: Iterable[int]) -> "Bitmask":
+        flags = np.zeros(length, dtype=bool)
+        pos = np.asarray(list(positions), dtype=np.int64)
+        if pos.size:
+            if pos.min() < 0 or pos.max() >= length:
+                raise IndexError("position out of range")
+            flags[pos] = True
+        return cls.from_bool(flags)
+
+    # -- queries ----------------------------------------------------------
+    def to_bool(self) -> np.ndarray:
+        return np.unpackbits(self._bits, count=self.length).astype(bool)
+
+    def positions(self) -> np.ndarray:
+        return np.flatnonzero(self.to_bool())
+
+    def popcount(self) -> int:
+        """Number of set bits (``||P||_1`` in the paper)."""
+        return int(np.unpackbits(self._bits, count=self.length).sum())
+
+    def get(self, index: int) -> bool:
+        if not 0 <= index < self.length:
+            raise IndexError(index)
+        byte, offset = divmod(index, 8)
+        return bool((self._bits[byte] >> (7 - offset)) & 1)
+
+    # -- bit algebra --------------------------------------------------------
+    def _check(self, other: "Bitmask") -> None:
+        if not isinstance(other, Bitmask):
+            raise TypeError("expected a Bitmask")
+        if other.length != self.length:
+            raise ValueError(
+                f"length mismatch: {self.length} vs {other.length}"
+            )
+
+    def __or__(self, other: "Bitmask") -> "Bitmask":
+        self._check(other)
+        return Bitmask(self.length, self._bits | other._bits)
+
+    def __and__(self, other: "Bitmask") -> "Bitmask":
+        self._check(other)
+        return Bitmask(self.length, self._bits & other._bits)
+
+    def __xor__(self, other: "Bitmask") -> "Bitmask":
+        self._check(other)
+        return Bitmask(self.length, self._bits ^ other._bits)
+
+    def ior(self, other: "Bitmask") -> "Bitmask":
+        """In-place OR (class-path aggregation without reallocating)."""
+        self._check(other)
+        self._bits |= other._bits
+        return self
+
+    def intersection_count(self, other: "Bitmask") -> int:
+        """``||A & B||_1`` without materialising the AND mask."""
+        self._check(other)
+        both = np.bitwise_and(self._bits, other._bits)
+        return int(np.unpackbits(both, count=self.length).sum())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Bitmask)
+            and other.length == self.length
+            and np.array_equal(other._bits, self._bits)
+        )
+
+    def __hash__(self):
+        return hash((self.length, self._bits.tobytes()))
+
+    def copy(self) -> "Bitmask":
+        return Bitmask(self.length, self._bits)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bits.nbytes
+
+    def __repr__(self) -> str:
+        return f"Bitmask(length={self.length}, ones={self.popcount()})"

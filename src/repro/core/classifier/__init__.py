@@ -1,0 +1,10 @@
+"""From-scratch random forest (the paper's final classifier, Sec. III-B).
+
+The paper feeds the path similarity into a lightweight random forest
+(100 trees, average depth 12; Sec. V-D) running on the controller MCU.
+"""
+
+from repro.core.classifier.tree import DecisionTree
+from repro.core.classifier.forest import RandomForest
+
+__all__ = ["DecisionTree", "RandomForest"]

@@ -1,0 +1,82 @@
+"""Bagged random forest over :class:`DecisionTree`.
+
+Defaults follow the paper's deployment: 100 trees of average depth ~12,
+totalling roughly 2,000 operations per classification — five orders of
+magnitude below inference, cheap enough for the controller MCU
+(Sec. V-D).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.classifier.tree import DecisionTree
+
+__all__ = ["RandomForest"]
+
+
+class RandomForest:
+    """Binary classifier: average of bootstrap-trained CART trees."""
+
+    def __init__(
+        self,
+        n_trees: int = 100,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: List[DecisionTree] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForest":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y).astype(np.int64)
+        rng = np.random.default_rng(self.seed)
+        n = x.shape[0]
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.ceil(np.sqrt(x.shape[1]))))
+        self.trees = []
+        for _ in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(x[sample], y[sample])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Mean of per-tree leaf probabilities (adversary score)."""
+        if not self.trees:
+            raise RuntimeError("forest is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        probs = np.zeros(x.shape[0])
+        for tree in self.trees:
+            probs += tree.predict_proba(x)
+        return probs / len(self.trees)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)
+
+    def operation_count(self) -> int:
+        """Total comparisons per classification (the paper quotes ~2,000
+        for 100 trees x depth 12)."""
+        return sum(tree.operation_count() for tree in self.trees)
+
+    def average_depth(self) -> float:
+        if not self.trees:
+            return 0.0
+        return float(np.mean([tree.depth for tree in self.trees]))

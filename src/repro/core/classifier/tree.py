@@ -1,0 +1,149 @@
+"""CART decision tree (gini impurity, binary splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _TreeNode:
+    """Internal node (feature/threshold) or leaf (probability)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+    probability: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(positive: int, total: int) -> float:
+    if total == 0:
+        return 0.0
+    p = positive / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree:
+    """Binary classification tree trained with greedy gini splits."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng()
+        self._root: Optional[_TreeNode] = None
+        self.node_count = 0
+        self.depth = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y).astype(np.int64)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        self.node_count = 0
+        self.depth = 0
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        self.node_count += 1
+        self.depth = max(self.depth, depth)
+        node = _TreeNode(probability=float(y.mean()) if y.size else 0.0)
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_samples_leaf
+            or y.min() == y.max()
+        ):
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        n_features = x.shape[1]
+        k = self.max_features or n_features
+        features = self._rng.permutation(n_features)[:k]
+        best = None
+        best_score = np.inf
+        total_pos = int(y.sum())
+        n = y.size
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            pos_left = np.cumsum(ys)
+            counts = np.arange(1, n + 1)
+            # candidate split after row i requires xs[i] < xs[i+1]
+            valid = np.flatnonzero(xs[:-1] < xs[1:])
+            if valid.size == 0:
+                continue
+            left_n = counts[valid]
+            right_n = n - left_n
+            ok = (left_n >= self.min_samples_leaf) & (
+                right_n >= self.min_samples_leaf
+            )
+            valid = valid[ok]
+            if valid.size == 0:
+                continue
+            left_n = counts[valid]
+            right_n = n - left_n
+            left_pos = pos_left[valid]
+            right_pos = total_pos - left_pos
+            p_l = left_pos / left_n
+            p_r = right_pos / right_n
+            gini = (
+                left_n * 2 * p_l * (1 - p_l) + right_n * 2 * p_r * (1 - p_r)
+            ) / n
+            idx = int(np.argmin(gini))
+            if gini[idx] < best_score:
+                best_score = float(gini[idx])
+                row = valid[idx]
+                best = (int(feature), float((xs[row] + xs[row + 1]) / 2.0))
+        parent = _gini(total_pos, n)
+        if best is None or best_score >= parent - 1e-12:
+            return None
+        return best
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(adversarial) for each row of ``x``."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.probability
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)
+
+    def operation_count(self) -> int:
+        """Comparisons on the longest root-to-leaf walk (MCU cost model)."""
+        return self.depth

@@ -1,0 +1,182 @@
+"""End-to-end Ptolemy detector (the online half of Fig. 4).
+
+Pipeline: extract the activation path of an input, compare it to the
+canary path of the *predicted* class, feed the similarity features to a
+random forest, and flag the input as adversarial when the forest's
+score exceeds the decision threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classifier import RandomForest
+from repro.core.config import ExtractionConfig
+from repro.core.extraction import ExtractionResult, PathExtractor
+from repro.core.metrics import roc_auc
+from repro.core.path import path_similarity, per_tap_similarity
+from repro.core.profiling import ClassPathSet, profile_class_paths
+from repro.nn.graph import Graph
+
+__all__ = ["DetectionOutcome", "PtolemyDetector"]
+
+
+@dataclass
+class DetectionOutcome:
+    """Everything the detector derives from one input."""
+
+    is_adversarial: bool
+    score: float
+    predicted_class: int
+    similarity: float
+    extraction: ExtractionResult
+
+
+class PtolemyDetector:
+    """Offline-profiled, online adversarial-input detector.
+
+    Parameters
+    ----------
+    model:
+        The protected network.
+    config:
+        Extraction recipe (direction / thresholding / selective knobs).
+    feature_mode:
+        ``"scalar"`` feeds only the paper's similarity ``S`` to the
+        classifier; ``"per_layer"`` (default) additionally feeds the
+        per-tap similarity vector, which is strictly richer and equally
+        cheap to compute in hardware (one popcount per tap).
+    """
+
+    def __init__(
+        self,
+        model: Graph,
+        config: ExtractionConfig,
+        feature_mode: str = "per_layer",
+        n_trees: int = 100,
+        max_depth: int = 12,
+        seed: int = 0,
+    ):
+        if feature_mode not in ("scalar", "per_layer"):
+            raise ValueError("feature_mode must be 'scalar' or 'per_layer'")
+        self.model = model
+        self.config = config
+        self.feature_mode = feature_mode
+        self.extractor = PathExtractor(model, config)
+        self.class_paths: Optional[ClassPathSet] = None
+        self.forest = RandomForest(n_trees=n_trees, max_depth=max_depth, seed=seed)
+        self._fitted = False
+        self.last_trace = None
+
+    # -- offline ----------------------------------------------------------
+    def profile(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        max_per_class: Optional[int] = None,
+    ) -> ClassPathSet:
+        """Build the canary class paths from (correctly predicted)
+        training samples."""
+        self.class_paths = profile_class_paths(
+            self.extractor, x_train, y_train, max_per_class
+        )
+        return self.class_paths
+
+    def fit_classifier(
+        self, x_benign: np.ndarray, x_adversarial: np.ndarray
+    ) -> "PtolemyDetector":
+        """Train the random forest on labelled benign/adversarial sets."""
+        if self.class_paths is None:
+            raise RuntimeError("call profile() before fit_classifier()")
+        feats: List[np.ndarray] = []
+        labels: List[int] = []
+        for x in x_benign:
+            feats.append(self.features_for(x[None])[0])
+            labels.append(0)
+        for x in x_adversarial:
+            feats.append(self.features_for(x[None])[0])
+            labels.append(1)
+        self.forest.fit(np.vstack(feats), np.asarray(labels))
+        self._fitted = True
+        return self
+
+    # -- online ----------------------------------------------------
+    def features_for(
+        self, x: np.ndarray, reuse_forward: bool = False
+    ) -> Tuple[np.ndarray, ExtractionResult]:
+        """Similarity feature vector for one input (batch of one).
+
+        ``reuse_forward=True`` extracts from the model's existing
+        activation state instead of re-running inference — required
+        when that state was produced specially (e.g. by fault
+        injection, :func:`repro.eval.forward_with_fault`).
+        """
+        if self.class_paths is None:
+            raise RuntimeError("detector has no class paths; call profile()")
+        result = self.extractor.extract(x, reuse_forward=reuse_forward)
+        self.last_trace = result.trace
+        if result.predicted_class in self.class_paths:
+            canary = self.class_paths.path_for(result.predicted_class)
+            sim = path_similarity(result.path, canary)
+            if self.feature_mode == "per_layer":
+                per_tap = per_tap_similarity(result.path, canary)
+                features = np.concatenate([[sim], per_tap])
+            else:
+                features = np.array([sim])
+        else:
+            # the predicted class was never (correctly) seen in profiling:
+            # maximally suspicious
+            width = 1 + (
+                self.extractor.layout.num_taps
+                if self.feature_mode == "per_layer"
+                else 0
+            )
+            sim = 0.0
+            features = np.zeros(width)
+        return features, result
+
+    def similarity(self, x: np.ndarray) -> float:
+        """The paper's scalar similarity ``S`` for one input."""
+        features, _ = self.features_for(x)
+        return float(features[0])
+
+    def score(self, x: np.ndarray) -> float:
+        """Adversary probability from the random forest."""
+        if not self._fitted:
+            raise RuntimeError("classifier not fitted; call fit_classifier()")
+        features, _ = self.features_for(x)
+        return float(self.forest.predict_proba(features[None])[0])
+
+    def detect(self, x: np.ndarray, threshold: float = 0.5,
+               reuse_forward: bool = False) -> DetectionOutcome:
+        """Full online detection of one input."""
+        if not self._fitted:
+            raise RuntimeError("classifier not fitted; call fit_classifier()")
+        features, result = self.features_for(x, reuse_forward=reuse_forward)
+        score = float(self.forest.predict_proba(features[None])[0])
+        return DetectionOutcome(
+            is_adversarial=score >= threshold,
+            score=score,
+            predicted_class=result.predicted_class,
+            similarity=float(features[0]),
+            extraction=result,
+        )
+
+    # -- evaluation --------------------------------------------------------
+    def scores_for_set(self, xs: np.ndarray) -> np.ndarray:
+        return np.array([self.score(x[None]) for x in xs])
+
+    def evaluate_auc(
+        self, x_benign: np.ndarray, x_adversarial: np.ndarray
+    ) -> float:
+        """AUC over an evenly-labelled benign/adversarial test set."""
+        scores = np.concatenate(
+            [self.scores_for_set(x_benign), self.scores_for_set(x_adversarial)]
+        )
+        labels = np.concatenate(
+            [np.zeros(len(x_benign)), np.ones(len(x_adversarial))]
+        )
+        return roc_auc(labels, scores)

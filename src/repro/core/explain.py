@@ -1,0 +1,118 @@
+"""Path-based interpretability (the Sec. IX outlook).
+
+The paper closes by noting that "the concepts of important neuron and
+activation path complement existing explainable ML efforts ... and
+could shed new light on interpreting DNNs".  This module turns an
+extracted path into two such explanations:
+
+* :func:`input_saliency` — for backward extraction, tap 0 covers the
+  network's *input* feature map, so its important-neuron bits literally
+  name the input pixels the prediction depended on: a saliency map with
+  no extra computation.
+* :func:`divergence_report` — compares an input's path against its
+  predicted class's canary tap by tap, ranking the layers where the
+  input left the canonical path.  For a flagged input this answers
+  "where in the network did it go wrong?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import Direction
+from repro.core.extraction import ExtractionResult
+from repro.core.path import ActivationPath, per_tap_similarity
+
+__all__ = ["TapDivergence", "divergence_report", "input_saliency"]
+
+
+def input_saliency(
+    result: ExtractionResult,
+    input_shape: Sequence[int],
+    collapse_channels: bool = True,
+) -> np.ndarray:
+    """Pixel-level saliency from the first tap of a backward path.
+
+    Parameters
+    ----------
+    result:
+        An extraction produced by a *backward* config whose extracted
+        range includes unit 0 (so tap 0 is the input feature map).
+    input_shape:
+        The model's input shape ``(C, H, W)`` without the batch axis.
+    collapse_channels:
+        Reduce the channel axis with ``max`` and return ``(H, W)``;
+        otherwise return the full ``(C, H, W)`` indicator array.
+
+    Returns
+    -------
+    A float array with 1.0 where the pixel is on the activation path.
+    """
+    if result.trace.direction is not Direction.BACKWARD:
+        raise ValueError(
+            "input saliency requires backward extraction (forward taps "
+            "cover output feature maps, not the input)"
+        )
+    extracted = [u.index for u in result.trace.units if u.extracted]
+    if not extracted or min(extracted) != 0:
+        raise ValueError(
+            "input saliency requires extraction to reach unit 0 "
+            "(termination_layer=1 in the paper's 1-based numbering)"
+        )
+    mask = result.path.masks[0]
+    expected = int(np.prod(input_shape))
+    if mask.length != expected:
+        raise ValueError(
+            f"tap 0 has {mask.length} bits but input_shape implies {expected}"
+        )
+    saliency = mask.to_bool().astype(np.float64).reshape(tuple(input_shape))
+    if collapse_channels:
+        saliency = saliency.max(axis=0)
+    return saliency
+
+
+@dataclass(frozen=True)
+class TapDivergence:
+    """How far one tap of an input's path strayed from the canary."""
+
+    tap: int
+    name: str
+    similarity: float
+    path_ones: int
+    canary_ones: int
+
+    @property
+    def divergence(self) -> float:
+        """1 - similarity: the fraction of this tap's important neurons
+        that are *outside* the canary path."""
+        return 1.0 - self.similarity
+
+
+def divergence_report(
+    path: ActivationPath,
+    canary: ActivationPath,
+    worst_first: bool = True,
+) -> List[TapDivergence]:
+    """Per-tap divergence of an input's path from a canary class path.
+
+    ``worst_first=True`` sorts by descending divergence, so the first
+    entry is the layer where the input most left the canonical path —
+    the layer to inspect when triaging a flagged input.
+    """
+    sims = per_tap_similarity(path, canary)
+    rows = [
+        TapDivergence(
+            tap=i,
+            name=path.layout.tap_names[i],
+            similarity=float(sims[i]),
+            path_ones=path.masks[i].popcount(),
+            canary_ones=canary.masks[i].popcount(),
+        )
+        for i in range(path.layout.num_taps)
+    ]
+    if worst_first:
+        rows.sort(key=lambda r: (-r.divergence, r.tap))
+    return rows

@@ -1,0 +1,110 @@
+"""The Ptolemy programming interface (Sec. III-D, Fig. 6).
+
+Programmers express a detection algorithm as a sequence of per-layer
+``ExtractImptNeurons`` calls; the builder validates the paper's rules
+(direction uniformity across the network) and lowers the program to an
+:class:`~repro.core.config.ExtractionConfig`, which both the software
+extractor and the compiler consume.
+
+Example (the exact algorithm of Fig. 6 — forward extraction on the
+last three layers, cumulative threshold only on the final layer)::
+
+    program = DetectionProgram(num_layers=model.num_extraction_units())
+    n = program.num_layers
+    for layer in range(n - 3, n):
+        if layer != n - 1:
+            program.extract_important_neurons(layer, forward=True,
+                                              absolute=True, threshold=phi)
+        else:
+            program.extract_important_neurons(layer, forward=True,
+                                              absolute=False, threshold=theta)
+    config = program.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import (
+    Direction,
+    ExtractionConfig,
+    LayerSpec,
+    Thresholding,
+)
+
+__all__ = ["DetectionProgram", "fig6_program"]
+
+
+class DetectionProgram:
+    """Builder mirroring the Fig. 6 programming interface."""
+
+    def __init__(self, num_layers: int):
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.num_layers = num_layers
+        self._specs: Dict[int, LayerSpec] = {}
+        self._direction: Optional[Direction] = None
+
+    def extract_important_neurons(
+        self,
+        layer: int,
+        forward: bool,
+        absolute: bool,
+        threshold: float,
+    ) -> "DetectionProgram":
+        """Declare extraction for one layer (0-based index).
+
+        Mirrors ``ExtractImptNeurons(direction, mechanism, threshold, L)``.
+        Mixing forward and backward extraction in one network is
+        rejected, as in the paper (Sec. III-D).
+        """
+        if not 0 <= layer < self.num_layers:
+            raise ValueError(
+                f"layer must be in 0..{self.num_layers - 1}, got {layer}"
+            )
+        if layer in self._specs:
+            raise ValueError(f"layer {layer} already configured")
+        direction = Direction.FORWARD if forward else Direction.BACKWARD
+        if self._direction is None:
+            self._direction = direction
+        elif direction is not self._direction:
+            raise ValueError(
+                "backward and forward extraction cannot be combined in one "
+                "network (Ptolemy Sec. III-D)"
+            )
+        mechanism = Thresholding.ABSOLUTE if absolute else Thresholding.CUMULATIVE
+        self._specs[layer] = LayerSpec(mechanism, threshold, extract=True)
+        return self
+
+    def build(self) -> ExtractionConfig:
+        """Lower the program to an ExtractionConfig."""
+        if not self._specs:
+            raise ValueError("program extracts no layers")
+        layers: List[LayerSpec] = []
+        for i in range(self.num_layers):
+            spec = self._specs.get(i)
+            if spec is None:
+                # unconfigured layers are skipped (selective extraction)
+                layers.append(
+                    LayerSpec(Thresholding.ABSOLUTE, 0.0, extract=False)
+                )
+            else:
+                layers.append(spec)
+        assert self._direction is not None
+        return ExtractionConfig(self._direction, layers)
+
+
+def fig6_program(
+    num_layers: int, theta: float = 0.5, phi: float = 0.0
+) -> ExtractionConfig:
+    """The exact algorithm shown in Fig. 6: forward extraction on the
+    last three layers; absolute thresholds except the final layer,
+    which uses a cumulative threshold."""
+    program = DetectionProgram(num_layers)
+    for layer in range(max(num_layers - 3, 0), num_layers):
+        last = layer == num_layers - 1
+        program.extract_important_neurons(
+            layer, forward=True, absolute=not last,
+            threshold=theta if last else phi,
+        )
+    return program.build()

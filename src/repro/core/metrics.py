@@ -1,0 +1,81 @@
+"""Detection metrics: ROC curve, AUC, accuracy/FPR at a threshold.
+
+The paper reports the standard area-under-curve (AUC) metric for
+adversarial detection (Sec. VI-A) and, for the DenseNet comparison,
+raw detection accuracy with false-positive rate (Sec. VII-H).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["roc_curve", "roc_auc", "DetectionReport", "detection_report"]
+
+
+def roc_curve(
+    labels: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve for binary ``labels`` (1 = adversarial = positive).
+
+    Returns (fpr, tpr, thresholds), thresholds descending.
+    """
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    if labels.all() or not labels.any():
+        raise ValueError("ROC requires both positive and negative samples")
+    order = np.argsort(-scores, kind="stable")
+    labels = labels[order]
+    scores = scores[order]
+    # collapse ties: evaluate only at distinct score boundaries
+    distinct = np.flatnonzero(np.diff(scores)) if scores.size > 1 else np.array([], dtype=int)
+    cut = np.concatenate([distinct, [labels.size - 1]])
+    tps = np.cumsum(labels)[cut]
+    fps = np.cumsum(~labels)[cut]
+    tpr = tps / labels.sum()
+    fpr = fps / (~labels).sum()
+    fpr = np.concatenate([[0.0], fpr])
+    tpr = np.concatenate([[0.0], tpr])
+    thresholds = np.concatenate([[np.inf], scores[cut]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via trapezoidal integration."""
+    fpr, tpr, _ = roc_curve(labels, scores)
+    # trapezoidal rule (np.trapz was removed in numpy 2.0)
+    return float(np.sum((fpr[1:] - fpr[:-1]) * (tpr[1:] + tpr[:-1]) / 2.0))
+
+
+@dataclass
+class DetectionReport:
+    """Point metrics at a fixed decision threshold."""
+
+    accuracy: float
+    true_positive_rate: float
+    false_positive_rate: float
+    threshold: float
+
+
+def detection_report(
+    labels: np.ndarray, scores: np.ndarray, threshold: float = 0.5
+) -> DetectionReport:
+    """Accuracy / TPR / FPR when flagging ``score >= threshold``."""
+    labels = np.asarray(labels).astype(bool)
+    flagged = np.asarray(scores) >= threshold
+    tp = int((flagged & labels).sum())
+    fp = int((flagged & ~labels).sum())
+    tn = int((~flagged & ~labels).sum())
+    fn = int((~flagged & labels).sum())
+    pos = max(tp + fn, 1)
+    neg = max(fp + tn, 1)
+    return DetectionReport(
+        accuracy=(tp + tn) / labels.size,
+        true_positive_rate=tp / pos,
+        false_positive_rate=fp / neg,
+        threshold=threshold,
+    )

@@ -1,0 +1,193 @@
+"""Inference-time monitoring: deploy a detector behind a model.
+
+The paper's goal is that "applications [can] reject incorrect results
+produced by adversarial attacks during inference".  This module is the
+deployment glue for that: a :class:`InferenceMonitor` wraps a fitted
+:class:`~repro.core.detector.PtolemyDetector`, calibrates its rejection
+threshold to a target false-positive budget on held-out clean data, and
+serves predict-or-reject decisions while keeping rolling statistics an
+operator would watch (rejection rate, score drift).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import DetectionOutcome, PtolemyDetector
+
+__all__ = [
+    "InferenceMonitor",
+    "MonitorDecision",
+    "MonitorStats",
+    "calibrate_threshold",
+]
+
+
+def calibrate_threshold(
+    detector: PtolemyDetector,
+    x_clean: np.ndarray,
+    target_fpr: float = 0.05,
+) -> float:
+    """Pick the smallest decision threshold whose false-positive rate on
+    held-out clean inputs does not exceed ``target_fpr``.
+
+    The calibration set must be *unseen* clean data: inputs that went
+    into :meth:`PtolemyDetector.profile` score optimistically low
+    because they shaped the canary paths themselves.
+    """
+    if not 0.0 <= target_fpr <= 1.0:
+        raise ValueError(f"target_fpr must be in [0, 1], got {target_fpr}")
+    if len(x_clean) == 0:
+        raise ValueError("calibration set is empty")
+    scores = np.sort(detector.scores_for_set(x_clean))
+    # Highest score quantile such that at most target_fpr of clean
+    # scores exceed the threshold.
+    rank = int(np.ceil((1.0 - target_fpr) * len(scores))) - 1
+    rank = min(max(rank, 0), len(scores) - 1)
+    return float(scores[rank]) + 1e-9
+
+
+@dataclass
+class MonitorDecision:
+    """One served request: the model's answer plus the gate's verdict."""
+
+    accepted: bool
+    predicted_class: int
+    score: float
+    similarity: float
+    outcome: DetectionOutcome = field(repr=False)
+
+
+@dataclass
+class MonitorStats:
+    """Rolling operational statistics over the recent request window."""
+
+    window: int
+    served: int
+    rejected: int
+    rejection_rate: float
+    mean_score: float
+    mean_similarity: float
+
+
+class InferenceMonitor:
+    """A protected inference service.
+
+    Parameters
+    ----------
+    detector:
+        A profiled *and* classifier-fitted detector.
+    threshold:
+        Decision threshold; usually produced by
+        :func:`calibrate_threshold`.
+    window:
+        Number of recent decisions kept for :meth:`stats` — the
+        operator-facing rolling view.
+    """
+
+    def __init__(
+        self,
+        detector: PtolemyDetector,
+        threshold: float = 0.5,
+        window: int = 256,
+    ):
+        if window < 1:
+            raise ValueError("window must be positive")
+        if detector.class_paths is None:
+            raise ValueError("detector must be profiled before deployment")
+        if not detector._fitted:
+            raise ValueError("detector classifier must be fitted")
+        self.detector = detector
+        self.threshold = threshold
+        self.window = window
+        self._recent: Deque[MonitorDecision] = deque(maxlen=window)
+        self._served = 0
+        self._rejected = 0
+
+    @classmethod
+    def deploy(
+        cls,
+        detector: PtolemyDetector,
+        x_calibration: np.ndarray,
+        target_fpr: float = 0.05,
+        window: int = 256,
+    ) -> "InferenceMonitor":
+        """Calibrate on held-out clean data and construct in one step."""
+        threshold = calibrate_threshold(detector, x_calibration, target_fpr)
+        return cls(detector, threshold=threshold, window=window)
+
+    # -- serving -------------------------------------------------------
+    def submit(self, x: np.ndarray,
+               reuse_forward: bool = False) -> MonitorDecision:
+        """Serve one input: run inference + detection, gate the result.
+
+        ``reuse_forward=True`` gates the model's *existing* activation
+        state (e.g. after :func:`repro.eval.forward_with_fault`)
+        instead of re-running inference.
+        """
+        outcome = self.detector.detect(x, threshold=self.threshold,
+                                       reuse_forward=reuse_forward)
+        decision = MonitorDecision(
+            accepted=not outcome.is_adversarial,
+            predicted_class=outcome.predicted_class,
+            score=outcome.score,
+            similarity=outcome.similarity,
+            outcome=outcome,
+        )
+        self._recent.append(decision)
+        self._served += 1
+        self._rejected += not decision.accepted
+        return decision
+
+    def submit_batch(self, xs: np.ndarray) -> List[MonitorDecision]:
+        """Serve a batch, one decision per input."""
+        return [self.submit(x[None]) for x in xs]
+
+    # -- operations ---------------------------------------------------
+    @property
+    def served(self) -> int:
+        return self._served
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected
+
+    def stats(self) -> MonitorStats:
+        """Rolling statistics over the most recent ``window`` requests."""
+        recent = list(self._recent)
+        if recent:
+            rejection_rate = sum(not d.accepted for d in recent) / len(recent)
+            mean_score = float(np.mean([d.score for d in recent]))
+            mean_similarity = float(np.mean([d.similarity for d in recent]))
+        else:
+            rejection_rate = 0.0
+            mean_score = 0.0
+            mean_similarity = 0.0
+        return MonitorStats(
+            window=len(recent),
+            served=self._served,
+            rejected=self._rejected,
+            rejection_rate=rejection_rate,
+            mean_score=mean_score,
+            mean_similarity=mean_similarity,
+        )
+
+    def drift_alarm(self, baseline_rate: float, factor: float = 3.0) -> bool:
+        """True when the rolling rejection rate exceeds ``factor`` times
+        the expected baseline — a cheap way to notice that the input
+        distribution changed (a burst of attacks, a failing sensor).
+
+        Requires a full window of observations to avoid small-sample
+        false alarms.
+        """
+        if baseline_rate < 0:
+            raise ValueError("baseline_rate must be non-negative")
+        recent = list(self._recent)
+        if len(recent) < self.window:
+            return False
+        rate = sum(not d.accepted for d in recent) / len(recent)
+        return rate > factor * baseline_rate

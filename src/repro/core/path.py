@@ -1,0 +1,173 @@
+"""Activation paths and class paths (Sec. III-A/III-B).
+
+A :class:`PathLayout` names the taps — one per extracted unit — and
+their sizes; an :class:`ActivationPath` is one bitmask per tap; a
+:class:`ClassPath` is the bitwise-OR aggregate over correctly-predicted
+training inputs of a class:  ``P_c = U_{x in x_c} P(x)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bitmask import Bitmask
+
+__all__ = [
+    "PathLayout",
+    "ActivationPath",
+    "ClassPath",
+    "path_similarity",
+    "per_tap_similarity",
+    "symmetric_similarity",
+]
+
+
+@dataclass(frozen=True)
+class PathLayout:
+    """Names and sizes of the taps making up a path.
+
+    Tap ``i`` corresponds to extracted unit ``i``; for backward
+    extraction its size is the unit's *input* feature-map size, for
+    forward extraction the unit's *output* feature-map size.  Offline
+    profiling and online detection must share the layout (the paper
+    requires matching extraction methods; Fig. 4).
+    """
+
+    tap_names: Tuple[str, ...]
+    tap_sizes: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.tap_names) != len(self.tap_sizes):
+            raise ValueError("tap names/sizes length mismatch")
+        if any(size <= 0 for size in self.tap_sizes):
+            raise ValueError("tap sizes must be positive")
+
+    @property
+    def num_taps(self) -> int:
+        return len(self.tap_names)
+
+    @property
+    def total_bits(self) -> int:
+        return int(sum(self.tap_sizes))
+
+    def empty_path(self) -> "ActivationPath":
+        return ActivationPath(
+            self, [Bitmask(size) for size in self.tap_sizes]
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PathLayout)
+            and other.tap_names == self.tap_names
+            and other.tap_sizes == self.tap_sizes
+        )
+
+
+class ActivationPath:
+    """The per-input path: one bitmask per tap."""
+
+    __slots__ = ("layout", "masks")
+
+    def __init__(self, layout: PathLayout, masks: Sequence[Bitmask]):
+        if len(masks) != layout.num_taps:
+            raise ValueError("one mask per tap required")
+        for mask, size in zip(masks, layout.tap_sizes):
+            if mask.length != size:
+                raise ValueError(
+                    f"mask length {mask.length} does not match tap size {size}"
+                )
+        self.layout = layout
+        self.masks = list(masks)
+
+    def popcount(self) -> int:
+        return sum(mask.popcount() for mask in self.masks)
+
+    def density(self) -> float:
+        """Fraction of bits set — the paper's 'important neuron percentage'."""
+        total = self.layout.total_bits
+        return self.popcount() / total if total else 0.0
+
+    def union(self, other: "ActivationPath") -> "ActivationPath":
+        self._check(other)
+        return ActivationPath(
+            self.layout, [a | b for a, b in zip(self.masks, other.masks)]
+        )
+
+    def union_inplace(self, other: "ActivationPath") -> "ActivationPath":
+        self._check(other)
+        for mine, theirs in zip(self.masks, other.masks):
+            mine.ior(theirs)
+        return self
+
+    def _check(self, other: "ActivationPath") -> None:
+        if other.layout != self.layout:
+            raise ValueError("paths have different layouts")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ActivationPath)
+            and other.layout == self.layout
+            and all(a == b for a, b in zip(other.masks, self.masks))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ActivationPath(taps={self.layout.num_taps}, "
+            f"ones={self.popcount()}/{self.layout.total_bits})"
+        )
+
+
+class ClassPath(ActivationPath):
+    """Aggregated canary path for one inference class."""
+
+    __slots__ = ("class_id", "num_samples")
+
+    def __init__(self, layout: PathLayout, class_id: int):
+        super().__init__(layout, [Bitmask(s) for s in layout.tap_sizes])
+        self.class_id = class_id
+        self.num_samples = 0
+
+    def aggregate(self, path: ActivationPath) -> None:
+        """OR a sample's activation path into the canary (Fig. 4,
+        incremental aggregation — no re-generation needed)."""
+        self.union_inplace(path)
+        self.num_samples += 1
+
+
+def path_similarity(path: ActivationPath, canary: ActivationPath) -> float:
+    """The paper's similarity ``S = ||P(x) & P_c||_1 / ||P(x)||_1``."""
+    if path.layout != canary.layout:
+        raise ValueError("paths have different layouts")
+    ones = path.popcount()
+    if ones == 0:
+        return 0.0
+    hits = sum(
+        a.intersection_count(b) for a, b in zip(path.masks, canary.masks)
+    )
+    return hits / ones
+
+
+def per_tap_similarity(
+    path: ActivationPath, canary: ActivationPath
+) -> np.ndarray:
+    """Per-layer similarity vector (richer classifier features)."""
+    if path.layout != canary.layout:
+        raise ValueError("paths have different layouts")
+    sims = np.empty(path.layout.num_taps)
+    for i, (a, b) in enumerate(zip(path.masks, canary.masks)):
+        ones = a.popcount()
+        sims[i] = a.intersection_count(b) / ones if ones else 0.0
+    return sims
+
+
+def symmetric_similarity(a: ActivationPath, b: ActivationPath) -> float:
+    """Jaccard-style similarity used for inter-class comparisons (Fig. 5):
+    ``||A & B||_1 / ||A | B||_1``."""
+    if a.layout != b.layout:
+        raise ValueError("paths have different layouts")
+    inter = sum(x.intersection_count(y) for x, y in zip(a.masks, b.masks))
+    union = sum((x | y).popcount() for x, y in zip(a.masks, b.masks))
+    return inter / union if union else 1.0

@@ -1,0 +1,106 @@
+"""Offline canary class-path construction (the static half of Fig. 4).
+
+Profiles correctly-predicted training samples and ORs their activation
+paths into one :class:`~repro.core.path.ClassPath` per class.  The
+paper observes class paths saturate around ~100 images per class; the
+profiler exposes a saturation curve for reproducing that observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.extraction import PathExtractor
+from repro.core.path import ActivationPath, ClassPath, PathLayout
+
+__all__ = ["ClassPathSet", "profile_class_paths", "saturation_curve"]
+
+
+@dataclass
+class ClassPathSet:
+    """Canary paths for every class of a model, plus bookkeeping."""
+
+    layout: PathLayout
+    paths: Dict[int, ClassPath] = field(default_factory=dict)
+
+    def path_for(self, class_id: int) -> ClassPath:
+        if class_id not in self.paths:
+            self.paths[class_id] = ClassPath(self.layout, class_id)
+        return self.paths[class_id]
+
+    def __contains__(self, class_id: int) -> bool:
+        return class_id in self.paths
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.paths)
+
+    def storage_bytes(self) -> int:
+        """Off-chip storage for all canary paths (Sec. V-A)."""
+        return sum(
+            sum(mask.nbytes for mask in path.masks)
+            for path in self.paths.values()
+        )
+
+    def densities(self) -> Dict[int, float]:
+        return {cid: path.density() for cid, path in self.paths.items()}
+
+
+def profile_class_paths(
+    extractor: PathExtractor,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    max_per_class: Optional[int] = None,
+) -> ClassPathSet:
+    """Build canary class paths from training data.
+
+    Only *correctly predicted* samples contribute (the paper's
+    ``x_c`` is the set of correctly-predicted inputs of class ``c``).
+    """
+    if len(x_train) != len(y_train):
+        raise ValueError("x_train and y_train must have equal length")
+    extractor.warm_up(x_train[:1])
+    class_paths = ClassPathSet(extractor.layout)
+    counts: Dict[int, int] = {}
+    for i in range(len(x_train)):
+        label = int(y_train[i])
+        if max_per_class is not None and counts.get(label, 0) >= max_per_class:
+            continue
+        result = extractor.extract(x_train[i : i + 1])
+        if result.predicted_class != label:
+            continue  # misclassified training samples are excluded
+        class_paths.path_for(label).aggregate(result.path)
+        counts[label] = counts.get(label, 0) + 1
+    return class_paths
+
+
+def saturation_curve(
+    extractor: PathExtractor,
+    x: np.ndarray,
+    y: np.ndarray,
+    class_id: int,
+    checkpoints: Optional[List[int]] = None,
+) -> List[float]:
+    """Class-path density as samples accumulate (Sec. III-A notes
+    saturation around ~100 images).  Returns densities at each
+    checkpoint count."""
+    checkpoints = checkpoints or [1, 2, 5, 10, 20, 50, 100]
+    idx = np.flatnonzero(y == class_id)
+    extractor.warm_up(x[:1])
+    canary = ClassPath(extractor.layout, class_id)
+    densities: List[float] = []
+    taken = 0
+    for i in idx:
+        result = extractor.extract(x[i : i + 1])
+        if result.predicted_class != class_id:
+            continue
+        canary.aggregate(result.path)
+        taken += 1
+        if taken in checkpoints:
+            densities.append(canary.density())
+        if taken >= max(checkpoints):
+            break
+    return densities

@@ -1,0 +1,225 @@
+"""Persistence for class paths and fitted detectors.
+
+The paper's deployment stores offline-generated canary class paths and
+reuses them over time (Fig. 4); this module provides that storage:
+class-path sets serialise to ``.npz`` archives, and whole detectors
+(config + class paths + forest) to a directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.bitmask import Bitmask
+from repro.core.classifier import RandomForest
+from repro.core.classifier.tree import DecisionTree, _TreeNode
+from repro.core.config import Direction, ExtractionConfig, LayerSpec, Thresholding
+from repro.core.path import ClassPath, PathLayout
+from repro.core.profiling import ClassPathSet
+
+__all__ = [
+    "save_class_paths",
+    "load_class_paths",
+    "config_to_dict",
+    "config_from_dict",
+    "save_detector",
+    "load_detector",
+]
+
+_PathLike = Union[str, os.PathLike]
+
+
+# -- class paths -----------------------------------------------------------
+
+def save_class_paths(class_paths: ClassPathSet, path: _PathLike) -> None:
+    """Write a ClassPathSet to an ``.npz`` archive."""
+    layout = class_paths.layout
+    arrays = {
+        "tap_names": np.array(layout.tap_names),
+        "tap_sizes": np.array(layout.tap_sizes, dtype=np.int64),
+        "class_ids": np.array(sorted(class_paths.paths), dtype=np.int64),
+    }
+    for cid in sorted(class_paths.paths):
+        canary = class_paths.path_for(cid)
+        arrays[f"class{cid}_samples"] = np.array(canary.num_samples)
+        for tap_i, mask in enumerate(canary.masks):
+            arrays[f"class{cid}_tap{tap_i}"] = mask.to_bool()
+    np.savez_compressed(path, **arrays)
+
+
+def load_class_paths(path: _PathLike) -> ClassPathSet:
+    """Read a ClassPathSet written by :func:`save_class_paths`."""
+    with np.load(path, allow_pickle=False) as data:
+        layout = PathLayout(
+            tuple(str(n) for n in data["tap_names"]),
+            tuple(int(s) for s in data["tap_sizes"]),
+        )
+        class_paths = ClassPathSet(layout)
+        for cid in data["class_ids"]:
+            cid = int(cid)
+            canary = ClassPath(layout, cid)
+            canary.num_samples = int(data[f"class{cid}_samples"])
+            canary.masks = [
+                Bitmask.from_bool(data[f"class{cid}_tap{tap_i}"])
+                for tap_i in range(layout.num_taps)
+            ]
+            class_paths.paths[cid] = canary
+    return class_paths
+
+
+# -- extraction configs ------------------------------------------------------
+
+def config_to_dict(config: ExtractionConfig) -> dict:
+    """JSON-safe representation of an ExtractionConfig."""
+    return {
+        "direction": config.direction.value,
+        "layers": [
+            {
+                "mechanism": spec.mechanism.value,
+                "threshold": spec.threshold,
+                "extract": spec.extract,
+            }
+            for spec in config.layers
+        ],
+    }
+
+
+def config_from_dict(data: dict) -> ExtractionConfig:
+    """Inverse of :func:`config_to_dict`."""
+    return ExtractionConfig(
+        Direction(data["direction"]),
+        [
+            LayerSpec(
+                Thresholding(layer["mechanism"]),
+                float(layer["threshold"]),
+                bool(layer["extract"]),
+            )
+            for layer in data["layers"]
+        ],
+    )
+
+
+# -- random forest -----------------------------------------------------------
+
+def _tree_to_lists(tree: DecisionTree) -> dict:
+    """Flatten a tree into parallel arrays (preorder)."""
+    features, thresholds, lefts, rights, probs = [], [], [], [], []
+
+    def visit(node) -> int:
+        idx = len(features)
+        features.append(node.feature)
+        thresholds.append(node.threshold)
+        probs.append(node.probability)
+        lefts.append(-1)
+        rights.append(-1)
+        if not node.is_leaf:
+            lefts[idx] = visit(node.left)
+            rights[idx] = visit(node.right)
+        return idx
+
+    visit(tree._root)
+    return {
+        "feature": np.array(features, dtype=np.int64),
+        "threshold": np.array(thresholds),
+        "left": np.array(lefts, dtype=np.int64),
+        "right": np.array(rights, dtype=np.int64),
+        "probability": np.array(probs),
+    }
+
+
+def _tree_from_lists(data: dict, meta: dict) -> DecisionTree:
+    def build(idx: int):
+        node = _TreeNode(
+            feature=int(data["feature"][idx]),
+            threshold=float(data["threshold"][idx]),
+            probability=float(data["probability"][idx]),
+        )
+        if data["left"][idx] >= 0:
+            node.left = build(int(data["left"][idx]))
+            node.right = build(int(data["right"][idx]))
+        return node
+
+    tree = DecisionTree(max_depth=meta["max_depth"])
+    tree._root = build(0)
+    tree.node_count = len(data["feature"])
+    tree.depth = meta["max_depth"]
+    return tree
+
+
+# -- whole detectors ------------------------------------------------------
+
+def save_detector(detector, directory: _PathLike) -> None:
+    """Persist a fitted PtolemyDetector (class paths, config, forest).
+
+    The model itself is saved separately with :func:`repro.nn.save_model`;
+    a detector directory is only valid with its matching model.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if detector.class_paths is None:
+        raise ValueError("detector has no class paths to save")
+    save_class_paths(detector.class_paths, directory / "class_paths.npz")
+    meta = {
+        "feature_mode": detector.feature_mode,
+        "config": config_to_dict(detector.config),
+        "fitted": detector._fitted,
+        "forest": {
+            "n_trees": detector.forest.n_trees,
+            "max_depth": detector.forest.max_depth,
+            "seed": detector.forest.seed,
+        },
+    }
+    (directory / "detector.json").write_text(json.dumps(meta, indent=2))
+    if detector._fitted:
+        arrays = {}
+        for i, tree in enumerate(detector.forest.trees):
+            for key, value in _tree_to_lists(tree).items():
+                arrays[f"tree{i}_{key}"] = value
+        np.savez_compressed(directory / "forest.npz", **arrays)
+
+
+def load_detector(model, directory: _PathLike):
+    """Rebuild a PtolemyDetector saved by :func:`save_detector`."""
+    from repro.core.detector import PtolemyDetector
+
+    directory = Path(directory)
+    meta = json.loads((directory / "detector.json").read_text())
+    config = config_from_dict(meta["config"])
+    detector = PtolemyDetector(
+        model,
+        config,
+        feature_mode=meta["feature_mode"],
+        n_trees=meta["forest"]["n_trees"],
+        max_depth=meta["forest"]["max_depth"],
+        seed=meta["forest"]["seed"],
+    )
+    detector.class_paths = load_class_paths(directory / "class_paths.npz")
+    # fix the extractor layout without re-profiling
+    detector.extractor._layout = detector.class_paths.layout
+    if meta["fitted"]:
+        forest = RandomForest(
+            n_trees=meta["forest"]["n_trees"],
+            max_depth=meta["forest"]["max_depth"],
+            seed=meta["forest"]["seed"],
+        )
+        with np.load(directory / "forest.npz") as data:
+            trees = []
+            for i in range(forest.n_trees):
+                tree_data = {
+                    key: data[f"tree{i}_{key}"]
+                    for key in ("feature", "threshold", "left", "right",
+                                "probability")
+                }
+                trees.append(
+                    _tree_from_lists(tree_data,
+                                     {"max_depth": forest.max_depth})
+                )
+            forest.trees = trees
+        detector.forest = forest
+        detector._fitted = True
+    return detector

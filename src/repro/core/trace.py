@@ -1,0 +1,81 @@
+"""Per-extraction statistics consumed by the hardware cost model.
+
+The paper's latency/energy results are data-dependent (extraction time
+scales with the number of important neurons, Sec. VII-C), so the
+extractor records, per unit, exactly the operation counts the hardware
+simulator needs: how many output neurons were processed, how many
+partial sums were sorted or compared, and how many important input
+neurons were produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import Direction, Thresholding
+
+__all__ = ["UnitTrace", "ExtractionTrace"]
+
+
+@dataclass
+class UnitTrace:
+    """Operation counts for one extraction unit on one input."""
+
+    name: str
+    index: int
+    extracted: bool
+    mechanism: Optional[Thresholding]
+    in_size: int = 0
+    out_size: int = 0
+    rf_size: int = 0
+    mac_count: int = 0
+    #: output neurons whose receptive fields were examined
+    n_out_processed: int = 0
+    #: partial sums sorted (cumulative mode)
+    n_psums_sorted: int = 0
+    #: partial sums / activations compared against phi (absolute mode)
+    n_compared: int = 0
+    #: important input (backward) or output (forward) neurons produced
+    n_important: int = 0
+
+    @property
+    def importance_density(self) -> float:
+        base = self.in_size if self.in_size else self.out_size
+        return self.n_important / base if base else 0.0
+
+
+@dataclass
+class ExtractionTrace:
+    """All unit traces for one input, in topological unit order."""
+
+    direction: Direction
+    units: List[UnitTrace] = field(default_factory=list)
+
+    def unit(self, index: int) -> UnitTrace:
+        for u in self.units:
+            if u.index == index:
+                return u
+        raise KeyError(index)
+
+    @property
+    def total_important(self) -> int:
+        return sum(u.n_important for u in self.units)
+
+    @property
+    def total_psums_sorted(self) -> int:
+        return sum(u.n_psums_sorted for u in self.units)
+
+    @property
+    def total_compared(self) -> int:
+        return sum(u.n_compared for u in self.units)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(u.mac_count for u in self.units)
+
+    def density(self) -> float:
+        """Overall fraction of neurons marked important."""
+        total = sum(u.in_size if u.in_size else u.out_size
+                    for u in self.units if u.extracted)
+        return self.total_important / total if total else 0.0

@@ -1,0 +1,37 @@
+"""repro.data — synthetic class-structured image datasets.
+
+Stand-ins for ImageNet / CIFAR: each class is a smooth random prototype
+pattern; samples are warped, shifted, and noised instances of their
+class prototype.  Inter-class similarity is controllable, which lets
+the benchmarks reproduce the paper's ImageNet-vs-CIFAR contrast
+(many dissimilar classes vs few similar classes, Fig. 5).
+"""
+
+from repro.data.synthetic import (
+    DatasetSpec,
+    SyntheticDataset,
+    make_dataset,
+    make_imagenet_like,
+    make_cifar_like,
+)
+from repro.data.loaders import batch_iterator, train_test_split
+from repro.data.corruptions import (
+    CORRUPTIONS,
+    CorruptionResult,
+    apply_corruption,
+    corruption_sweep,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "SyntheticDataset",
+    "make_dataset",
+    "make_imagenet_like",
+    "make_cifar_like",
+    "batch_iterator",
+    "train_test_split",
+    "CORRUPTIONS",
+    "CorruptionResult",
+    "apply_corruption",
+    "corruption_sweep",
+]

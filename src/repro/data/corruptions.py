@@ -1,0 +1,246 @@
+"""Natural (inadvertent) input corruptions.
+
+Sec. II of the paper notes that the perturbations Ptolemy targets "could
+be the result of carefully engineered attacks, but could also be an
+artifact of normal data acquisition such as noisy sensor capturing and
+image compression/resizing".  This module provides those non-malicious
+perturbation sources so the detection pipeline can be exercised on
+corrupted-but-not-attacked inputs.
+
+Every corruption is a pure function ``f(images, severity, rng) -> images``
+over a batch shaped ``(N, C, H, W)`` with values in ``[0, 1]``.  Severity
+is an integer 1..5 mapping to increasingly strong parameters, following
+the convention of the ImageNet-C robustness benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "CORRUPTIONS",
+    "CorruptionResult",
+    "apply_corruption",
+    "corruption_sweep",
+    "gaussian_noise",
+    "shot_noise",
+    "salt_and_pepper",
+    "gaussian_blur",
+    "block_compression",
+    "resize_artifacts",
+    "brightness_shift",
+    "contrast_change",
+    "quantize_depth",
+    "motion_streak",
+]
+
+MAX_SEVERITY = 5
+
+
+def _check(images: np.ndarray, severity: int) -> None:
+    if images.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W) batch, got shape {images.shape}")
+    if not 1 <= severity <= MAX_SEVERITY:
+        raise ValueError(f"severity must be in 1..{MAX_SEVERITY}, got {severity}")
+
+
+def _level(severity: int, values: Sequence[float]) -> float:
+    """Pick the parameter for a severity from a 5-entry ladder."""
+    return values[severity - 1]
+
+
+def gaussian_noise(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Additive white noise — the paper's "noisy sensor capturing"."""
+    _check(images, severity)
+    rng = rng or np.random.default_rng(0)
+    sigma = _level(severity, [0.04, 0.08, 0.12, 0.18, 0.26])
+    return np.clip(images + rng.normal(0.0, sigma, size=images.shape), 0.0, 1.0)
+
+
+def shot_noise(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Poisson (photon-count) sensor noise."""
+    _check(images, severity)
+    rng = rng or np.random.default_rng(0)
+    photons = _level(severity, [500.0, 250.0, 120.0, 60.0, 25.0])
+    return np.clip(rng.poisson(images * photons) / photons, 0.0, 1.0)
+
+
+def salt_and_pepper(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Dead/saturated pixels."""
+    _check(images, severity)
+    rng = rng or np.random.default_rng(0)
+    fraction = _level(severity, [0.005, 0.01, 0.03, 0.06, 0.10])
+    out = images.copy()
+    mask = rng.random(images.shape) < fraction
+    values = rng.random(images.shape) < 0.5
+    out[mask & values] = 1.0
+    out[mask & ~values] = 0.0
+    return out
+
+
+def gaussian_blur(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Defocus / lens blur."""
+    _check(images, severity)
+    sigma = _level(severity, [0.4, 0.7, 1.0, 1.5, 2.2])
+    return np.clip(
+        ndimage.gaussian_filter(images, sigma=(0, 0, sigma, sigma)), 0.0, 1.0
+    )
+
+
+def block_compression(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """JPEG-style blockiness: average over aligned blocks, then
+    re-quantize the block values coarsely."""
+    _check(images, severity)
+    block = int(_level(severity, [2, 2, 4, 4, 8]))
+    levels = int(_level(severity, [64, 32, 32, 16, 8]))
+    n, c, h, w = images.shape
+    pad_h = (-h) % block
+    pad_w = (-w) % block
+    padded = np.pad(images, ((0, 0), (0, 0), (0, pad_h), (0, pad_w)), mode="edge")
+    ph, pw = padded.shape[2], padded.shape[3]
+    blocks = padded.reshape(n, c, ph // block, block, pw // block, block)
+    means = blocks.mean(axis=(3, 5), keepdims=True)
+    coarse = np.round(means * (levels - 1)) / (levels - 1)
+    out = np.broadcast_to(coarse, blocks.shape).reshape(n, c, ph, pw)
+    return np.clip(out[:, :, :h, :w], 0.0, 1.0)
+
+
+def resize_artifacts(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Down-then-up sampling, the paper's "image resizing" artifact."""
+    _check(images, severity)
+    factor = _level(severity, [0.9, 0.75, 0.6, 0.5, 0.35])
+    n, c, h, w = images.shape
+    small_h = max(2, int(round(h * factor)))
+    small_w = max(2, int(round(w * factor)))
+    down = ndimage.zoom(
+        images, (1, 1, small_h / h, small_w / w), order=1, grid_mode=True,
+        mode="nearest",
+    )
+    up = ndimage.zoom(
+        down, (1, 1, h / down.shape[2], w / down.shape[3]), order=1,
+        grid_mode=True, mode="nearest",
+    )
+    return np.clip(up[:, :, :h, :w], 0.0, 1.0)
+
+
+def brightness_shift(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Global exposure change."""
+    _check(images, severity)
+    delta = _level(severity, [0.05, 0.10, 0.15, 0.22, 0.30])
+    return np.clip(images + delta, 0.0, 1.0)
+
+
+def contrast_change(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Contrast compression around the per-image mean."""
+    _check(images, severity)
+    gain = _level(severity, [0.85, 0.7, 0.55, 0.4, 0.25])
+    mean = images.mean(axis=(1, 2, 3), keepdims=True)
+    return np.clip((images - mean) * gain + mean, 0.0, 1.0)
+
+
+def quantize_depth(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Reduced bit depth (cheap camera ADC)."""
+    _check(images, severity)
+    bits = int(_level(severity, [6, 5, 4, 3, 2]))
+    levels = (1 << bits) - 1
+    return np.round(images * levels) / levels
+
+
+def motion_streak(
+    images: np.ndarray, severity: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Horizontal motion blur (camera shake)."""
+    _check(images, severity)
+    length = int(_level(severity, [2, 3, 4, 6, 8]))
+    kernel = np.ones(length) / length
+    out = ndimage.convolve1d(images, kernel, axis=3, mode="nearest")
+    return np.clip(out, 0.0, 1.0)
+
+
+#: Registry of all corruption functions keyed by name.
+CORRUPTIONS: Dict[str, Callable] = {
+    "gaussian_noise": gaussian_noise,
+    "shot_noise": shot_noise,
+    "salt_and_pepper": salt_and_pepper,
+    "gaussian_blur": gaussian_blur,
+    "block_compression": block_compression,
+    "resize_artifacts": resize_artifacts,
+    "brightness_shift": brightness_shift,
+    "contrast_change": contrast_change,
+    "quantize_depth": quantize_depth,
+    "motion_streak": motion_streak,
+}
+
+
+@dataclass(frozen=True)
+class CorruptionResult:
+    """One (corruption, severity) cell of a sweep."""
+
+    name: str
+    severity: int
+    images: np.ndarray
+    #: mean L2 distortion per image, comparable to the paper's MSE axis
+    #: in Fig. 14.
+    mse: float
+
+
+def apply_corruption(
+    name: str,
+    images: np.ndarray,
+    severity: int = 1,
+    seed: int = 0,
+) -> CorruptionResult:
+    """Apply a registered corruption and record its distortion."""
+    if name not in CORRUPTIONS:
+        raise KeyError(f"unknown corruption {name!r}; see CORRUPTIONS")
+    rng = np.random.default_rng(seed)
+    corrupted = CORRUPTIONS[name](images, severity, rng)
+    mse = float(np.mean((corrupted - images) ** 2))
+    return CorruptionResult(name, severity, corrupted, mse)
+
+
+def corruption_sweep(
+    images: np.ndarray,
+    names: Optional[Sequence[str]] = None,
+    severities: Sequence[int] = (1, 3, 5),
+    seed: int = 0,
+) -> List[CorruptionResult]:
+    """Apply every requested (corruption, severity) pair to a batch."""
+    names = list(names) if names is not None else sorted(CORRUPTIONS)
+    results = []
+    for name in names:
+        for severity in severities:
+            results.append(apply_corruption(name, images, severity, seed))
+    return results

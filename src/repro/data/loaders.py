@@ -1,0 +1,43 @@
+"""Batching and splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["batch_iterator", "train_test_split"]
+
+
+def batch_iterator(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    shuffle: bool = False,
+    seed: int = 0,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (x, y) mini-batches."""
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = (
+        np.random.default_rng(seed).permutation(len(x))
+        if shuffle
+        else np.arange(len(x))
+    )
+    for start in range(0, len(x), batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]
+
+
+def train_test_split(
+    x: np.ndarray, y: np.ndarray, test_fraction: float = 0.25, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (x_train, y_train, x_test, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    order = np.random.default_rng(seed).permutation(len(x))
+    cut = int(len(x) * (1.0 - test_fraction))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]

@@ -1,0 +1,44 @@
+"""Complementary defenses from the paper's related-work landscape.
+
+Sec. VIII of the paper situates Ptolemy among two other defense
+families and makes one integration claim this package substantiates:
+
+* **Adversarial retraining** (refs [9], [22], [46], [69], [75]) hardens
+  the model itself but "does not have the detection capability at
+  inference time".  The paper states "Ptolemy can also be integrated
+  with adversarial retraining"; :mod:`repro.defenses.retraining`
+  implements the retraining loop and the integration.
+* **Modular-redundancy detection** via input transformation (refs [10],
+  [24], [67]) and activation randomization (refs [18], [73]) detects
+  adversaries by re-running inference under perturbation and reading
+  disagreement.  :mod:`repro.defenses.transform` and
+  :mod:`repro.defenses.sap` implement one representative of each so
+  benchmarks can compare their accuracy/cost against Ptolemy's.
+
+These are *defense substrates for comparison*, not part of the Ptolemy
+contribution; the Ptolemy detector itself lives in :mod:`repro.core`.
+"""
+
+from repro.defenses.retraining import (
+    AdversarialTrainConfig,
+    CombinedDefenseReport,
+    adversarial_retrain,
+    evaluate_combined_defense,
+    robust_accuracy,
+)
+from repro.defenses.sap import StochasticActivationPruning
+from repro.defenses.transform import (
+    TransformDefense,
+    default_transforms,
+)
+
+__all__ = [
+    "AdversarialTrainConfig",
+    "CombinedDefenseReport",
+    "adversarial_retrain",
+    "evaluate_combined_defense",
+    "robust_accuracy",
+    "StochasticActivationPruning",
+    "TransformDefense",
+    "default_transforms",
+]

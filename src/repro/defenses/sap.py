@@ -1,0 +1,140 @@
+"""Stochastic Activation Pruning (SAP) as a randomization defense.
+
+Representative of the paper's "weights randomization" related-work
+class (refs [18], [73]).  Dhillon et al.'s SAP samples which ReLU
+activations survive each forward pass with probability proportional to
+their magnitude and rescales the survivors, turning the network into a
+stochastic ensemble.  Adversarial inputs sit close to decision
+boundaries, so their predictions are unstable across stochastic
+passes; the detector scores an input by how far the stochastic outputs
+drift from the deterministic one.
+
+Implementation note: the original SAP samples ``k`` activations
+without replacement; we use the standard independent-Bernoulli
+approximation (keep ``a_i`` with ``p_i = min(1, k |a_i| / sum|a|)``,
+rescale kept activations by ``1/p_i``) which preserves the expected
+pre-activation and is the common reference implementation.
+
+Cost structure: ``n_passes`` extra full inferences per input — the
+same modular-redundancy overhead class as
+:class:`repro.defenses.transform.TransformDefense`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.metrics import roc_auc
+from repro.nn.functional import softmax
+from repro.nn.graph import INPUT, Graph
+from repro.nn.layers import ReLU
+
+__all__ = ["StochasticActivationPruning"]
+
+
+class StochasticActivationPruning:
+    """Prediction-instability detector built on SAP forward passes.
+
+    Parameters
+    ----------
+    model:
+        The protected network (not modified; SAP re-walks its graph).
+    keep_fraction:
+        Expected fraction of each ReLU output kept per pass, as the
+        sampling budget ``k = keep_fraction * numel``.
+    n_passes:
+        Stochastic passes per input; more passes sharpen the score at
+        proportional inference cost.
+    """
+
+    name = "sap"
+
+    def __init__(
+        self,
+        model: Graph,
+        keep_fraction: float = 0.7,
+        n_passes: int = 8,
+        seed: int = 0,
+    ):
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}"
+            )
+        if n_passes < 1:
+            raise ValueError(f"n_passes must be >= 1, got {n_passes}")
+        self.model = model
+        self.keep_fraction = keep_fraction
+        self.n_passes = n_passes
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def inference_multiplier(self) -> int:
+        """Total inference passes per input (deterministic + stochastic)."""
+        return 1 + self.n_passes
+
+    # -- stochastic forward ------------------------------------------------
+    def _prune(self, activation: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One SAP sample of a ReLU output (per image in the batch)."""
+        flat = activation.reshape(activation.shape[0], -1)
+        magnitude = np.abs(flat)
+        total = magnitude.sum(axis=1, keepdims=True)
+        # All-zero maps (dead ReLU under this input) pass through.
+        safe_total = np.where(total > 0, total, 1.0)
+        budget = self.keep_fraction * flat.shape[1]
+        keep_prob = np.minimum(1.0, budget * magnitude / safe_total)
+        kept = rng.random(flat.shape) < keep_prob
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rescale = np.where(kept, 1.0 / np.maximum(keep_prob, 1e-12), 0.0)
+        return (flat * rescale).reshape(activation.shape)
+
+    def stochastic_forward(
+        self, x: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Forward pass with SAP applied after every ReLU node."""
+        rng = rng or self._rng
+        acts: Dict[str, np.ndarray] = {INPUT: np.asarray(x, dtype=np.float64)}
+        for node in self.model.nodes:
+            if node.is_multi_input:
+                out = node.module.forward_multi([acts[i] for i in node.inputs])
+            else:
+                out = node.module.forward(acts[node.inputs[0]])
+            if isinstance(node.module, ReLU):
+                out = self._prune(out, rng)
+            acts[node.name] = out
+        return acts[self.model.output_name]
+
+    # -- detection -----------------------------------------------------
+    def score(self, x: np.ndarray) -> float:
+        """Instability score for one input (batch of one)."""
+        return float(self.scores_for_set(x)[0])
+
+    def scores_for_set(self, xs: np.ndarray) -> np.ndarray:
+        """Mean L1 drift of stochastic outputs from the deterministic
+        softmax, batched over ``xs``."""
+        xs = np.asarray(xs, dtype=np.float64)
+        base = softmax(self.model.forward(xs))
+        drift = np.zeros(xs.shape[0])
+        for _ in range(self.n_passes):
+            probs = softmax(self.stochastic_forward(xs))
+            drift += np.abs(probs - base).sum(axis=1)
+        return drift / self.n_passes
+
+    def evaluate_auc(
+        self, x_benign: np.ndarray, x_adversarial: np.ndarray
+    ) -> float:
+        """AUC over an evenly-labelled benign/adversarial test set."""
+        scores = np.concatenate(
+            [self.scores_for_set(x_benign), self.scores_for_set(x_adversarial)]
+        )
+        labels = np.concatenate(
+            [np.zeros(len(x_benign)), np.ones(len(x_adversarial))]
+        )
+        return roc_auc(labels, scores)
+
+    def __repr__(self) -> str:
+        return (
+            f"StochasticActivationPruning(keep={self.keep_fraction}, "
+            f"passes={self.n_passes})"
+        )

@@ -1,0 +1,102 @@
+"""Input-transformation (prediction-inconsistency) detection.
+
+Representative of the paper's "input transformation" related-work
+class (refs [10], [24], [67]): run inference once on the raw input and
+once per transformed copy, and score the input by how much the output
+distribution moves.  Benign inputs are robust to mild transformations;
+adversarial perturbations, being near-minimal, tend not to survive
+them, so the prediction shifts.
+
+This is a *modular redundancy* scheme: each transform costs one extra
+full inference, which is exactly the overhead structure (N+1 passes)
+the paper contrasts Ptolemy's 2% against.  :meth:`TransformDefense.
+inference_multiplier` exposes that cost to the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import roc_auc
+from repro.data.corruptions import gaussian_blur, quantize_depth
+from repro.nn.functional import softmax
+from repro.nn.graph import Graph
+
+__all__ = ["TransformDefense", "default_transforms"]
+
+#: A transform maps a (N, C, H, W) image batch in [0, 1] to the same.
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+def default_transforms(seed: int = 0) -> List[Tuple[str, Transform]]:
+    """The classic feature-squeezing pair: bit-depth reduction and a
+    mild blur (Xu et al.; the paper's refs [24], [67] use the same
+    family)."""
+    del seed  # both squeezers are deterministic; kept for symmetry
+    return [
+        ("depth-4bit", lambda x: quantize_depth(x, severity=2)),
+        ("blur-mild", lambda x: gaussian_blur(x, severity=1)),
+    ]
+
+
+class TransformDefense:
+    """Prediction-inconsistency detector over a set of input transforms.
+
+    The score of an input is the maximum L1 distance between the
+    softmax outputs of the raw input and of each transformed copy —
+    the feature-squeezing decision rule.  ``evaluate_auc`` mirrors
+    :meth:`repro.core.detector.PtolemyDetector.evaluate_auc` so the
+    benchmarks can swap detectors freely.
+    """
+
+    name = "transform"
+
+    def __init__(
+        self,
+        model: Graph,
+        transforms: Optional[Sequence[Tuple[str, Transform]]] = None,
+    ):
+        self.model = model
+        self.transforms = (
+            default_transforms() if transforms is None else list(transforms)
+        )
+        if not self.transforms:
+            raise ValueError("TransformDefense needs at least one transform")
+
+    @property
+    def inference_multiplier(self) -> int:
+        """Total inference passes per input (raw + one per transform)."""
+        return 1 + len(self.transforms)
+
+    def score(self, x: np.ndarray) -> float:
+        """Inconsistency score for one input (batch of one)."""
+        return float(self.scores_for_set(x)[0])
+
+    def scores_for_set(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized scores for a batch of inputs."""
+        xs = np.asarray(xs, dtype=np.float64)
+        base = softmax(self.model.forward(xs))
+        worst = np.zeros(xs.shape[0])
+        for _, transform in self.transforms:
+            probs = softmax(self.model.forward(transform(xs)))
+            distance = np.abs(probs - base).sum(axis=1)
+            worst = np.maximum(worst, distance)
+        return worst
+
+    def evaluate_auc(
+        self, x_benign: np.ndarray, x_adversarial: np.ndarray
+    ) -> float:
+        """AUC over an evenly-labelled benign/adversarial test set."""
+        scores = np.concatenate(
+            [self.scores_for_set(x_benign), self.scores_for_set(x_adversarial)]
+        )
+        labels = np.concatenate(
+            [np.zeros(len(x_benign)), np.ones(len(x_adversarial))]
+        )
+        return roc_auc(labels, scores)
+
+    def __repr__(self) -> str:
+        names = ", ".join(name for name, _ in self.transforms)
+        return f"TransformDefense([{names}])"

@@ -1,0 +1,52 @@
+"""repro.eval — experiment harness, named scenarios, and reporting
+helpers shared by the benchmarks and examples."""
+
+from repro.eval.workloads import SCENARIOS, Scenario
+from repro.eval.harness import PTOLEMY_VARIANTS, VariantResult, Workbench
+from repro.eval.reporting import render_matrix, render_table
+from repro.eval.plots import (
+    bar_chart,
+    grouped_bars,
+    heatmap,
+    line_plot,
+    sparkline,
+)
+from repro.eval.faults import (
+    FaultSpec,
+    bitflip_fault,
+    forward_with_fault,
+    stuck_fault,
+)
+from repro.eval.tuning import (
+    DesignPoint,
+    TuningResult,
+    pareto_frontier,
+    select_within_budget,
+    sweep_design_space,
+    tune_knobs,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "PTOLEMY_VARIANTS",
+    "VariantResult",
+    "Workbench",
+    "render_matrix",
+    "render_table",
+    "bar_chart",
+    "grouped_bars",
+    "heatmap",
+    "line_plot",
+    "sparkline",
+    "FaultSpec",
+    "bitflip_fault",
+    "forward_with_fault",
+    "stuck_fault",
+    "DesignPoint",
+    "TuningResult",
+    "pareto_frontier",
+    "select_within_budget",
+    "sweep_design_space",
+    "tune_knobs",
+]

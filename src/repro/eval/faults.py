@@ -1,0 +1,96 @@
+"""Transient hardware-fault injection (Sec. VIII).
+
+The paper expects Ptolemy "could also be used for detecting the
+execution errors of DNN accelerators caused by transient hardware
+errors" — an accelerator bit flip perturbs activations, which perturbs
+the activation path the same way an adversarial input does.  This
+module injects such faults so that claim can be evaluated.
+
+Faults are injected into the *output feature map* of a chosen layer,
+modelling an error that strikes after psum accumulation (so the layer's
+own partial sums reflect pre-fault values, but every downstream layer —
+and the path — sees the corruption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.nn.graph import Graph, INPUT
+
+__all__ = ["FaultSpec", "forward_with_fault", "bitflip_fault", "stuck_fault"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: which node, which elements, what corruption."""
+
+    node: str
+    fraction: float = 0.01       # fraction of elements corrupted
+    magnitude: float = 4.0       # corruption scale (x activation std)
+    seed: int = 0
+
+
+def bitflip_fault(spec: FaultSpec) -> Callable[[np.ndarray], np.ndarray]:
+    """High-order-bit-flip-style corruption: selected elements jump by
+    +-magnitude standard deviations (a 16-bit MSB flip makes a large,
+    sign-preserving-or-not jump; this models its effect on values)."""
+    rng = np.random.default_rng(spec.seed)
+
+    def corrupt(activation: np.ndarray) -> np.ndarray:
+        out = activation.copy()
+        flat = out.reshape(-1)
+        count = max(1, int(spec.fraction * flat.size))
+        picks = rng.choice(flat.size, size=count, replace=False)
+        scale = float(activation.std()) + 1e-12
+        flat[picks] += rng.choice([-1.0, 1.0], size=count) * spec.magnitude * scale
+        return out
+
+    return corrupt
+
+
+def stuck_fault(spec: FaultSpec) -> Callable[[np.ndarray], np.ndarray]:
+    """Stuck-at-zero corruption: selected elements read as zero."""
+    rng = np.random.default_rng(spec.seed)
+
+    def corrupt(activation: np.ndarray) -> np.ndarray:
+        out = activation.copy()
+        flat = out.reshape(-1)
+        count = max(1, int(spec.fraction * flat.size))
+        picks = rng.choice(flat.size, size=count, replace=False)
+        flat[picks] = 0.0
+        return out
+
+    return corrupt
+
+
+def forward_with_fault(
+    model: Graph,
+    x: np.ndarray,
+    spec: FaultSpec,
+    corrupt: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> np.ndarray:
+    """Run inference with a fault injected at ``spec.node``'s output.
+
+    Replays the graph's forward loop, corrupting the chosen node's
+    activation before downstream layers consume it.  All layer caches
+    and ``model.activations`` reflect the faulty run, so a subsequent
+    path extraction sees exactly what the faulty accelerator produced.
+    """
+    if spec.node not in {n.name for n in model.nodes}:
+        raise ValueError(f"unknown node {spec.node!r}")
+    corrupt = corrupt or bitflip_fault(spec)
+    acts: Dict[str, np.ndarray] = {INPUT: x}
+    for node in model.nodes:
+        if node.is_multi_input:
+            out = node.module.forward_multi([acts[i] for i in node.inputs])
+        else:
+            out = node.module.forward(acts[node.inputs[0]])
+        if node.name == spec.node:
+            out = corrupt(out)
+        acts[node.name] = out
+    model.activations = acts
+    return acts[model.output_name]

@@ -1,0 +1,192 @@
+"""ASCII plotting for benchmark output.
+
+The paper's evaluation is figures (Fig. 5, 10–18); our benchmarks print
+their data as text.  These helpers render small ASCII charts so the
+*shape* of each figure (trends, crossovers, who-wins) is visible directly
+in the benchmark logs and in EXPERIMENTS.md without any plotting
+dependency.
+
+All functions return strings; nothing writes to stdout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "bar_chart",
+    "grouped_bars",
+    "heatmap",
+    "line_plot",
+    "sparkline",
+]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_SHADE_LEVELS = " .:-=+*#%@"
+
+
+def _finite(values: Sequence[float]) -> Sequence[float]:
+    out = [v for v in values if v is not None and math.isfinite(v)]
+    if not out:
+        raise ValueError("no finite values to plot")
+    return out
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend, e.g. ``▁▂▄█`` — handy inside tables."""
+    finite = _finite(values)
+    low, high = min(finite), max(finite)
+    span = high - low or 1.0
+    chars = []
+    for v in values:
+        if v is None or not math.isfinite(v):
+            chars.append(" ")
+        else:
+            idx = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    value_fmt: str = "{:.3g}",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart, one bar per label.
+
+    ``log_scale`` plots bar length on log10, which matches the paper's
+    log-axis overhead figures (Fig. 11/12).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    finite = _finite(values)
+    if log_scale:
+        if min(finite) <= 0:
+            raise ValueError("log_scale requires positive values")
+        scale = [math.log10(v) for v in values]
+        low = min(0.0, min(scale))
+        high = max(scale)
+    else:
+        scale = list(values)
+        low = min(0.0, min(finite))
+        high = max(finite)
+    span = (high - low) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title, "-" * len(title)]
+    for label, value, s in zip(labels, values, scale):
+        filled = int(round((s - low) / span * width))
+        bar = "█" * max(filled, 1 if value else 0)
+        lines.append(
+            f"{label.ljust(label_w)} |{bar.ljust(width)} {value_fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    title: str,
+    group_labels: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 30,
+    value_fmt: str = "{:.3g}",
+    log_scale: bool = False,
+) -> str:
+    """Several series per group (Fig. 10-style side-by-side bars)."""
+    lines = [title, "=" * len(title)]
+    for gi, group in enumerate(group_labels):
+        labels = [name for name, _ in series]
+        values = [vals[gi] for _, vals in series]
+        chart = bar_chart(str(group), labels, values, width=width,
+                          value_fmt=value_fmt, log_scale=log_scale)
+        lines.append(chart)
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def line_plot(
+    title: str,
+    xs: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    height: int = 10,
+    width: Optional[int] = None,
+    y_fmt: str = "{:.3g}",
+) -> str:
+    """Multi-series ASCII line plot on a shared y-axis.
+
+    Each series gets a distinct marker; x positions are spread evenly
+    (the paper's sweep figures use ordinal x axes).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "ox+*#@&%"
+    n = len(xs)
+    for name, ys in series:
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} length != xs length")
+    width = width or max(2 * n, 24)
+    all_values = _finite([y for _, ys in series for y in ys])
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series):
+        marker = markers[si % len(markers)]
+        for i, y in enumerate(ys):
+            if y is None or not math.isfinite(y):
+                continue
+            col = int(round(i / max(n - 1, 1) * (width - 1)))
+            row = height - 1 - int(round((y - low) / span * (height - 1)))
+            grid[row][col] = marker
+
+    legend = "   ".join(
+        f"{markers[si % len(markers)]}={name}" for si, (name, _) in enumerate(series)
+    )
+    y_hi = y_fmt.format(high)
+    y_lo = y_fmt.format(low)
+    gutter = max(len(y_hi), len(y_lo))
+    lines = [title, "-" * len(title)]
+    for ri, row in enumerate(grid):
+        label = y_hi if ri == 0 else (y_lo if ri == height - 1 else "")
+        lines.append(f"{label.rjust(gutter)} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{xs[0]} .. {xs[-1]}"
+    lines.append(" " * gutter + "  " + x_axis)
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def heatmap(
+    title: str,
+    matrix: Sequence[Sequence[float]],
+    row_labels: Optional[Sequence[str]] = None,
+    col_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Shaded-character heatmap (Fig. 5 similarity-matrix style)."""
+    rows = [list(r) for r in matrix]
+    if not rows or not rows[0]:
+        raise ValueError("matrix must be non-empty")
+    n_cols = len(rows[0])
+    if any(len(r) != n_cols for r in rows):
+        raise ValueError("matrix rows must have equal length")
+    flat = _finite([v for r in rows for v in r])
+    low, high = min(flat), max(flat)
+    span = (high - low) or 1.0
+    row_labels = [str(l) for l in (row_labels or range(len(rows)))]
+    col_labels = [str(l) for l in (col_labels or range(n_cols))]
+    label_w = max(len(l) for l in row_labels)
+
+    lines = [title, "-" * len(title)]
+    header = " " * (label_w + 1) + " ".join(c[:1] for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, rows):
+        cells = []
+        for v in row:
+            idx = int((v - low) / span * (len(_SHADE_LEVELS) - 1))
+            cells.append(_SHADE_LEVELS[idx])
+        lines.append(f"{label.rjust(label_w)} " + " ".join(cells))
+    lines.append(f"scale: '{_SHADE_LEVELS[0]}'={low:.2f} .. "
+                 f"'{_SHADE_LEVELS[-1]}'={high:.2f}")
+    return "\n".join(lines)

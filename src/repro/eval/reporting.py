@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_matrix"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Monospace table with a title rule."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_matrix(title: str, labels: Sequence, matrix) -> str:
+    """Square similarity matrix (Fig. 5 style)."""
+    headers = [""] + [str(l) for l in labels]
+    rows = []
+    for i, label in enumerate(labels):
+        rows.append([str(label)] + [f"{matrix[i][j]:.2f}" for j in range(len(labels))])
+    return render_table(title, headers, rows)

@@ -1,0 +1,69 @@
+"""repro.hw — cycle-level analytical model of the Ptolemy hardware:
+augmented accelerator, path constructor, memory system, controller,
+the area model, and the transaction-level DRAM / systolic-dataflow
+refinements used by the hardware ablation benchmarks."""
+
+from repro.hw.config import DEFAULT_HW, EnergyTable, HardwareConfig
+from repro.hw.workload import LayerWorkload, ModelWorkload, model_workload
+from repro.hw.accelerator import (
+    InferenceCost,
+    LayerCost,
+    inference_cost,
+    recompute_cycles,
+)
+from repro.hw.memory import DramFootprint, detection_dram_footprint
+from repro.hw.dram import (
+    DoubleBufferPlan,
+    DramConfig,
+    DramModel,
+    DramStats,
+    DramTimings,
+    double_buffer_cycles,
+    stream_cycles,
+)
+from repro.hw.systolic import (
+    GemmShape,
+    SystolicCost,
+    gemm_shape,
+    systolic_gemm_cycles,
+    systolic_inference_cycles,
+    systolic_layer_cost,
+)
+from repro.hw.controller import ControllerCost, controller_cost
+from repro.hw.simulator import DetectionCost, UnitCost, simulate_detection
+from repro.hw.area import AreaReport, area_report
+
+__all__ = [
+    "DEFAULT_HW",
+    "EnergyTable",
+    "HardwareConfig",
+    "LayerWorkload",
+    "ModelWorkload",
+    "model_workload",
+    "InferenceCost",
+    "LayerCost",
+    "inference_cost",
+    "recompute_cycles",
+    "DramFootprint",
+    "detection_dram_footprint",
+    "DoubleBufferPlan",
+    "DramConfig",
+    "DramModel",
+    "DramStats",
+    "DramTimings",
+    "double_buffer_cycles",
+    "stream_cycles",
+    "GemmShape",
+    "SystolicCost",
+    "gemm_shape",
+    "systolic_gemm_cycles",
+    "systolic_inference_cycles",
+    "systolic_layer_cost",
+    "ControllerCost",
+    "controller_cost",
+    "DetectionCost",
+    "UnitCost",
+    "simulate_detection",
+    "AreaReport",
+    "area_report",
+]

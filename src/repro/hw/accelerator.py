@@ -1,0 +1,89 @@
+"""Timing/energy model of the (augmented) DNN accelerator (Sec. V-B).
+
+Per layer, compute and DMA phases are double-buffered, so the layer's
+latency is the max of its compute cycles and its memory cycles; layer
+latencies sum over the network.  The MAC augmentation (threshold
+comparator + mask mux, Fig. 9a) adds a compare per partial sum in
+absolute-threshold layers — energy only, since the comparator sits in
+the MAC pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.hw.config import HardwareConfig
+from repro.hw.workload import LayerWorkload, ModelWorkload
+
+__all__ = ["LayerCost", "InferenceCost", "inference_cost", "recompute_cycles"]
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cycles/energy/DRAM traffic for one layer's inference."""
+
+    name: str
+    compute_cycles: int
+    memory_cycles: int
+    energy_pj: float
+    dram_bytes: int
+
+    @property
+    def cycles(self) -> int:
+        """Double-buffered: compute overlaps DMA."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+
+@dataclass(frozen=True)
+class InferenceCost:
+    """Whole-network inference cost."""
+
+    layers: List[LayerCost]
+
+    @property
+    def cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(layer.energy_pj for layer in self.layers)
+
+    @property
+    def dram_bytes(self) -> int:
+        return sum(layer.dram_bytes for layer in self.layers)
+
+    def layer_cycles(self, index: int) -> int:
+        return self.layers[index].cycles
+
+
+def _layer_cost(layer: LayerWorkload, hw: HardwareConfig) -> LayerCost:
+    compute = math.ceil(layer.macs / hw.macs_per_cycle)
+    moved_words = layer.weight_words + layer.in_words + layer.out_words
+    dram_bytes = moved_words * hw.word_bytes
+    memory = math.ceil(dram_bytes / hw.dram_bytes_per_cycle)
+    # energy: MACs + effective SRAM traffic (weights/ifmap/ofmap words,
+    # each read or written once from SRAM per tile) + DRAM
+    energy = (
+        layer.macs * hw.energy.mac
+        + (layer.macs * 0.5 + moved_words) * hw.energy.sram_word * 0.5
+        + moved_words * hw.energy.dram_word
+    )
+    return LayerCost(layer.name, compute, memory, energy, dram_bytes)
+
+
+def inference_cost(workload: ModelWorkload, hw: HardwareConfig) -> InferenceCost:
+    """Baseline inference cost of the whole network."""
+    return InferenceCost([_layer_cost(l, hw) for l in workload.layers])
+
+
+def recompute_cycles(
+    n_neurons: int, rf_size: int, hw: HardwareConfig
+) -> int:
+    """csps recompute cost: partial sums of ``n_neurons`` receptive
+    fields re-computed on the *first PE row only* (Sec. V-B)."""
+    if n_neurons == 0:
+        return 0
+    per_neuron = math.ceil(rf_size / hw.array_cols)
+    return n_neurons * per_neuron

@@ -1,0 +1,93 @@
+"""Area model (Sec. VII-A).
+
+Per-block area constants are calibrated so the default configuration
+reproduces the paper's numbers: the 20x20 16-bit baseline at ~1.54 mm2
+and the Ptolemy additions at ~0.08 mm2 (5.2% overhead, 3.9 points of
+it from SRAM, 0.4 from the MAC augmentation, 0.9 from other logic).
+The model then extrapolates to the paper's variants: an 8-bit datapath
+(5.5%) and a 32x32 array (6.4% — the psum SRAM and per-MAC comparators
+scale with the array, outpacing the baseline's growth in this model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import HardwareConfig
+
+__all__ = ["AreaReport", "area_report"]
+
+# 15nm-class block areas (mm2)
+_SRAM_MM2_PER_KB = 0.000625          # 64 KB bank granularity
+_PSUM_SRAM_MM2_PER_KB = 0.000750     # 2 KB banks pay more overhead/KB
+_MAC16_MM2 = 0.00100                 # 16-bit MAC + registers + control
+_MAC8_MM2 = 0.00042
+_MAC_AUG16_MM2 = 0.0000155           # comparator + mux + mode reg (Fig. 9a)
+_MAC_AUG8_MM2 = 0.0000100
+_SORT_UNIT16_MM2 = 0.00400           # 16-element bitonic network
+_MERGE_TREE_MM2_PER_WAY = 0.00050
+_ACUM_UNIT_MM2 = 0.00120
+_MASK_SIM_MM2 = 0.00300              # mask gen + popcount datapath
+_CTRL_MISC_MM2 = 0.00600             # FSMs, dispatch glue
+_BASELINE_MISC_MM2 = 0.18            # NoC, DMA, host interface
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Per-block area of the augmented accelerator (Sec. VII-A)."""
+
+    baseline_mm2: float
+    sram_added_mm2: float
+    mac_aug_mm2: float
+    logic_added_mm2: float
+
+    @property
+    def added_mm2(self) -> float:
+        return self.sram_added_mm2 + self.mac_aug_mm2 + self.logic_added_mm2
+
+    @property
+    def overhead(self) -> float:
+        """Fractional area overhead over the baseline accelerator."""
+        return self.added_mm2 / self.baseline_mm2
+
+    def breakdown(self) -> dict:
+        return {
+            "baseline_mm2": self.baseline_mm2,
+            "added_mm2": self.added_mm2,
+            "overhead_pct": 100.0 * self.overhead,
+            "sram_pct_points": 100.0 * self.sram_added_mm2 / self.baseline_mm2,
+            "mac_aug_pct_points": 100.0 * self.mac_aug_mm2 / self.baseline_mm2,
+            "logic_pct_points": 100.0 * self.logic_added_mm2 / self.baseline_mm2,
+        }
+
+
+def area_report(hw: HardwareConfig) -> AreaReport:
+    """Area of the baseline accelerator and the Ptolemy additions."""
+    n_macs = hw.array_rows * hw.array_cols
+    if hw.datapath_bits == 16:
+        mac_mm2, aug_mm2 = _MAC16_MM2, _MAC_AUG16_MM2
+    elif hw.datapath_bits == 8:
+        mac_mm2, aug_mm2 = _MAC8_MM2, _MAC_AUG8_MM2
+    else:
+        raise ValueError(f"unsupported datapath width {hw.datapath_bits}")
+
+    baseline = (
+        n_macs * mac_mm2
+        + hw.accelerator_sram_kb * _SRAM_MM2_PER_KB
+        + _BASELINE_MISC_MM2
+    )
+    # the psum SRAM scales with the number of array columns feeding it
+    psum_kb = hw.psum_sram_kb * (hw.array_cols / 20.0)
+    sram_added = (
+        psum_kb * _PSUM_SRAM_MM2_PER_KB
+        + hw.constructor_sram_kb * _SRAM_MM2_PER_KB
+    )
+    mac_aug = n_macs * aug_mm2
+    logic = (
+        hw.num_sort_units * _SORT_UNIT16_MM2
+        + hw.merge_tree_length * _MERGE_TREE_MM2_PER_WAY
+        + _ACUM_UNIT_MM2
+        + _MASK_SIM_MM2
+        + _CTRL_MISC_MM2
+    )
+    return AreaReport(baseline, sram_added, mac_aug, logic)

@@ -1,0 +1,128 @@
+"""Hardware configuration and cost constants (Sec. VI-A / VII-A).
+
+The baseline accelerator matches the paper's evaluation platform: a
+TPU-like 20x20 16-bit MAC systolic array at 250 MHz with 1.5 MB of
+on-chip SRAM (64 KB banks) and four Micron 16 Gb LPDDR3-1600 DRAM
+channels.  Ptolemy adds a 32 KB psum/mask SRAM, a 64 KB path
+constructor SRAM, two 16-element sort units, a 16-way merge tree and
+an accumulation unit.
+
+Energy/area constants are representative 15nm-class numbers (the paper
+synthesises with the Silvaco 15nm open cell library but does not
+publish per-op values).  Absolute joules are therefore indicative; the
+figures the paper reports — and that this model reproduces — are
+*ratios* normalised to inference, which depend only on the relative
+magnitudes (DRAM >> SRAM >> MAC >> compare).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["EnergyTable", "HardwareConfig", "DEFAULT_HW"]
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-operation energies in picojoules (16-bit datapath)."""
+
+    mac: float = 0.55             # 16-bit fixed-point MAC
+    sram_word: float = 1.10       # 16-bit SRAM access (64 KB bank)
+    dram_word: float = 45.0       # 16-bit DRAM access (LPDDR3)
+    compare: float = 0.08         # threshold comparator in the MAC unit
+    sort_cas: float = 2.30        # compare-and-swap in the sort network
+    merge_op: float = 1.50        # one merge-tree element step
+    accumulate: float = 0.90      # one acum element step
+    mask_bit: float = 0.02        # mask generation / popcount per bit
+    mcu_op: float = 6.0           # one MCU operation (RF classifier)
+
+    def scaled_for_8bit(self) -> "EnergyTable":
+        """8-bit datapath variant (Sec. VII-G): narrower MACs and
+        halved word-transfer energy."""
+        return EnergyTable(
+            mac=self.mac * 0.45,
+            sram_word=self.sram_word * 0.5,
+            dram_word=self.dram_word * 0.5,
+            compare=self.compare * 0.6,
+            sort_cas=self.sort_cas * 0.6,
+            merge_op=self.merge_op * 0.6,
+            accumulate=self.accumulate * 0.6,
+            mask_bit=self.mask_bit,
+            mcu_op=self.mcu_op,
+        )
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """The full platform description consumed by the simulator."""
+
+    # -- baseline accelerator ------------------------------------------
+    array_rows: int = 20
+    array_cols: int = 20
+    frequency_hz: float = 250e6
+    datapath_bits: int = 16
+    accelerator_sram_kb: int = 1536       # 1.5 MB in 64 KB banks
+    sram_bank_kb: int = 64
+    # -- DRAM: four 16 Gb LPDDR3-1600 channels -------------------------
+    dram_channels: int = 4
+    dram_channel_gbps: float = 6.4        # GB/s per LPDDR3-1600 x32 channel
+    # -- Ptolemy extensions (Sec. VII-A) ---------------------------------
+    psum_sram_kb: int = 32                # banked at 2 KB
+    constructor_sram_kb: int = 64
+    num_sort_units: int = 2
+    sort_unit_width: int = 16             # elements per sorting network
+    merge_tree_length: int = 16           # runs merged simultaneously
+    mask_popcount_bits: int = 256         # path-similarity bit parallelism
+    # -- classifier (Sec. V-D) ---------------------------------------------
+    rf_trees: int = 100
+    rf_depth: int = 12
+    mcu_cycles_per_op: int = 2
+    energy: EnergyTable = field(default_factory=EnergyTable)
+
+    def __post_init__(self):
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.num_sort_units < 1 or self.merge_tree_length < 2:
+            raise ValueError("invalid path-constructor configuration")
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.array_rows * self.array_cols
+
+    @property
+    def word_bytes(self) -> int:
+        return self.datapath_bits // 8
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        total_bps = self.dram_channels * self.dram_channel_gbps * 1e9
+        return total_bps / self.frequency_hz
+
+    @property
+    def sort_network_stages(self) -> int:
+        """Bitonic-network stage count for one sort-unit pass:
+        k(k+1)/2 for width 2^k (Knuth; Sec. V-C cites sorting networks)."""
+        import math
+
+        k = int(math.log2(self.sort_unit_width))
+        return k * (k + 1) // 2
+
+    # -- variants --------------------------------------------------------
+    def with_array(self, rows: int, cols: int) -> "HardwareConfig":
+        return replace(self, array_rows=rows, array_cols=cols)
+
+    def with_8bit(self) -> "HardwareConfig":
+        return replace(
+            self, datapath_bits=8, energy=self.energy.scaled_for_8bit()
+        )
+
+    def with_sort_units(self, count: int) -> "HardwareConfig":
+        return replace(self, num_sort_units=count)
+
+    def with_merge_length(self, length: int) -> "HardwareConfig":
+        return replace(self, merge_tree_length=length)
+
+
+#: The paper's evaluation platform.
+DEFAULT_HW = HardwareConfig()

@@ -1,0 +1,39 @@
+"""Controller (MCU) cost model (Sec. V-D).
+
+The MCU dispatches instructions (software decoding of the <=30
+static-instruction programs — negligible) and runs the random-forest
+classifier: 100 trees x average depth 12 = ~2,000 operations, five
+orders of magnitude below inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import HardwareConfig
+
+__all__ = ["ControllerCost", "controller_cost"]
+
+
+@dataclass(frozen=True)
+class ControllerCost:
+    """MCU cost of instruction dispatch + final classification."""
+
+    dispatch_cycles: int
+    classify_cycles: int
+    energy_pj: float
+
+    @property
+    def cycles(self) -> int:
+        return self.dispatch_cycles + self.classify_cycles
+
+
+def controller_cost(
+    hw: HardwareConfig, program_instructions: int = 30
+) -> ControllerCost:
+    """Dispatch + random-forest classification cost."""
+    rf_ops = hw.rf_trees * hw.rf_depth
+    dispatch = program_instructions * hw.mcu_cycles_per_op
+    classify = rf_ops * hw.mcu_cycles_per_op
+    energy = (program_instructions + rf_ops) * hw.energy.mcu_op
+    return ControllerCost(dispatch, classify, energy)

@@ -1,0 +1,282 @@
+"""Transaction-level LPDDR3 DRAM model (Sec. VI-A).
+
+The paper models off-chip memory as four Micron 16 Gb LPDDR3-1600
+channels.  The top-level simulator uses a flat-bandwidth abstraction
+(``HardwareConfig.dram_bytes_per_cycle``), which is accurate for the
+long sequential streams DNN inference generates.  This module provides
+the transaction-level refinement used by the DRAM ablation benchmark:
+per-channel banks with open-row policy, activate/precharge penalties,
+and burst accounting — enough structure to show *when* the flat model
+is valid (streaming weights/feature maps: >95% row hits) and when it is
+not (scattered partial-sum reads during backward extraction).
+
+All timing parameters are expressed in accelerator cycles at 250 MHz.
+LPDDR3-1600 runs its command clock at 800 MHz (3.2 accelerator-to-DRAM
+clock ratio); the defaults below are the datasheet values converted and
+rounded up, which is conservative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "DramTimings",
+    "DramConfig",
+    "DramStats",
+    "Bank",
+    "Channel",
+    "DramModel",
+    "DoubleBufferPlan",
+    "double_buffer_cycles",
+    "stream_cycles",
+]
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Core timing parameters, in accelerator cycles (250 MHz).
+
+    LPDDR3-1600 datasheet values are ~18 ns for tRCD/tRP/RL, i.e. about
+    4.5 accelerator cycles; burst of 8 at 1600 MT/s on a x32 channel
+    moves 32 bytes in 5 ns (~1.25 accelerator cycles).
+    """
+
+    t_rcd: int = 5        # ACTIVATE -> first column command
+    t_rp: int = 5         # PRECHARGE -> next ACTIVATE
+    t_cl: int = 5         # column command -> first data beat
+    t_burst: int = 2      # one BL8 data burst on the bus
+    t_refresh_penalty: float = 0.05  # fractional bandwidth lost to refresh
+
+    def row_miss_penalty(self) -> int:
+        """Extra cycles for a closed-row access (ACT + column latency)."""
+        return self.t_rcd + self.t_cl
+
+    def row_conflict_penalty(self) -> int:
+        """Extra cycles when another row is open (PRE + ACT + column)."""
+        return self.t_rp + self.t_rcd + self.t_cl
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Geometry of the four-channel LPDDR3 subsystem."""
+
+    channels: int = 4
+    banks_per_channel: int = 8
+    row_bytes: int = 2048         # 2 KB page, x32 LPDDR3
+    burst_bytes: int = 32         # BL8 on a 32-bit channel
+    timings: DramTimings = field(default_factory=DramTimings)
+
+    def __post_init__(self):
+        if self.channels < 1 or self.banks_per_channel < 1:
+            raise ValueError("need at least one channel and one bank")
+        if self.row_bytes % self.burst_bytes:
+            raise ValueError("row size must be a multiple of the burst size")
+
+    @property
+    def bursts_per_row(self) -> int:
+        return self.row_bytes // self.burst_bytes
+
+    def with_channels(self, channels: int) -> "DramConfig":
+        return replace(self, channels=channels)
+
+
+@dataclass
+class DramStats:
+    """Aggregate transaction statistics for one simulated access stream."""
+
+    read_bursts: int = 0
+    write_bursts: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def bursts(self) -> int:
+        return self.read_bursts + self.write_bursts
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+    def merge(self, other: "DramStats") -> "DramStats":
+        return DramStats(
+            self.read_bursts + other.read_bursts,
+            self.write_bursts + other.write_bursts,
+            self.row_hits + other.row_hits,
+            self.row_misses + other.row_misses,
+            self.row_conflicts + other.row_conflicts,
+            max(self.busy_cycles, other.busy_cycles),
+        )
+
+
+class Bank:
+    """One DRAM bank with an open-row (page-open) policy."""
+
+    __slots__ = ("open_row",)
+
+    def __init__(self):
+        self.open_row: int | None = None
+
+    def access(self, row: int, timings: DramTimings) -> Tuple[str, int]:
+        """Access one burst in ``row``; returns (outcome, extra_cycles).
+
+        Outcome is ``hit``/``miss``/``conflict``; extra cycles exclude
+        the burst transfer itself.
+        """
+        if self.open_row == row:
+            return "hit", 0
+        if self.open_row is None:
+            self.open_row = row
+            return "miss", timings.row_miss_penalty()
+        self.open_row = row
+        return "conflict", timings.row_conflict_penalty()
+
+
+class Channel:
+    """One LPDDR3 channel: a set of banks sharing a data bus."""
+
+    def __init__(self, config: DramConfig):
+        self.config = config
+        self.banks = [Bank() for _ in range(config.banks_per_channel)]
+        self.stats = DramStats()
+
+    def access_burst(self, addr: int, is_write: bool) -> None:
+        """Issue one burst-granular access at channel-local ``addr``."""
+        cfg = self.config
+        burst_index = addr // cfg.burst_bytes
+        row_global = burst_index // cfg.bursts_per_row
+        bank_index = row_global % cfg.banks_per_channel
+        row = row_global // cfg.banks_per_channel
+        outcome, extra = self.banks[bank_index].access(row, cfg.timings)
+        if outcome == "hit":
+            self.stats.row_hits += 1
+        elif outcome == "miss":
+            self.stats.row_misses += 1
+        else:
+            self.stats.row_conflicts += 1
+        if is_write:
+            self.stats.write_bursts += 1
+        else:
+            self.stats.read_bursts += 1
+        self.stats.busy_cycles += cfg.timings.t_burst + extra
+
+
+class DramModel:
+    """The full multi-channel subsystem.
+
+    Addresses interleave across channels at burst granularity, the
+    standard layout for bandwidth-bound accelerators: consecutive
+    bursts land on different channels so sequential streams use all
+    four data buses.
+    """
+
+    def __init__(self, config: DramConfig | None = None):
+        self.config = config or DramConfig()
+        self.channels = [Channel(self.config) for _ in range(self.config.channels)]
+
+    # -- address mapping -------------------------------------------------
+    def _route(self, addr: int) -> Tuple[Channel, int]:
+        cfg = self.config
+        burst_index = addr // cfg.burst_bytes
+        channel = self.channels[burst_index % cfg.channels]
+        local_burst = burst_index // cfg.channels
+        return channel, local_burst * cfg.burst_bytes
+
+    # -- access API ---------------------------------------------------------
+    def access(self, addr: int, nbytes: int, is_write: bool = False) -> None:
+        """Stream ``nbytes`` starting at ``addr`` through the subsystem."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        cfg = self.config
+        if nbytes == 0:
+            return
+        first = addr // cfg.burst_bytes
+        last = (addr + nbytes - 1) // cfg.burst_bytes
+        for burst in range(first, last + 1):
+            channel, local_addr = self._route(burst * cfg.burst_bytes)
+            channel.access_burst(local_addr, is_write)
+
+    def access_scattered(
+        self, addrs: Iterable[int], nbytes_each: int, is_write: bool = False
+    ) -> None:
+        """Non-contiguous accesses (e.g. important-neuron receptive-field
+        reads during backward extraction)."""
+        for addr in addrs:
+            self.access(addr, nbytes_each, is_write)
+
+    # -- reporting ----------------------------------------------------------
+    def stats(self) -> DramStats:
+        merged = DramStats()
+        for channel in self.channels:
+            merged = merged.merge(channel.stats)
+        return merged
+
+    def bytes_moved(self) -> int:
+        return self.stats().bursts * self.config.burst_bytes
+
+    def cycles(self) -> int:
+        """Completion time: channels run in parallel, so the subsystem
+        finishes when its busiest channel does, degraded by refresh."""
+        busiest = max(channel.stats.busy_cycles for channel in self.channels)
+        return math.ceil(busiest * (1.0 + self.config.timings.t_refresh_penalty))
+
+    def effective_bytes_per_cycle(self) -> float:
+        cycles = self.cycles()
+        return self.bytes_moved() / cycles if cycles else 0.0
+
+    def reset(self) -> None:
+        self.channels = [Channel(self.config) for _ in range(self.config.channels)]
+
+
+def stream_cycles(nbytes: int, config: DramConfig | None = None) -> int:
+    """Cycles to move one sequential stream of ``nbytes`` (fresh model)."""
+    model = DramModel(config)
+    model.access(0, nbytes)
+    return model.cycles()
+
+
+@dataclass(frozen=True)
+class DoubleBufferPlan:
+    """Result of overlapping per-tile compute with per-tile DMA."""
+
+    total_cycles: int
+    compute_cycles: int
+    transfer_cycles: int
+    stall_cycles: int
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """1.0 = perfect overlap (total == max(compute, transfer))."""
+        serial = self.compute_cycles + self.transfer_cycles
+        ideal = max(self.compute_cycles, self.transfer_cycles)
+        if serial == ideal:
+            return 1.0
+        return 1.0 - (self.total_cycles - ideal) / (serial - ideal)
+
+
+def double_buffer_cycles(
+    tile_compute: Sequence[int], tile_transfer: Sequence[int]
+) -> DoubleBufferPlan:
+    """Classic two-deep double-buffer pipeline (Sec. V-A).
+
+    Tile ``i``'s compute overlaps tile ``i+1``'s DMA: the pipeline
+    starts with tile 0's transfer (fill), then each step takes
+    ``max(compute_i, transfer_{i+1})``, and ends with the last tile's
+    compute (drain).
+    """
+    if len(tile_compute) != len(tile_transfer):
+        raise ValueError("tile lists must have equal length")
+    if not tile_compute:
+        return DoubleBufferPlan(0, 0, 0, 0)
+    total = tile_transfer[0]
+    for i in range(len(tile_compute) - 1):
+        total += max(tile_compute[i], tile_transfer[i + 1])
+    total += tile_compute[-1]
+    compute = sum(tile_compute)
+    transfer = sum(tile_transfer)
+    return DoubleBufferPlan(total, compute, transfer, total - compute)

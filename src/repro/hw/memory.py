@@ -1,0 +1,87 @@
+"""DRAM traffic and space accounting (Sec. V-B / VII-A).
+
+Covers the three storage regimes of the detection algorithms:
+
+* cumulative thresholds, no recompute — every partial sum is stored
+  (the 9x-420x memory overhead of Sec. III-B);
+* cumulative + recompute — only the partial sums of important
+  receptive fields ever exist, re-computed by ``csps``;
+* absolute thresholds — a single mask bit per partial sum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import Direction, ExtractionConfig, Thresholding
+from repro.core.trace import ExtractionTrace
+from repro.hw.config import HardwareConfig
+from repro.hw.workload import ModelWorkload
+
+__all__ = ["DramFootprint", "detection_dram_footprint"]
+
+
+@dataclass(frozen=True)
+class DramFootprint:
+    """Extra DRAM space and traffic for one detection pass."""
+
+    space_bytes: int      # peak extra DRAM space
+    write_bytes: int      # extra writes during inference
+    read_bytes: int       # extra reads during extraction
+
+    @property
+    def traffic_bytes(self) -> int:
+        return self.write_bytes + self.read_bytes
+
+
+def detection_dram_footprint(
+    workload: ModelWorkload,
+    config: ExtractionConfig,
+    trace: ExtractionTrace,
+    hw: HardwareConfig,
+    recompute: bool,
+) -> DramFootprint:
+    """Extra DRAM requirements of the configured detection algorithm."""
+    space = 0
+    writes = 0
+    reads = 0
+    for i, spec in enumerate(config.layers):
+        if not spec.extract:
+            continue
+        layer = workload.layer(i)
+        try:
+            unit = trace.unit(i)
+            n_out = unit.n_out_processed
+        except KeyError:
+            n_out = 0
+        backward = config.direction is Direction.BACKWARD
+        if spec.mechanism is Thresholding.CUMULATIVE:
+            if not backward:
+                # forward-cumulative sorts the layer's own outputs, which
+                # are already on-chip: no extra DRAM involvement
+                continue
+            if recompute:
+                # only important receptive fields are ever materialised
+                psum_words = n_out * layer.rf_size
+                space += psum_words * hw.word_bytes
+                # recomputed psums live in the psum SRAM; no DRAM round trip
+            else:
+                psum_words = layer.psum_count
+                space += psum_words * hw.word_bytes
+                writes += psum_words * hw.word_bytes
+                reads += n_out * layer.rf_size * hw.word_bytes
+        elif backward:
+            # one mask bit per partial sum, stored during inference and
+            # read back for the receptive fields of important neurons
+            mask_bytes = math.ceil(layer.psum_count / 8)
+            space += mask_bytes
+            writes += mask_bytes
+            reads += math.ceil(n_out * layer.rf_size / 8)
+        else:
+            # forward-absolute thresholds the layer's output activations:
+            # one mask bit per output element
+            mask_bytes = math.ceil(layer.out_words / 8)
+            space += mask_bytes
+            writes += mask_bytes
+    return DramFootprint(space, writes, reads)

@@ -1,0 +1,97 @@
+"""Timing/energy model of the path constructor (Sec. V-C, Fig. 9b).
+
+Sorting splits a receptive field into 16-element chunks sorted in
+parallel by the sort units (bitonic networks), then merged by an
+M-way merge tree at one element per cycle per level.  Accumulation and
+mask generation are streaming units; path similarity is a bit-parallel
+AND + popcount.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.config import HardwareConfig
+
+__all__ = [
+    "sort_cycles",
+    "sort_energy_pj",
+    "acum_cycles",
+    "acum_energy_pj",
+    "mask_cycles",
+    "mask_energy_pj",
+    "similarity_cycles",
+    "similarity_energy_pj",
+]
+
+
+def sort_cycles(n_elements: int, hw: HardwareConfig) -> int:
+    """Cycles to sort one sequence of ``n_elements`` partial sums.
+
+    chunks of ``sort_unit_width`` sorted ``num_sort_units`` at a time
+    (``sort_network_stages`` cycles per pass), then ``ceil(log_M
+    chunks)`` merge levels at one element per cycle per level.
+    Sorting is memory-bound once the merge tree is wide (Fig. 18b's
+    observation that more sort units barely help).
+    """
+    if n_elements <= 1:
+        return n_elements
+    chunks = math.ceil(n_elements / hw.sort_unit_width)
+    passes = math.ceil(chunks / hw.num_sort_units)
+    chunk_cycles = passes * hw.sort_network_stages
+    merge_levels = max(
+        1, math.ceil(math.log(chunks, hw.merge_tree_length))
+    ) if chunks > 1 else 0
+    merge_cycles = n_elements * merge_levels
+    # SRAM streaming bound: each element is read and written once per
+    # level; the 2 KB-banked psum SRAM sustains one element/cycle/port
+    return chunk_cycles + merge_cycles
+
+
+def sort_energy_pj(n_elements: int, hw: HardwareConfig) -> float:
+    """Energy: CAS ops in the networks + merge steps + SRAM traffic."""
+    if n_elements <= 1:
+        return 0.0
+    chunks = math.ceil(n_elements / hw.sort_unit_width)
+    cas_ops = chunks * hw.sort_network_stages * (hw.sort_unit_width // 2)
+    merge_levels = max(
+        1, math.ceil(math.log(chunks, hw.merge_tree_length))
+    ) if chunks > 1 else 0
+    merge_ops = n_elements * merge_levels
+    sram = 2.0 * n_elements * (1 + merge_levels)
+    return (
+        cas_ops * hw.energy.sort_cas
+        + merge_ops * hw.energy.merge_op
+        + sram * hw.energy.sram_word
+    )
+
+
+def acum_cycles(n_accumulated: int) -> int:
+    """Streaming accumulate: one element per cycle until the threshold."""
+    return n_accumulated
+
+
+def acum_energy_pj(n_accumulated: int, hw: HardwareConfig) -> float:
+    """Energy of the streaming accumulate (per element)."""
+    return n_accumulated * hw.energy.accumulate
+
+
+def mask_cycles(n_bits: int, hw: HardwareConfig) -> int:
+    """Mask generation, ``mask_popcount_bits`` per cycle."""
+    return math.ceil(n_bits / hw.mask_popcount_bits)
+
+
+def mask_energy_pj(n_bits: int, hw: HardwareConfig) -> float:
+    """Energy of writing one mask bit per important-neuron position."""
+    return n_bits * hw.energy.mask_bit
+
+
+def similarity_cycles(path_bits: int, hw: HardwareConfig) -> int:
+    """AND + popcount over the whole path, bit-parallel."""
+    return math.ceil(path_bits / hw.mask_popcount_bits)
+
+
+def similarity_energy_pj(path_bits: int, hw: HardwareConfig) -> float:
+    """Energy of the bit-parallel AND + popcount similarity."""
+    return 2.0 * path_bits * hw.energy.mask_bit

@@ -1,0 +1,242 @@
+"""Top-level cycle/energy simulator for detection-augmented inference.
+
+Combines the accelerator, path-constructor, memory and controller
+models with a measured :class:`~repro.core.trace.ExtractionTrace` and a
+compiled :class:`~repro.compiler.passes.Schedule` into one
+:class:`DetectionCost` whose headline numbers are the paper's
+latency/energy overheads normalised to plain inference.
+
+Overlap modelling:
+
+* **Backward** extraction serialises after inference (paths can only
+  start from the predicted class, Sec. III-B): latency = inference +
+  sum of per-unit extraction, plus DMA stalls when cumulative psums
+  are stored rather than recomputed.
+* **Forward + layer pipelining** (Fig. 7a) uses the classic pipeline
+  recurrence: extraction of layer j starts once inference of layer j
+  and extraction of layer j-1 are both done.
+* **Neuron pipelining** (Fig. 7b) makes a unit's extraction time the
+  max of its stage totals (csps / sort / acum) instead of their sum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.passes import Schedule
+from repro.core.config import Direction, ExtractionConfig, Thresholding
+from repro.core.trace import ExtractionTrace, UnitTrace
+from repro.hw.accelerator import InferenceCost, inference_cost, recompute_cycles
+from repro.hw.config import DEFAULT_HW, HardwareConfig
+from repro.hw.controller import controller_cost
+from repro.hw.memory import DramFootprint, detection_dram_footprint
+from repro.hw import path_constructor as pc
+from repro.hw.workload import ModelWorkload
+
+__all__ = ["UnitCost", "DetectionCost", "simulate_detection"]
+
+
+@dataclass(frozen=True)
+class UnitCost:
+    """Extraction cost of one unit."""
+
+    index: int
+    cycles: int
+    energy_pj: float
+
+
+@dataclass
+class DetectionCost:
+    """Full detection-augmented inference cost."""
+
+    inference_cycles: int
+    inference_energy_pj: float
+    unit_costs: List[UnitCost] = field(default_factory=list)
+    classifier_cycles: int = 0
+    classifier_energy_pj: float = 0
+    total_cycles: int = 0
+    total_energy_pj: float = 0.0
+    dram: Optional[DramFootprint] = None
+
+    @property
+    def extraction_cycles(self) -> int:
+        return sum(u.cycles for u in self.unit_costs)
+
+    @property
+    def latency_overhead(self) -> float:
+        """Total latency normalised to plain inference (>= 1.0)."""
+        return self.total_cycles / self.inference_cycles
+
+    @property
+    def energy_overhead(self) -> float:
+        return self.total_energy_pj / self.inference_energy_pj
+
+    def summary(self) -> str:
+        return (
+            f"latency {self.latency_overhead:.2f}x, "
+            f"energy {self.energy_overhead:.2f}x, "
+            f"extra DRAM {self.dram.space_bytes / 1024:.1f} KiB"
+            if self.dram
+            else f"latency {self.latency_overhead:.2f}x"
+        )
+
+
+def _unit_extraction_cost(
+    unit: UnitTrace,
+    spec_mechanism: Thresholding,
+    direction: Direction,
+    schedule: Schedule,
+    hw: HardwareConfig,
+) -> UnitCost:
+    """Cycles/energy for one unit's extraction work."""
+    energy = 0.0
+    csps_total = 0
+    sort_total = 0
+    acum_total = 0
+    other = 0
+    if direction is Direction.BACKWARD:
+        if spec_mechanism is Thresholding.CUMULATIVE:
+            per_sort = pc.sort_cycles(unit.rf_size, hw)
+            sort_total = unit.n_out_processed * per_sort
+            acum_total = pc.acum_cycles(unit.n_important)
+            acum_total += unit.n_out_processed  # per-neuron setup
+            energy += unit.n_out_processed * pc.sort_energy_pj(unit.rf_size, hw)
+            energy += pc.acum_energy_pj(acum_total, hw)
+            if schedule.recompute:
+                csps_total = recompute_cycles(
+                    unit.n_out_processed, unit.rf_size, hw
+                )
+                energy += unit.n_out_processed * unit.rf_size * hw.energy.mac
+            else:
+                # stream stored psums back from DRAM
+                words = unit.n_out_processed * unit.rf_size
+                csps_total = math.ceil(
+                    words * hw.word_bytes / hw.dram_bytes_per_cycle
+                )
+                energy += words * (hw.energy.dram_word + hw.energy.sram_word)
+        else:  # backward absolute: read back per-psum mask bits
+            bits = unit.n_out_processed * unit.rf_size
+            other = pc.mask_cycles(bits, hw)
+            energy += bits * hw.energy.mask_bit
+            # mask store/load DRAM traffic is accounted in DramFootprint
+    else:
+        values = unit.out_size
+        if spec_mechanism is Thresholding.CUMULATIVE:
+            sort_total = pc.sort_cycles(values, hw)
+            acum_total = pc.acum_cycles(unit.n_important)
+            energy += pc.sort_energy_pj(values, hw)
+            energy += pc.acum_energy_pj(unit.n_important, hw)
+        else:
+            # comparisons happen inside the MAC array during inference;
+            # the constructor only streams the resulting mask
+            other = pc.mask_cycles(values, hw)
+            energy += values * hw.energy.compare
+    # mask generation for the tap
+    tap_bits = unit.in_size if direction is Direction.BACKWARD else unit.out_size
+    other += pc.mask_cycles(unit.n_important, hw)
+    energy += pc.mask_energy_pj(tap_bits, hw)
+
+    if schedule.neuron_pipelined and (csps_total or sort_total or acum_total):
+        stages = [csps_total, sort_total, acum_total]
+        pipeline = max(stages) + min(s for s in stages if s >= 0)
+        cycles = pipeline + other
+    else:
+        cycles = csps_total + sort_total + acum_total + other
+    return UnitCost(unit.index, int(cycles), energy)
+
+
+def simulate_detection(
+    workload: ModelWorkload,
+    config: ExtractionConfig,
+    trace: ExtractionTrace,
+    schedule: Schedule,
+    hw: HardwareConfig = DEFAULT_HW,
+    include_classifier_latency: bool = False,
+) -> DetectionCost:
+    """Simulate one detection-augmented inference.
+
+    The MCU classifier runs concurrently with the accelerator's next
+    inference and the paper attributes <0.1% of detection cost to it
+    (Sec. III-B), so its cycles are excluded from the latency path by
+    default (its energy is always counted).
+    """
+    base = inference_cost(workload, hw)
+    cost = DetectionCost(
+        inference_cycles=base.cycles, inference_energy_pj=base.energy_pj
+    )
+    dram = detection_dram_footprint(
+        workload, config, trace, hw, schedule.recompute
+    )
+    cost.dram = dram
+
+    # per-unit extraction costs
+    unit_costs: Dict[int, UnitCost] = {}
+    inference_compare_energy = 0.0
+    for unit in trace.units:
+        spec = config.layers[unit.index]
+        unit_costs[unit.index] = _unit_extraction_cost(
+            unit, spec.mechanism, config.direction, schedule, hw
+        )
+        if spec.mechanism is Thresholding.ABSOLUTE:
+            # augmented-MAC comparator: one compare per partial sum for
+            # backward thresholds, one per output element for forward
+            layer = workload.layer(unit.index)
+            compares = (
+                layer.psum_count
+                if config.direction is Direction.BACKWARD
+                else layer.out_words
+            )
+            inference_compare_energy += compares * hw.energy.compare
+    cost.unit_costs = [unit_costs[i] for i in sorted(unit_costs)]
+
+    # latency composition
+    extraction_total = sum(u.cycles for u in cost.unit_costs)
+    if config.direction is Direction.BACKWARD:
+        # psum/mask store traffic competes with inference DMA
+        stall = math.ceil(dram.write_bytes / hw.dram_bytes_per_cycle)
+        latency = base.cycles + stall + extraction_total
+    else:
+        if schedule.layer_pipelined:
+            latency = _pipelined_latency(base, cost.unit_costs)
+        else:
+            latency = base.cycles + extraction_total
+
+    # similarity + classifier (controller)
+    path_bits = sum(
+        workload.layer(i).in_words
+        if config.direction is Direction.BACKWARD
+        else workload.layer(i).out_words
+        for i in config.extracted_indices()
+    )
+    sim_cycles = pc.similarity_cycles(path_bits, hw)
+    sim_energy = pc.similarity_energy_pj(path_bits, hw)
+    ctrl = controller_cost(hw)
+    cost.classifier_cycles = sim_cycles + ctrl.cycles
+    cost.classifier_energy_pj = sim_energy + ctrl.energy_pj
+
+    cost.total_cycles = int(
+        latency + (cost.classifier_cycles if include_classifier_latency else 0)
+    )
+    cost.total_energy_pj = (
+        base.energy_pj
+        + sum(u.energy_pj for u in cost.unit_costs)
+        + inference_compare_energy
+        + dram.traffic_bytes / hw.word_bytes * hw.energy.dram_word
+        + cost.classifier_energy_pj
+    )
+    return cost
+
+
+def _pipelined_latency(base: InferenceCost, unit_costs: List[UnitCost]) -> int:
+    """Fig. 7a pipeline recurrence: extraction of unit j starts after
+    inference of unit j and extraction of unit j-1 both finish."""
+    ext = {u.index: u.cycles for u in unit_costs}
+    inf_end = 0
+    ext_end = 0
+    for j, layer in enumerate(base.layers):
+        inf_end += layer.cycles
+        if j in ext:
+            ext_end = max(inf_end, ext_end) + ext[j]
+    return max(inf_end, ext_end)

@@ -1,0 +1,149 @@
+"""Weight-stationary systolic-array dataflow model (Sec. V-B).
+
+The baseline accelerator is a TPU-like 20x20 systolic array.  The
+top-level simulator charges ``ceil(macs / (rows*cols))`` compute cycles
+per layer — the ideal-utilisation limit.  This module models the actual
+dataflow so the ablation benchmark can quantify how far real layers sit
+from that limit:
+
+* a conv/FC layer is lowered to a GEMM: ``M x K @ K x N`` where
+  ``K`` is the receptive-field size, ``N`` the output-channel count and
+  ``M`` the number of output positions;
+* the array holds a ``K_tile x N_tile`` tile of *weights* (stationary);
+  activations stream through rows, partial sums exit columns;
+* per tile: a weight-load phase (``K_tile`` cycles, columns load in
+  parallel), a streaming phase (one activation row per cycle, ``M``
+  cycles) and a pipeline drain (``K_tile + N_tile`` cycles);
+* partial sums accumulate across the ``K`` tile loop in the column
+  accumulators, so K-tiling adds no extra memory round-trips.
+
+Small or ragged layers (first conv layers: K = 27; last FC layer of a
+classifier: N = num_classes) leave most of the array idle, which is
+exactly the effect the ideal model hides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.hw.config import HardwareConfig
+from repro.hw.workload import LayerWorkload, ModelWorkload
+
+__all__ = [
+    "GemmShape",
+    "SystolicCost",
+    "gemm_shape",
+    "systolic_gemm_cycles",
+    "systolic_layer_cost",
+    "systolic_inference_cycles",
+]
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """The lowered ``M x K @ K x N`` problem for one layer."""
+
+    m: int  # output positions (batch x spatial)
+    k: int  # reduction depth (receptive-field size)
+    n: int  # output channels
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError(f"degenerate GEMM shape {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+def gemm_shape(layer: LayerWorkload) -> GemmShape:
+    """Recover the GEMM dimensions from a layer workload summary.
+
+    ``weight_words = K x N`` and ``out_words = M x N`` for both conv
+    (im2col lowering) and linear layers, so the shape follows from the
+    three recorded word counts.
+    """
+    k = layer.rf_size
+    if k <= 0 or layer.weight_words % k:
+        raise ValueError(
+            f"layer {layer.name!r}: weight words {layer.weight_words} "
+            f"not divisible by rf size {k}"
+        )
+    n = layer.weight_words // k
+    if layer.out_words % n:
+        raise ValueError(
+            f"layer {layer.name!r}: output words {layer.out_words} "
+            f"not divisible by channel count {n}"
+        )
+    m = layer.out_words // n
+    return GemmShape(m=m, k=k, n=n)
+
+
+@dataclass(frozen=True)
+class SystolicCost:
+    """Dataflow cycle breakdown for one layer."""
+
+    shape: GemmShape
+    k_tiles: int
+    n_tiles: int
+    load_cycles: int
+    stream_cycles: int
+    drain_cycles: int
+
+    @property
+    def tiles(self) -> int:
+        return self.k_tiles * self.n_tiles
+
+    @property
+    def cycles(self) -> int:
+        return self.load_cycles + self.stream_cycles + self.drain_cycles
+
+    def utilization(self, hw: HardwareConfig) -> float:
+        """Achieved MACs per array-cycle, in [0, 1]."""
+        peak = self.cycles * hw.macs_per_cycle
+        return self.shape.macs / peak if peak else 0.0
+
+    def ideal_cycles(self, hw: HardwareConfig) -> int:
+        return math.ceil(self.shape.macs / hw.macs_per_cycle)
+
+    def overhead_vs_ideal(self, hw: HardwareConfig) -> float:
+        return self.cycles / self.ideal_cycles(hw)
+
+
+def systolic_gemm_cycles(shape: GemmShape, hw: HardwareConfig) -> SystolicCost:
+    """Tile the GEMM onto the array and count dataflow cycles."""
+    rows, cols = hw.array_rows, hw.array_cols
+    k_tiles = math.ceil(shape.k / rows)
+    n_tiles = math.ceil(shape.n / cols)
+    load = 0
+    stream = 0
+    drain = 0
+    for ki in range(k_tiles):
+        k_tile = min(rows, shape.k - ki * rows)
+        for ni in range(n_tiles):
+            n_tile = min(cols, shape.n - ni * cols)
+            load += k_tile          # columns load their weights in parallel
+            stream += shape.m       # one activation vector enters per cycle
+            drain += k_tile + n_tile  # wavefront exits the array
+    return SystolicCost(
+        shape=shape,
+        k_tiles=k_tiles,
+        n_tiles=n_tiles,
+        load_cycles=load,
+        stream_cycles=stream,
+        drain_cycles=drain,
+    )
+
+
+def systolic_layer_cost(layer: LayerWorkload, hw: HardwareConfig) -> SystolicCost:
+    """Dataflow cost of one extraction unit."""
+    return systolic_gemm_cycles(gemm_shape(layer), hw)
+
+
+def systolic_inference_cycles(
+    workload: ModelWorkload, hw: HardwareConfig
+) -> List[SystolicCost]:
+    """Per-layer dataflow costs for the whole network."""
+    return [systolic_layer_cost(layer, hw) for layer in workload.layers]

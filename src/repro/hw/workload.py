@@ -1,0 +1,84 @@
+"""Static per-layer workload descriptors extracted from a model.
+
+The timing model never touches numpy weights; it consumes these shape
+summaries (MAC counts, word counts) plus the data-dependent
+:class:`~repro.core.trace.ExtractionTrace` measured by the extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.nn.graph import Graph
+from repro.nn.layers import Conv2d, Linear
+
+__all__ = ["LayerWorkload", "ModelWorkload", "model_workload"]
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Shape summary of one extraction unit."""
+
+    name: str
+    index: int
+    macs: int
+    weight_words: int
+    in_words: int
+    out_words: int
+    rf_size: int
+
+    @property
+    def psum_count(self) -> int:
+        """Partial sums generated during this layer's inference — one
+        per MAC (Sec. III-B's memory-cost analysis counts these)."""
+        return self.macs
+
+
+@dataclass(frozen=True)
+class ModelWorkload:
+    """All unit workloads of a model, in topological order."""
+
+    name: str
+    layers: List[LayerWorkload]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def total_weight_words(self) -> int:
+        return sum(l.weight_words for l in self.layers)
+
+    @property
+    def total_psums(self) -> int:
+        return sum(l.psum_count for l in self.layers)
+
+    def layer(self, index: int) -> LayerWorkload:
+        return self.layers[index]
+
+
+def model_workload(model: Graph) -> ModelWorkload:
+    """Build the workload descriptor (requires a prior forward pass so
+    convolution feature-map shapes are known)."""
+    layers: List[LayerWorkload] = []
+    for i, node in enumerate(model.extraction_units()):
+        module = node.module
+        if isinstance(module, Conv2d):
+            weight_words = module.weight.data.size
+        elif isinstance(module, Linear):
+            weight_words = module.weight.data.size
+        else:  # pragma: no cover - extraction_units returns conv/linear only
+            raise TypeError(f"unexpected unit type {type(module)}")
+        layers.append(
+            LayerWorkload(
+                name=node.name,
+                index=i,
+                macs=module.mac_count(),
+                weight_words=weight_words,
+                in_words=module.input_feature_size,
+                out_words=module.output_feature_size,
+                rf_size=module.nominal_rf_size(),
+            )
+        )
+    return ModelWorkload(model.name, layers)

@@ -1,0 +1,124 @@
+"""Model adapter giving the CISC inference instructions their semantics.
+
+In the real hardware, ``inf``/``infsp``/``csps`` run on the (augmented)
+DNN accelerator and ``findneuron``/``findrf`` are address calculations
+sequenced by an FSM.  In the ISS these delegate to the bound model:
+``inf`` runs the layer and deposits its output feature map in machine
+memory; ``csps`` recomputes the (partial sum, input position) pairs of
+one output neuron — exactly the recompute optimisation of Sec. IV-B.
+
+The adapter also performs the controller's seeding step: after the
+final layer's ``inf``, the predicted-class bit is written into the
+seed-mask region (the controller knows the prediction because it reads
+the logits to drive classification).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compiler.memory_map import MemoryMap
+from repro.nn.graph import Graph
+
+__all__ = ["ModelAdapter"]
+
+
+class ModelAdapter:
+    """Binds a model + input to a Machine's CISC instructions."""
+
+    def __init__(self, model: Graph, mem_map: MemoryMap, x: np.ndarray):
+        if x.shape[0] != 1:
+            raise ValueError("adapter operates on a single-sample batch")
+        self.model = model
+        self.mem_map = mem_map
+        self.units = model.extraction_units()
+        self.x = x
+        self._ran_inference = False
+        self._ofmap_to_unit = {
+            mem_map.ofmap(i): i for i in range(len(self.units))
+        }
+        self.predicted_class: Optional[int] = None
+        #: whether infsp stored partial sums (affects the cost model, not
+        #: functional behaviour: csps recomputes either way in the ISS)
+        self.psums_stored = set()
+
+    # -- inference ----------------------------------------------------
+    def _ensure_forward(self) -> None:
+        if not self._ran_inference:
+            logits = self.model.forward(self.x)
+            self.predicted_class = int(logits[0].argmax())
+            self._ran_inference = True
+
+    def inf(self, machine, in_addr, w_addr, out_addr) -> None:
+        """Run one layer; deposit its output feature map at out_addr."""
+        self._ensure_forward()
+        unit_idx = self._ofmap_to_unit.get(int(out_addr))
+        if unit_idx is None:
+            raise ValueError(f"inf: unknown output region {out_addr}")
+        node = self.units[unit_idx]
+        values = self.model.activations[node.name][0].ravel()
+        base = int(out_addr)
+        machine.memory[base : base + values.size] = values
+        if unit_idx == len(self.units) - 1:
+            self._seed_prediction(machine)
+
+    def infsp(self, machine, in_addr, w_addr, out_addr, psum_addr) -> None:
+        """inf + store partial sums (BwCu without the recompute pass)."""
+        self.inf(machine, in_addr, w_addr, out_addr)
+        unit_idx = self._ofmap_to_unit[int(out_addr)]
+        self.psums_stored.add(unit_idx)
+
+    def _seed_prediction(self, machine) -> None:
+        """Controller action: set the predicted-class bit in the seed
+        mask (backward extraction starts from the predicted class)."""
+        from repro.isa.machine import FIXED_ONE
+
+        assert self.predicted_class is not None
+        seed = self.mem_map.base("seed")
+        machine.memory[seed + self.predicted_class] = float(FIXED_ONE)
+
+    # -- path construction helpers -------------------------------------
+    def csps(self, machine, neuron_pos: int, layer_id: int, dst: int) -> None:
+        """Write the count-prefixed (partial sum, input position) pair
+        list of one output neuron to ``dst``."""
+        self._ensure_forward()
+        module = self.units[layer_id].module
+        psums = module.partial_sums(neuron_pos)
+        rf = module.receptive_field(neuron_pos)
+        machine.memory[dst] = psums.size
+        pairs = np.empty(2 * psums.size)
+        pairs[0::2] = psums
+        pairs[1::2] = rf
+        machine.memory[dst + 1 : dst + 1 + pairs.size] = pairs
+
+    def rf_size(self, layer_id: int) -> int:
+        """Nominal receptive-field size of a unit (used by the timed
+        machine to size ``csps`` micro-ops)."""
+        return self.units[layer_id].module.nominal_rf_size()
+
+    def findneuron(self, machine, layer_id: int, position: int) -> int:
+        """Address of a neuron's value in its layer's ofmap region."""
+        out_size = self.units[layer_id].module.output_feature_size
+        if not 0 <= position < out_size:
+            raise IndexError(
+                f"neuron {position} out of range for layer {layer_id}"
+            )
+        return self.mem_map.ofmap(layer_id) + position
+
+    def findrf(self, machine, neuron_addr: int) -> int:
+        """Start address of the receptive field of a neuron.
+
+        For dense layers the receptive field is the whole previous
+        feature map; the compiled programs in this repo use ``csps``
+        (which embeds positions) so this is provided for ISA
+        completeness and Listing-1-style programs.
+        """
+        for base, unit_idx in self._ofmap_to_unit.items():
+            size = self.units[unit_idx].module.output_feature_size
+            if base <= neuron_addr < base + size:
+                if unit_idx == 0:
+                    raise ValueError("first layer has no in-memory ifmap")
+                return self.mem_map.ofmap(unit_idx - 1)
+        raise ValueError(f"address {neuron_addr} is not inside an ofmap")

@@ -1,0 +1,151 @@
+"""The Ptolemy ISA (Table I): 24-bit fixed-length CISC-like encoding.
+
+Sixteen general-purpose registers; opcode in bits 23-20; register
+operands in the following 4-bit fields.  Detection-related instructions
+take register operands only (the paper's encoding-simplification
+decision); ``mov`` carries a 12-bit immediate for compiler-calculated
+constants such as receptive-field sizes, and ``jne`` carries a 16-bit
+absolute instruction index.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "NUM_REGISTERS",
+    "WORD_BITS",
+    "encode",
+    "decode",
+    "OPERAND_SPECS",
+]
+
+NUM_REGISTERS = 16
+WORD_BITS = 24
+
+
+class Opcode(enum.IntEnum):
+    """4-bit opcodes, grouped as in Table I."""
+
+    # Inference
+    INF = 0b0000      # inf    rs_in, rs_w, rs_out
+    INFSP = 0b0001    # infsp  rs_in, rs_w, rs_out, rs_psum
+    CSPS = 0b0010     # csps   rs_neuron_id, rs_layer_id, rs_psum
+    # Path construction
+    SORT = 0b0011     # sort   rs_src, rs_len, rs_dst
+    ACUM = 0b0100     # acum   rs_src, rs_dst, rs_threshold
+    GENMASKS = 0b0101  # genmasks rs_src, rs_dst
+    FINDNEURON = 0b0110  # findneuron rs_layer, rs_pos, rd_addr
+    FINDRF = 0b0111   # findrf rs_neuron_addr, rd_rf_addr
+    # Classification
+    CLS = 0b1000      # cls    rs_classpath, rs_actpath, rd_result
+    # Others
+    MOV = 0b1001      # mov    rd, imm12
+    MOVR = 0b1010     # movr   rd, rs
+    DEC = 0b1011      # dec    rd           (sets Z flag)
+    ADD = 0b1100      # add    rd, rs1, rs2
+    MUL = 0b1101      # mul    rd, rs       (rd *= mem[rs] semantics below)
+    JNE = 0b1110      # jne    imm16        (branch if Z flag clear)
+    HALT = 0b1111     # halt
+
+
+#: operand kinds per opcode: 'r' = register field, 'i12'/'i16' = immediate
+OPERAND_SPECS: Dict[Opcode, Tuple[str, ...]] = {
+    Opcode.INF: ("r", "r", "r"),
+    Opcode.INFSP: ("r", "r", "r", "r"),
+    Opcode.CSPS: ("r", "r", "r"),
+    Opcode.SORT: ("r", "r", "r"),
+    Opcode.ACUM: ("r", "r", "r"),
+    Opcode.GENMASKS: ("r", "r"),
+    Opcode.FINDNEURON: ("r", "r", "r"),
+    Opcode.FINDRF: ("r", "r"),
+    Opcode.CLS: ("r", "r", "r"),
+    Opcode.MOV: ("r", "i16"),
+    Opcode.MOVR: ("r", "r"),
+    Opcode.DEC: ("r",),
+    Opcode.ADD: ("r", "r", "r"),
+    Opcode.MUL: ("r", "r"),
+    Opcode.JNE: ("i16",),
+    Opcode.HALT: (),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: Opcode
+    operands: Tuple[int, ...] = ()
+    comment: str = ""
+
+    def __post_init__(self):
+        spec = OPERAND_SPECS[self.opcode]
+        if len(self.operands) != len(spec):
+            raise ValueError(
+                f"{self.opcode.name} expects {len(spec)} operands, "
+                f"got {len(self.operands)}"
+            )
+        for value, kind in zip(self.operands, spec):
+            limit = {"r": NUM_REGISTERS, "i12": 1 << 12, "i16": 1 << 16}[kind]
+            if not 0 <= value < limit:
+                raise ValueError(
+                    f"{self.opcode.name} operand {value} out of range for {kind}"
+                )
+
+    def __str__(self) -> str:
+        spec = OPERAND_SPECS[self.opcode]
+        parts = [
+            f"r{v}" if kind == "r" else str(v)
+            for v, kind in zip(self.operands, spec)
+        ]
+        text = f"{self.opcode.name.lower()} {', '.join(parts)}".rstrip()
+        return f"{text:32s}; {self.comment}" if self.comment else text
+
+
+def encode(instr: Instruction) -> int:
+    """Pack an instruction into a 24-bit word.
+
+    Register fields fill bit positions 19-16, 15-12, ... in operand
+    order.  A 12-bit immediate occupies bits 15-4; a 16-bit immediate
+    occupies bits 15-0 when it follows a register (``mov``) or bits
+    19-4 when the instruction has no register operands (``jne``).
+    """
+    word = int(instr.opcode) << 20
+    spec = OPERAND_SPECS[instr.opcode]
+    shift = 16
+    saw_register = False
+    for value, kind in zip(instr.operands, spec):
+        if kind == "r":
+            word |= value << shift
+            shift -= 4
+            saw_register = True
+        elif kind == "i12":
+            word |= value << 4
+        elif kind == "i16":
+            word |= value << (0 if saw_register else 4)
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a 24-bit word into an instruction."""
+    if not 0 <= word < (1 << WORD_BITS):
+        raise ValueError(f"word {word:#x} exceeds {WORD_BITS} bits")
+    opcode = Opcode((word >> 20) & 0xF)
+    spec = OPERAND_SPECS[opcode]
+    operands: List[int] = []
+    shift = 16
+    saw_register = False
+    for kind in spec:
+        if kind == "r":
+            operands.append((word >> shift) & 0xF)
+            shift -= 4
+            saw_register = True
+        elif kind == "i12":
+            operands.append((word >> 4) & 0xFFF)
+        elif kind == "i16":
+            operands.append((word >> (0 if saw_register else 4)) & 0xFFFF)
+    return Instruction(opcode, tuple(operands))

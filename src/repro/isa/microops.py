@@ -1,0 +1,366 @@
+"""Micro-op decomposition and in-order timing of detection programs.
+
+The Ptolemy ISA is CISC-like: each instruction "will be decomposed by
+micro-instructions controlled by an FSM" (Sec. IV-A), and the hardware
+stays in-order but "would still have the logic to check dependencies
+and stall the pipeline if necessary" (Sec. IV-B).  This module models
+exactly that machinery:
+
+* :class:`TimedMachine` executes a program *functionally* (inheriting
+  the ISS semantics) while recording, per dynamic instruction, the
+  micro-ops the FSM would sequence — with concrete lengths/addresses,
+  because decomposition happens at execute time when operand registers
+  hold real values;
+* :func:`schedule` plays the micro-op stream through an in-order
+  scoreboard: issue is program-ordered, but a micro-op only *starts*
+  once its register and memory-region dependencies have resolved and
+  its functional unit is free.  Independent instructions on different
+  units therefore overlap — which is how the compiler's neuron-level
+  pipelining (sort(i+1) under acum(i), Fig. 7b) buys its speedup.
+
+The result is a cycle estimate for the *path-construction side* of
+detection that is grounded in the dynamic instruction stream, used by
+the micro-architecture benchmarks to cross-check the analytical
+simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hw.config import DEFAULT_HW, HardwareConfig
+from repro.hw import path_constructor as pc
+from repro.isa.encoding import Instruction, Opcode
+from repro.isa.machine import Machine
+from repro.isa.program import Program
+
+__all__ = [
+    "MicroOp",
+    "InstrTiming",
+    "TimedMachine",
+    "ScheduleResult",
+    "schedule",
+    "time_program",
+]
+
+#: Functional units a micro-op can occupy.
+UNITS = ("mcu", "pe", "sort", "merge", "acum", "maskgen", "simd", "dma")
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One FSM step: a unit occupied for some cycles, with the register
+    and memory-region sets the scoreboard needs."""
+
+    unit: str
+    cycles: int
+    reads_regs: Tuple[int, ...] = ()
+    writes_regs: Tuple[int, ...] = ()
+    reads_mem: Tuple[Tuple[int, int], ...] = ()   # (start, length) regions
+    writes_mem: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self):
+        if self.unit not in UNITS:
+            raise ValueError(f"unknown unit {self.unit!r}")
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")
+
+
+@dataclass
+class InstrTiming:
+    """The micro-ops of one dynamic instruction."""
+
+    index: int               # dynamic instruction number
+    opcode: Opcode
+    uops: List[MicroOp]
+
+    @property
+    def cycles(self) -> int:
+        return sum(u.cycles for u in self.uops)
+
+
+class TimedMachine(Machine):
+    """ISS that records the FSM micro-op stream while executing.
+
+    ``layer_cycles`` supplies the accelerator cycles of each ``inf`` /
+    ``infsp`` in program order (the PE-array side is modelled by
+    :mod:`repro.hw.accelerator`; this machine times everything else).
+    """
+
+    def __init__(
+        self,
+        memory_words: int = 1 << 18,
+        adapter=None,
+        hw: HardwareConfig = DEFAULT_HW,
+        layer_cycles: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(memory_words, adapter)
+        self.hw = hw
+        self.layer_cycles = list(layer_cycles or [])
+        self.timings: List[InstrTiming] = []
+        self._inference_count = 0
+
+    # -- hook -------------------------------------------------------------
+    def _execute(self, instr: Instruction) -> None:
+        uops = self._decompose_pre(instr)
+        before = self._capture_pre_state(instr)
+        super()._execute(instr)
+        uops.extend(self._decompose_post(instr, before))
+        self.timings.append(
+            InstrTiming(len(self.timings), instr.opcode, uops)
+        )
+
+    # -- decomposition ------------------------------------------------------
+    def _capture_pre_state(self, instr: Instruction) -> dict:
+        """State needed to size data-dependent uops after execution."""
+        op = instr.opcode
+        if op is Opcode.ACUM:
+            dst = int(self.regs[instr.operands[1]])
+            return {"dst": dst, "count_before": int(self.memory[dst])}
+        if op is Opcode.GENMASKS:
+            src = int(self.regs[instr.operands[0]])
+            return {"n_indices": int(self.memory[src])}
+        return {}
+
+    def _decompose_pre(self, instr: Instruction) -> List[MicroOp]:
+        """Micro-ops that can be sized from pre-execution state."""
+        op = instr.opcode
+        ops = instr.operands
+        hw = self.hw
+        if op in (Opcode.MOV, Opcode.MOVR, Opcode.DEC, Opcode.ADD):
+            writes = (ops[0],)
+            reads = tuple(ops[1:]) if op is not Opcode.MOV else ()
+            return [MicroOp("mcu", 1, reads_regs=reads, writes_regs=writes)]
+        if op is Opcode.JNE:
+            return [MicroOp("mcu", 1)]
+        if op is Opcode.HALT:
+            return [MicroOp("mcu", 1)]
+        if op is Opcode.MUL:
+            addr = int(self.regs[ops[1]])
+            return [
+                MicroOp(
+                    "mcu", 2,
+                    reads_regs=(ops[0], ops[1]),
+                    writes_regs=(ops[0],),
+                    reads_mem=((addr, 1),),
+                )
+            ]
+        if op in (Opcode.FINDNEURON, Opcode.FINDRF):
+            writes = (ops[-1],)
+            return [
+                MicroOp("mcu", 2, reads_regs=tuple(ops[:-1]), writes_regs=writes)
+            ]
+        if op in (Opcode.INF, Opcode.INFSP):
+            cycles = (
+                self.layer_cycles[self._inference_count]
+                if self._inference_count < len(self.layer_cycles)
+                else 0
+            )
+            self._inference_count += 1
+            return [MicroOp("pe", cycles, reads_regs=tuple(ops))]
+        if op is Opcode.CSPS:
+            dst = int(self.regs[ops[2]])
+            # recompute on the first PE row only (Sec. V-B): the row's
+            # columns work one receptive field in parallel
+            rf = self._csps_rf_size(ops)
+            cycles = max(1, math.ceil(rf / hw.array_cols))
+            return [
+                MicroOp(
+                    "pe", cycles,
+                    reads_regs=tuple(ops),
+                    writes_mem=((dst, 2 * rf + 1),),
+                )
+            ]
+        if op is Opcode.SORT:
+            src = int(self.regs[ops[0]])
+            dst = int(self.regs[ops[2]])
+            count = int(self.memory[src])
+            region = 2 * count + 1
+            chunks = math.ceil(count / hw.sort_unit_width) if count else 0
+            passes = math.ceil(chunks / hw.num_sort_units) if chunks else 0
+            sort_cyc = passes * hw.sort_network_stages
+            merge_cyc = max(0, pc.sort_cycles(count, hw) - sort_cyc)
+            uops = [
+                MicroOp(
+                    "sort", sort_cyc,
+                    reads_regs=tuple(ops),
+                    reads_mem=((src, region),),
+                )
+            ]
+            uops.append(
+                MicroOp(
+                    "merge", merge_cyc,
+                    writes_mem=((dst, region),),
+                )
+            )
+            return uops
+        if op is Opcode.CLS:
+            cp = int(self.regs[ops[0]])
+            ap = int(self.regs[ops[1]])
+            length = int(self.memory[cp])
+            cycles = pc.similarity_cycles(length, hw)
+            return [
+                MicroOp(
+                    "simd", max(1, cycles),
+                    reads_regs=(ops[0], ops[1]),
+                    writes_regs=(ops[2],),
+                    reads_mem=((cp, length + 1), (ap, length)),
+                )
+            ]
+        return []
+
+    def _decompose_post(self, instr: Instruction, before: dict) -> List[MicroOp]:
+        """Micro-ops whose size depends on what the instruction did."""
+        op = instr.opcode
+        ops = instr.operands
+        if op is Opcode.ACUM:
+            src = int(self.regs[ops[0]])
+            dst = before["dst"]
+            appended = int(self.memory[dst]) - before["count_before"]
+            count = int(self.memory[src])
+            return [
+                MicroOp(
+                    "acum", max(1, appended),
+                    reads_regs=tuple(ops),
+                    reads_mem=((src, 2 * count + 1),),
+                    writes_mem=((dst, int(self.memory[dst]) + 1),),
+                )
+            ]
+        if op is Opcode.GENMASKS:
+            src = int(self.regs[ops[0]])
+            dst = int(self.regs[ops[1]])
+            n = before["n_indices"]
+            cycles = max(1, math.ceil(n / max(1, self.hw.mask_popcount_bits // 8)))
+            return [
+                MicroOp(
+                    "maskgen", cycles,
+                    reads_regs=tuple(ops),
+                    reads_mem=((src, n + 1),),
+                    writes_mem=((dst, 1),),  # sparse scatter; see schedule()
+                )
+            ]
+        return []
+
+    def _csps_rf_size(self, ops) -> int:
+        """Receptive-field size for a csps, via the adapter when
+        available (the adapter knows layer geometry)."""
+        if self.adapter is not None and hasattr(self.adapter, "rf_size"):
+            return int(self.adapter.rf_size(int(self.regs[ops[1]])))
+        return self.hw.sort_unit_width  # conservative floor
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of playing a micro-op stream through the scoreboard."""
+
+    total_cycles: int
+    busy_cycles: Dict[str, int]
+    stall_cycles: int
+    instructions: int
+
+    def utilization(self, unit: str) -> float:
+        return (
+            self.busy_cycles.get(unit, 0) / self.total_cycles
+            if self.total_cycles
+            else 0.0
+        )
+
+
+def _overlaps(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    return a[0] < b[0] + b[1] and b[0] < a[0] + a[1]
+
+
+def schedule(
+    timings: Sequence[InstrTiming],
+    in_order_issue: bool = True,
+) -> ScheduleResult:
+    """In-order scoreboard over the dynamic micro-op stream.
+
+    Issue is program-ordered (1 dispatch/cycle); a micro-op starts at
+    the latest of (a) its issue slot, (b) its register and memory
+    dependencies resolving, and (c) its functional unit going free.
+    With ``in_order_issue=False`` constraint (a) is dropped, giving the
+    dataflow limit — the gap between the two is the cost of staying
+    in-order, which the paper accepts to avoid OoO scheduling logic.
+    """
+    reg_ready = [0] * 16
+    unit_free: Dict[str, int] = {u: 0 for u in UNITS}
+    mem_writes: List[Tuple[Tuple[int, int], int]] = []  # (region, done)
+    mem_reads: List[Tuple[Tuple[int, int], int]] = []
+    issue_floor = 0      # dispatch slot: one instruction per cycle
+    dispatch_time = 0    # when the previous instruction actually started
+    finish = 0
+    busy: Dict[str, int] = {u: 0 for u in UNITS}
+    stalls = 0
+    for timing in timings:
+        uop_chain_ready = issue_floor
+        if in_order_issue:
+            # in-order: an instruction cannot start before its
+            # predecessor started (it may still finish earlier)
+            uop_chain_ready = max(uop_chain_ready, dispatch_time)
+        first_uop = True
+        for uop in timing.uops:
+            earliest = uop_chain_ready
+            for r in uop.reads_regs:
+                earliest = max(earliest, reg_ready[r])
+            for r in uop.writes_regs:
+                earliest = max(earliest, reg_ready[r])
+            for region in uop.reads_mem:
+                for other, done in mem_writes:
+                    if _overlaps(region, other):
+                        earliest = max(earliest, done)
+            for region in uop.writes_mem:
+                for other, done in mem_writes:
+                    if _overlaps(region, other):
+                        earliest = max(earliest, done)
+                for other, done in mem_reads:
+                    if _overlaps(region, other):
+                        earliest = max(earliest, done)
+            start = max(earliest, unit_free[uop.unit])
+            stalls += start - uop_chain_ready
+            if first_uop:
+                dispatch_time = start
+                first_uop = False
+            end = start + uop.cycles
+            unit_free[uop.unit] = end
+            busy[uop.unit] += uop.cycles
+            for r in uop.writes_regs:
+                reg_ready[r] = end
+            for region in uop.writes_mem:
+                mem_writes.append((region, end))
+            for region in uop.reads_mem:
+                mem_reads.append((region, end))
+            uop_chain_ready = end
+            finish = max(finish, end)
+        if in_order_issue:
+            issue_floor += 1  # one dispatch slot per instruction
+        # prune resolved records: nothing can start before issue_floor
+        mem_writes = [(r, d) for r, d in mem_writes if d > issue_floor]
+        mem_reads = [(r, d) for r, d in mem_reads if d > issue_floor]
+    return ScheduleResult(
+        total_cycles=finish,
+        busy_cycles={u: c for u, c in busy.items() if c},
+        stall_cycles=stalls,
+        instructions=len(timings),
+    )
+
+
+def time_program(
+    program: Program,
+    adapter=None,
+    hw: HardwareConfig = DEFAULT_HW,
+    layer_cycles: Optional[Sequence[int]] = None,
+    memory_words: int = 1 << 18,
+) -> Tuple[TimedMachine, ScheduleResult]:
+    """Run ``program`` on a :class:`TimedMachine` and schedule its
+    micro-op stream; returns (machine, schedule result)."""
+    machine = TimedMachine(
+        memory_words=memory_words,
+        adapter=adapter,
+        hw=hw,
+        layer_cycles=layer_cycles,
+    )
+    machine.run(program)
+    return machine, schedule(machine.timings)

@@ -1,0 +1,139 @@
+"""Program container, assembler and disassembler for the Ptolemy ISA.
+
+The assembler accepts the textual syntax of the paper's Listing 1:
+``.set`` directives for compiler-calculated constants, ``<label>``
+definitions, and ``jne <label>`` branches.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.encoding import (
+    Instruction,
+    Opcode,
+    OPERAND_SPECS,
+    encode,
+)
+
+__all__ = ["Program", "assemble", "disassemble"]
+
+
+@dataclass
+class Program:
+    """An instruction sequence plus symbol metadata."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    constants: Dict[str, int] = field(default_factory=dict)
+
+    def append(self, opcode: Opcode, *operands: int, comment: str = "") -> int:
+        """Append an instruction; returns its index."""
+        self.instructions.append(Instruction(opcode, tuple(operands), comment))
+        return len(self.instructions) - 1
+
+    def label(self, name: str) -> None:
+        """Define a label at the next instruction index."""
+        if name in self.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def patch(self, index: int, *operands: int) -> None:
+        """Replace the operands of an existing instruction (used to
+        back-patch forward branch targets)."""
+        old = self.instructions[index]
+        self.instructions[index] = Instruction(old.opcode, tuple(operands), old.comment)
+
+    def encode_all(self) -> List[int]:
+        return [encode(i) for i in self.instructions]
+
+    @property
+    def size_bytes(self) -> int:
+        """Static code size (3 bytes per 24-bit instruction).  The paper
+        notes its largest program is ~30 instructions / under 100 bytes."""
+        return 3 * len(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        index_to_label = {v: k for k, v in self.labels.items()}
+        lines: List[str] = []
+        for i, instr in enumerate(self.instructions):
+            if i in index_to_label:
+                lines.append(f"<{index_to_label[i]}>")
+            lines.append(f"  {instr}")
+        return "\n".join(lines)
+
+
+_LINE_RE = re.compile(r"^\s*([a-z]+)\s*(.*?)\s*(?:;.*)?$")
+
+
+def assemble(text: str) -> Program:
+    """Assemble textual Ptolemy assembly into a Program.
+
+    Supports ``.set NAME value``, ``<label>`` lines, register operands
+    (``r0``..``r15``), integer immediates, ``.set`` constant names, and
+    ``<label>`` branch targets.
+    """
+    program = Program()
+    pending: List[tuple] = []  # (instr index, label name) to back-patch
+    for raw in text.splitlines():
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".set"):
+            _, name, value = line.split()
+            program.constants[name] = int(value, 0)
+            continue
+        if line.startswith("<") and line.endswith(">"):
+            program.label(line[1:-1])
+            continue
+        match = _LINE_RE.match(line.lower())
+        if not match:
+            raise SyntaxError(f"cannot parse line: {raw!r}")
+        mnemonic, rest = match.groups()
+        try:
+            opcode = Opcode[mnemonic.upper()]
+        except KeyError as exc:
+            raise SyntaxError(f"unknown mnemonic {mnemonic!r}") from exc
+        operand_text = [t.strip() for t in rest.split(",") if t.strip()]
+        spec = OPERAND_SPECS[opcode]
+        operands: List[int] = []
+        label_ref: Optional[str] = None
+        for token, kind in zip(operand_text, spec):
+            if kind == "r":
+                if not token.startswith("r"):
+                    raise SyntaxError(f"expected register, got {token!r}")
+                operands.append(int(token[1:]))
+            else:
+                if token.startswith("<") and token.endswith(">"):
+                    label_ref = token[1:-1]
+                    operands.append(0)  # patched below
+                elif token in program.constants:
+                    operands.append(program.constants[token])
+                else:
+                    operands.append(int(token, 0))
+        if len(operands) != len(spec):
+            raise SyntaxError(
+                f"{mnemonic} expects {len(spec)} operands in {raw!r}"
+            )
+        idx = program.append(opcode, *operands)
+        if label_ref is not None:
+            pending.append((idx, label_ref))
+    for idx, name in pending:
+        if name not in program.labels:
+            raise SyntaxError(f"undefined label {name!r}")
+        program.patch(idx, program.labels[name])
+    return program
+
+
+def disassemble(words: List[int]) -> Program:
+    """Decode a list of 24-bit words back into a Program."""
+    from repro.isa.encoding import decode
+
+    program = Program()
+    program.instructions = [decode(w) for w in words]
+    return program

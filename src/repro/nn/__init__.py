@@ -1,0 +1,82 @@
+"""repro.nn — a from-scratch numpy DNN framework.
+
+Provides training and inference with explicit backprop, plus the
+partial-sum introspection hooks Ptolemy's path extraction consumes.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.graph import Graph, Node, INPUT
+from repro.nn.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.losses import cross_entropy, margin_loss, mse
+from repro.nn.optim import SGD, Adam
+from repro.nn.trainer import (
+    TrainConfig,
+    TrainResult,
+    evaluate_accuracy,
+    train_classifier,
+)
+from repro.nn.io import load_model_into, save_model
+from repro.nn.models import (
+    MODEL_BUILDERS,
+    build_mini_alexnet,
+    build_mini_densenet,
+    build_mini_inception,
+    build_mini_resnet18,
+    build_mini_resnet50,
+    build_mini_vgg,
+    build_mlp,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Graph",
+    "Node",
+    "INPUT",
+    "Add",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Concat",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "cross_entropy",
+    "margin_loss",
+    "mse",
+    "SGD",
+    "Adam",
+    "TrainConfig",
+    "TrainResult",
+    "train_classifier",
+    "evaluate_accuracy",
+    "save_model",
+    "load_model_into",
+    "MODEL_BUILDERS",
+    "build_mlp",
+    "build_mini_alexnet",
+    "build_mini_resnet18",
+    "build_mini_resnet50",
+    "build_mini_vgg",
+    "build_mini_densenet",
+    "build_mini_inception",
+]

@@ -1,0 +1,182 @@
+"""DAG network container.
+
+Models are flat directed acyclic graphs of primitive layers.  A flat
+graph (rather than nested composite modules) is what makes Ptolemy's
+path extraction straightforward: extraction walks the same node list
+that inference does, so important-neuron positions can be propagated
+through pooling/merge layers without special cases per architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Add, Concat, Conv2d, Linear
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Node", "Graph", "INPUT"]
+
+#: Sentinel name for the graph input.
+INPUT = "input"
+
+
+class Node:
+    """A named layer instance plus the names of its input nodes."""
+
+    def __init__(self, name: str, module: Module, inputs: Sequence[str]):
+        self.name = name
+        self.module = module
+        self.inputs = list(inputs)
+
+    @property
+    def is_multi_input(self) -> bool:
+        return isinstance(self.module, (Add, Concat))
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, {self.module!r}, inputs={self.inputs})"
+
+
+class Graph(Module):
+    """A feed-forward DAG of layers with a single input and output.
+
+    Nodes must be added in topological order (each node's inputs must
+    already exist).  The last node added is the output unless
+    ``set_output`` is called.
+    """
+
+    def __init__(self, name: str = "graph"):
+        super().__init__()
+        self.name = name
+        self.nodes: List[Node] = []
+        self._by_name: Dict[str, Node] = {}
+        self._output_name: Optional[str] = None
+        self.activations: Dict[str, np.ndarray] = {}
+
+    # -- construction ----------------------------------------------------
+    def add(
+        self, name: str, module: Module, inputs: Optional[Sequence[str]] = None
+    ) -> str:
+        """Add a node and return its name (for chaining)."""
+        if name in self._by_name or name == INPUT:
+            raise ValueError(f"duplicate node name: {name!r}")
+        if inputs is None:
+            inputs = [self.nodes[-1].name] if self.nodes else [INPUT]
+        for input_name in inputs:
+            if input_name != INPUT and input_name not in self._by_name:
+                raise ValueError(
+                    f"node {name!r} references unknown input {input_name!r}"
+                )
+        node = Node(name, module, inputs)
+        self.nodes.append(node)
+        self._by_name[name] = node
+        self._output_name = name
+        return name
+
+    def set_output(self, name: str) -> None:
+        if name not in self._by_name:
+            raise ValueError(f"unknown node: {name!r}")
+        self._output_name = name
+
+    def node(self, name: str) -> Node:
+        return self._by_name[name]
+
+    @property
+    def output_name(self) -> str:
+        if self._output_name is None:
+            raise RuntimeError("graph has no nodes")
+        return self._output_name
+
+    # -- execution ----------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        acts: Dict[str, np.ndarray] = {INPUT: x}
+        for node in self.nodes:
+            if node.is_multi_input:
+                out = node.module.forward_multi([acts[i] for i in node.inputs])
+            else:
+                out = node.module.forward(acts[node.inputs[0]])
+            acts[node.name] = out
+        self.activations = acts
+        return acts[self.output_name]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Reverse-accumulate gradients; returns the input gradient."""
+        return self.backward_from({self.output_name: grad_out})
+
+    def backward_from(self, seeds: Dict[str, np.ndarray]) -> np.ndarray:
+        """Backward pass seeded at arbitrary nodes.
+
+        ``seeds`` maps node names to output-gradient arrays.  Used by
+        the adaptive attack (Sec. VII-E), whose loss depends on
+        intermediate activations rather than only the logits.
+        """
+        grads: Dict[str, np.ndarray] = {k: v.copy() for k, v in seeds.items()}
+        for node in reversed(self.nodes):
+            if node.name not in grads:
+                continue
+            grad = grads.pop(node.name)
+            if node.is_multi_input:
+                input_grads = node.module.backward_multi(grad)
+            else:
+                input_grads = [node.module.backward(grad)]
+            for input_name, g in zip(node.inputs, input_grads):
+                if input_name in grads:
+                    grads[input_name] = grads[input_name] + g
+                else:
+                    grads[input_name] = g
+        return grads[INPUT]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of logits)."""
+        return self.forward(x).argmax(axis=1)
+
+    # -- parameters -----------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for node in self.nodes:
+            params.extend(node.module.parameters())
+        return params
+
+    def train(self, mode: bool = True) -> "Graph":
+        self.training = mode
+        for node in self.nodes:
+            node.module.train(mode)
+        return self
+
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for node in self.nodes:
+            state.update(node.module.state_dict(prefix + node.name + "."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        for node in self.nodes:
+            node.module.load_state_dict(state, prefix + node.name + ".")
+
+    # -- extraction metadata -----------------------------------------------
+    def extraction_units(self) -> List[Node]:
+        """Conv/Linear nodes in topological (inference) order.
+
+        These are the layers that produce partial sums; Ptolemy's layer
+        indices (start/termination layer, Sec. III-C) index this list.
+        """
+        return [
+            node
+            for node in self.nodes
+            if isinstance(node.module, (Conv2d, Linear))
+        ]
+
+    def num_extraction_units(self) -> int:
+        return len(self.extraction_units())
+
+    def consumers(self, name: str) -> List[Node]:
+        """Nodes that read the activation produced by ``name``."""
+        return [node for node in self.nodes if name in node.inputs]
+
+    def total_macs(self) -> int:
+        """Total MACs for one inference (after a forward pass)."""
+        return sum(node.module.mac_count() for node in self.extraction_units())
+
+    def __repr__(self) -> str:
+        return f"Graph({self.name!r}, nodes={len(self.nodes)})"

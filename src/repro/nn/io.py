@@ -1,0 +1,29 @@
+"""Model checkpoint save/load (npz-based)."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.nn.graph import Graph
+
+__all__ = ["save_model", "load_model_into"]
+
+
+def save_model(model: Graph, path: Union[str, os.PathLike]) -> None:
+    """Persist a model's parameters and buffers to an ``.npz`` file."""
+    state = model.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_model_into(model: Graph, path: Union[str, os.PathLike]) -> Graph:
+    """Load a checkpoint produced by :func:`save_model` into ``model``.
+
+    The architecture must match the checkpoint; mismatches raise KeyError.
+    """
+    with np.load(path) as data:
+        state = {key: data[key] for key in data.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,56 @@
+"""Loss functions returning (value, gradient-w.r.t.-logits) pairs."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+__all__ = ["cross_entropy", "cross_entropy_grad", "mse", "margin_loss"]
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over the batch and its gradient w.r.t. logits."""
+    batch = logits.shape[0]
+    log_probs = log_softmax(logits)
+    loss = -log_probs[np.arange(batch), labels].mean()
+    grad = (softmax(logits) - one_hot(labels, logits.shape[1])) / batch
+    return float(loss), grad
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. logits (no loss value)."""
+    return cross_entropy(logits, labels)[1]
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``."""
+    diff = pred - target
+    loss = float((diff ** 2).mean())
+    return loss, 2.0 * diff / diff.size
+
+
+def margin_loss(
+    logits: np.ndarray, labels: np.ndarray, kappa: float = 0.0
+) -> Tuple[float, np.ndarray]:
+    """Carlini-Wagner margin: ``max(z_true - max_other z, -kappa)``.
+
+    Minimising this pushes the true-class logit below the best other
+    class; used by the CW-L2 attack.
+    """
+    batch, classes = logits.shape
+    idx = np.arange(batch)
+    true = logits[idx, labels]
+    masked = logits.copy()
+    masked[idx, labels] = -np.inf
+    other_idx = masked.argmax(axis=1)
+    other = logits[idx, other_idx]
+    margin = true - other
+    active = margin > -kappa
+    loss = float(np.maximum(margin, -kappa).mean())
+    grad = np.zeros_like(logits)
+    grad[idx[active], labels[active]] = 1.0 / batch
+    grad[idx[active], other_idx[active]] = -1.0 / batch
+    return loss, grad

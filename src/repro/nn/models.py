@@ -1,0 +1,364 @@
+"""Model zoo: scaled-down versions of every architecture in the paper.
+
+The paper evaluates AlexNet, ResNet18, ResNet50, VGG16/19, DenseNet and
+Inception-V4.  We build "Mini" versions with the same *structure*
+(extraction-unit counts, residual/concat topology, pooling placement)
+at a scale that trains in seconds on synthetic data.  The extraction-
+unit count is the quantity that matters to Ptolemy: MiniAlexNet has 8
+units like AlexNet (so adaptive attack AT8 means "all layers") and
+MiniResNet18 has 18 main-path units like ResNet18.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+__all__ = [
+    "build_mlp",
+    "build_mini_alexnet",
+    "build_mini_resnet18",
+    "build_mini_resnet50",
+    "build_mini_vgg",
+    "build_mini_densenet",
+    "build_mini_inception",
+    "MODEL_BUILDERS",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def build_mlp(
+    in_features: int = 64,
+    hidden: Sequence[int] = (48, 32),
+    num_classes: int = 10,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Plain MLP; the smallest model that exercises path extraction."""
+    rng = _rng(seed)
+    graph = Graph("mlp")
+    prev_size = in_features
+    for i, width in enumerate(hidden):
+        graph.add(f"fc{i + 1}", Linear(prev_size, width, rng=rng))
+        graph.add(f"relu{i + 1}", ReLU())
+        prev_size = width
+    graph.add("logits", Linear(prev_size, num_classes, rng=rng))
+    return graph
+
+
+def build_mini_alexnet(
+    in_channels: int = 3,
+    image_size: int = 16,
+    num_classes: int = 10,
+    width: int = 8,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """AlexNet-shaped: 5 conv + 3 fc = 8 extraction units."""
+    rng = _rng(seed)
+    g = Graph("mini_alexnet")
+    g.add("conv1", Conv2d(in_channels, width, 3, padding=1, rng=rng))
+    g.add("relu1", ReLU())
+    g.add("pool1", MaxPool2d(2))
+    g.add("conv2", Conv2d(width, width * 2, 3, padding=1, rng=rng))
+    g.add("relu2", ReLU())
+    g.add("pool2", MaxPool2d(2))
+    g.add("conv3", Conv2d(width * 2, width * 3, 3, padding=1, rng=rng))
+    g.add("relu3", ReLU())
+    g.add("conv4", Conv2d(width * 3, width * 3, 3, padding=1, rng=rng))
+    g.add("relu4", ReLU())
+    g.add("conv5", Conv2d(width * 3, width * 2, 3, padding=1, rng=rng))
+    g.add("relu5", ReLU())
+    g.add("pool5", MaxPool2d(2))
+    g.add("flatten", Flatten())
+    feat = width * 2 * (image_size // 8) ** 2
+    g.add("fc6", Linear(feat, 48, rng=rng))
+    g.add("relu6", ReLU())
+    g.add("fc7", Linear(48, 48, rng=rng))
+    g.add("relu7", ReLU())
+    g.add("fc8", Linear(48, num_classes, rng=rng))
+    return g
+
+
+def _basic_block(
+    g: Graph,
+    name: str,
+    in_name: str,
+    in_ch: int,
+    out_ch: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> str:
+    """ResNet basic block: two 3x3 convs + identity/projection shortcut."""
+    g.add(f"{name}_conv1", Conv2d(in_ch, out_ch, 3, stride=stride, padding=1,
+                                  bias=False, rng=rng), [in_name])
+    g.add(f"{name}_bn1", BatchNorm2d(out_ch))
+    g.add(f"{name}_relu1", ReLU())
+    g.add(f"{name}_conv2", Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng))
+    g.add(f"{name}_bn2", BatchNorm2d(out_ch))
+    if stride != 1 or in_ch != out_ch:
+        g.add(f"{name}_proj", Conv2d(in_ch, out_ch, 1, stride=stride,
+                                     bias=False, rng=rng), [in_name])
+        g.add(f"{name}_proj_bn", BatchNorm2d(out_ch))
+        shortcut = f"{name}_proj_bn"
+    else:
+        shortcut = in_name
+    g.add(f"{name}_add", Add(), [f"{name}_bn2", shortcut])
+    g.add(f"{name}_relu2", ReLU())
+    return f"{name}_relu2"
+
+
+def build_mini_resnet18(
+    in_channels: int = 3,
+    num_classes: int = 10,
+    width: int = 8,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """ResNet18-shaped: stem + 4 stages x 2 basic blocks + fc.
+
+    Main-path extraction units: 1 + 16 + 1 = 18, matching ResNet18.
+    Projection shortcuts add three more 1x1 conv units, as in the
+    original architecture.
+    """
+    rng = _rng(seed)
+    g = Graph("mini_resnet18")
+    g.add("conv1", Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng))
+    g.add("bn1", BatchNorm2d(width))
+    g.add("relu1", ReLU())
+    prev = "relu1"
+    channels = [width, width * 2, width * 4, width * 4]
+    in_ch = width
+    for stage, out_ch in enumerate(channels):
+        for block in range(2):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            prev = _basic_block(
+                g, f"s{stage + 1}b{block + 1}", prev, in_ch, out_ch, stride, rng
+            )
+            in_ch = out_ch
+    g.add("gap", GlobalAvgPool2d(), [prev])
+    g.add("fc", Linear(in_ch, num_classes, rng=rng))
+    return g
+
+
+def _bottleneck_block(
+    g: Graph,
+    name: str,
+    in_name: str,
+    in_ch: int,
+    mid_ch: int,
+    out_ch: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> str:
+    """ResNet bottleneck: 1x1 reduce, 3x3, 1x1 expand + shortcut."""
+    g.add(f"{name}_conv1", Conv2d(in_ch, mid_ch, 1, bias=False, rng=rng), [in_name])
+    g.add(f"{name}_bn1", BatchNorm2d(mid_ch))
+    g.add(f"{name}_relu1", ReLU())
+    g.add(f"{name}_conv2", Conv2d(mid_ch, mid_ch, 3, stride=stride, padding=1,
+                                  bias=False, rng=rng))
+    g.add(f"{name}_bn2", BatchNorm2d(mid_ch))
+    g.add(f"{name}_relu2", ReLU())
+    g.add(f"{name}_conv3", Conv2d(mid_ch, out_ch, 1, bias=False, rng=rng))
+    g.add(f"{name}_bn3", BatchNorm2d(out_ch))
+    if stride != 1 or in_ch != out_ch:
+        g.add(f"{name}_proj", Conv2d(in_ch, out_ch, 1, stride=stride,
+                                     bias=False, rng=rng), [in_name])
+        g.add(f"{name}_proj_bn", BatchNorm2d(out_ch))
+        shortcut = f"{name}_proj_bn"
+    else:
+        shortcut = in_name
+    g.add(f"{name}_add", Add(), [f"{name}_bn3", shortcut])
+    g.add(f"{name}_relu3", ReLU())
+    return f"{name}_relu3"
+
+
+def build_mini_resnet50(
+    in_channels: int = 3,
+    num_classes: int = 10,
+    width: int = 8,
+    blocks_per_stage: Sequence[int] = (2, 2, 2, 2),
+    seed: Optional[int] = 0,
+) -> Graph:
+    """ResNet50-shaped: bottleneck blocks (1x1/3x3/1x1) in four stages."""
+    rng = _rng(seed)
+    g = Graph("mini_resnet50")
+    g.add("conv1", Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng))
+    g.add("bn1", BatchNorm2d(width))
+    g.add("relu1", ReLU())
+    prev = "relu1"
+    in_ch = width
+    for stage, num_blocks in enumerate(blocks_per_stage):
+        mid_ch = width * (2 ** min(stage, 2))
+        out_ch = mid_ch * 2
+        for block in range(num_blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            prev = _bottleneck_block(
+                g, f"s{stage + 1}b{block + 1}", prev, in_ch, mid_ch, out_ch,
+                stride, rng,
+            )
+            in_ch = out_ch
+    g.add("gap", GlobalAvgPool2d(), [prev])
+    g.add("fc", Linear(in_ch, num_classes, rng=rng))
+    return g
+
+
+def build_mini_vgg(
+    in_channels: int = 3,
+    image_size: int = 16,
+    num_classes: int = 10,
+    width: int = 8,
+    depth: str = "vgg16",
+    seed: Optional[int] = 0,
+) -> Graph:
+    """VGG-shaped stacks of 3x3 convs with pooling between stages.
+
+    ``vgg16`` has 13 convs + 3 fc, ``vgg19`` has 16 convs + 3 fc —
+    the same unit counts as the originals.
+    """
+    plans = {
+        "vgg16": [2, 2, 3, 3, 3],
+        "vgg19": [2, 2, 4, 4, 4],
+    }
+    if depth not in plans:
+        raise ValueError(f"depth must be one of {sorted(plans)}")
+    rng = _rng(seed)
+    g = Graph(f"mini_{depth}")
+    in_ch = in_channels
+    conv_idx = 0
+    size = image_size
+    for stage, convs in enumerate(plans[depth]):
+        out_ch = min(width * (2 ** stage), width * 8)
+        for _ in range(convs):
+            conv_idx += 1
+            g.add(f"conv{conv_idx}", Conv2d(in_ch, out_ch, 3, padding=1, rng=rng))
+            g.add(f"relu{conv_idx}", ReLU())
+            in_ch = out_ch
+        if size > 1:
+            g.add(f"pool{stage + 1}", MaxPool2d(2))
+            size //= 2
+    g.add("flatten", Flatten())
+    g.add("fc1", Linear(in_ch * size * size, 48, rng=rng))
+    g.add("fc1_relu", ReLU())
+    g.add("fc2", Linear(48, 48, rng=rng))
+    g.add("fc2_relu", ReLU())
+    g.add("fc3", Linear(48, num_classes, rng=rng))
+    return g
+
+
+def build_mini_densenet(
+    in_channels: int = 3,
+    num_classes: int = 10,
+    growth: int = 4,
+    block_layers: Sequence[int] = (3, 3),
+    seed: Optional[int] = 0,
+) -> Graph:
+    """DenseNet-shaped: dense blocks where every conv sees all previous
+    feature maps via channel concatenation, plus transition pooling."""
+    rng = _rng(seed)
+    g = Graph("mini_densenet")
+    g.add("stem", Conv2d(in_channels, growth * 2, 3, padding=1, rng=rng))
+    g.add("stem_relu", ReLU())
+    prev = "stem_relu"
+    channels = growth * 2
+    for block_idx, num_layers in enumerate(block_layers):
+        features = [prev]
+        for layer_idx in range(num_layers):
+            name = f"d{block_idx + 1}l{layer_idx + 1}"
+            if len(features) > 1:
+                g.add(f"{name}_cat", Concat(), features)
+                source = f"{name}_cat"
+            else:
+                source = features[0]
+            g.add(f"{name}_conv", Conv2d(channels, growth, 3, padding=1, rng=rng),
+                  [source])
+            g.add(f"{name}_relu", ReLU())
+            features.append(f"{name}_relu")
+            channels += growth
+        g.add(f"block{block_idx + 1}_out", Concat(), features)
+        prev = f"block{block_idx + 1}_out"
+        if block_idx < len(block_layers) - 1:
+            g.add(f"trans{block_idx + 1}_conv",
+                  Conv2d(channels, channels // 2, 1, rng=rng), [prev])
+            g.add(f"trans{block_idx + 1}_pool", AvgPool2d(2))
+            prev = f"trans{block_idx + 1}_pool"
+            channels //= 2
+    g.add("gap", GlobalAvgPool2d(), [prev])
+    g.add("fc", Linear(channels, num_classes, rng=rng))
+    return g
+
+
+def _inception_module(
+    g: Graph,
+    name: str,
+    in_name: str,
+    in_ch: int,
+    branch_ch: int,
+    rng: np.random.Generator,
+) -> str:
+    """Inception module: parallel 1x1 / 3x3 / 5x5 / pool-1x1 branches."""
+    g.add(f"{name}_b1", Conv2d(in_ch, branch_ch, 1, rng=rng), [in_name])
+    g.add(f"{name}_b1_relu", ReLU())
+    g.add(f"{name}_b3", Conv2d(in_ch, branch_ch, 3, padding=1, rng=rng), [in_name])
+    g.add(f"{name}_b3_relu", ReLU())
+    g.add(f"{name}_b5", Conv2d(in_ch, branch_ch, 5, padding=2, rng=rng), [in_name])
+    g.add(f"{name}_b5_relu", ReLU())
+    # the pool branch uses a stride-1 3x3 conv stand-in so spatial dims match
+    g.add(f"{name}_bp", Conv2d(in_ch, branch_ch, 3, padding=1, stride=1, rng=rng),
+          [in_name])
+    g.add(f"{name}_bp_relu", ReLU())
+    g.add(f"{name}_cat", Concat(),
+          [f"{name}_b1_relu", f"{name}_b3_relu", f"{name}_b5_relu",
+           f"{name}_bp_relu"])
+    return f"{name}_cat"
+
+
+def build_mini_inception(
+    in_channels: int = 3,
+    num_classes: int = 10,
+    width: int = 4,
+    num_modules: int = 2,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Inception-shaped: stem + stacked multi-branch concat modules."""
+    rng = _rng(seed)
+    g = Graph("mini_inception")
+    g.add("stem", Conv2d(in_channels, width * 2, 3, padding=1, rng=rng))
+    g.add("stem_relu", ReLU())
+    g.add("stem_pool", MaxPool2d(2))
+    prev = "stem_pool"
+    in_ch = width * 2
+    for i in range(num_modules):
+        prev = _inception_module(g, f"inc{i + 1}", prev, in_ch, width, rng)
+        in_ch = width * 4
+    g.add("gap", GlobalAvgPool2d(), [prev])
+    g.add("fc", Linear(in_ch, num_classes, rng=rng))
+    return g
+
+
+#: Registry used by the evaluation harness and examples.
+MODEL_BUILDERS = {
+    "mlp": build_mlp,
+    "mini_alexnet": build_mini_alexnet,
+    "mini_resnet18": build_mini_resnet18,
+    "mini_resnet50": build_mini_resnet50,
+    "mini_vgg": build_mini_vgg,
+    "mini_densenet": build_mini_densenet,
+    "mini_inception": build_mini_inception,
+}

@@ -1,0 +1,98 @@
+"""Minimal training loop for the substrate models.
+
+The paper uses pre-trained AlexNet/ResNet checkpoints; our substitute
+models are small enough to train from scratch on the synthetic datasets
+in seconds, which every experiment script does deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam, Optimizer
+
+__all__ = ["TrainConfig", "TrainResult", "train_classifier", "evaluate_accuracy"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :func:`train_classifier`."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    shuffle: bool = True
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch training history."""
+
+    losses: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+def train_classifier(
+    model: Graph,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: Optional[TrainConfig] = None,
+    optimizer: Optional[Optimizer] = None,
+) -> TrainResult:
+    """Train ``model`` with cross-entropy on (x, y); returns the history."""
+    config = config or TrainConfig()
+    optimizer = optimizer or Adam(
+        model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+    )
+    rng = np.random.default_rng(config.seed)
+    result = TrainResult()
+    n = x.shape[0]
+    model.train(True)
+    for epoch in range(config.epochs):
+        order = rng.permutation(n) if config.shuffle else np.arange(n)
+        epoch_loss = 0.0
+        correct = 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            xb, yb = x[idx], y[idx]
+            logits = model.forward(xb)
+            loss, grad = cross_entropy(logits, yb)
+            optimizer.zero_grad()
+            model.backward(grad)
+            optimizer.step()
+            epoch_loss += loss * len(idx)
+            correct += int((logits.argmax(axis=1) == yb).sum())
+        result.losses.append(epoch_loss / n)
+        result.accuracies.append(correct / n)
+        if config.verbose:
+            print(
+                f"epoch {epoch + 1}/{config.epochs}: "
+                f"loss={result.losses[-1]:.4f} acc={result.accuracies[-1]:.3f}"
+            )
+    model.train(False)
+    return result
+
+
+def evaluate_accuracy(
+    model: Graph, x: np.ndarray, y: np.ndarray, batch_size: int = 128
+) -> float:
+    """Top-1 accuracy of ``model`` on (x, y)."""
+    model.train(False)
+    correct = 0
+    for start in range(0, x.shape[0], batch_size):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size]
+        correct += int((model.predict(xb) == yb).sum())
+    return correct / x.shape[0]

@@ -1,0 +1,141 @@
+"""Attack-suite tests: success rates, norm constraints, and the
+adaptive activation-matching attack of Sec. VII-E."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BIM,
+    CWL2,
+    DeepFool,
+    FGSM,
+    JSMA,
+    PGD,
+    AdaptiveAttack,
+    STANDARD_ATTACKS,
+)
+
+
+@pytest.fixture(scope="module")
+def victim(trained_alexnet, small_dataset):
+    xs = small_dataset.x_test[:8]
+    ys = small_dataset.y_test[:8]
+    return trained_alexnet, xs, ys
+
+
+class TestLinfAttacks:
+    def test_fgsm_respects_eps(self, victim):
+        model, xs, ys = victim
+        res = FGSM(eps=0.05).generate(model, xs, ys)
+        assert np.abs(res.x_adv - xs).max() <= 0.05 + 1e-9
+        assert res.x_adv.min() >= 0.0 and res.x_adv.max() <= 1.0
+
+    def test_bim_respects_eps_ball(self, victim):
+        model, xs, ys = victim
+        res = BIM(eps=0.06, alpha=0.02, steps=8).generate(model, xs, ys)
+        assert np.abs(res.x_adv - xs).max() <= 0.06 + 1e-9
+
+    def test_bim_beats_fgsm(self, victim):
+        """Sanity check from the Carlini checklist (Sec. VIII):
+        iterative attacks perform at least as well as single-step."""
+        model, xs, ys = victim
+        fgsm = FGSM(eps=0.06).generate(model, xs, ys)
+        bim = BIM(eps=0.06, steps=10).generate(model, xs, ys)
+        assert bim.success_rate >= fgsm.success_rate
+
+    def test_bigger_eps_not_weaker(self, victim):
+        model, xs, ys = victim
+        small = BIM(eps=0.03, steps=10).generate(model, xs, ys)
+        big = BIM(eps=0.12, steps=10).generate(model, xs, ys)
+        assert big.success_rate >= small.success_rate
+
+    def test_pgd_succeeds(self, victim):
+        model, xs, ys = victim
+        res = PGD(eps=0.08, steps=12).generate(model, xs, ys)
+        assert res.success_rate >= 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FGSM(eps=-1)
+        with pytest.raises(ValueError):
+            BIM(steps=0)
+
+
+class TestL0L2Attacks:
+    def test_jsma_changes_few_pixels(self, victim):
+        model, xs, ys = victim
+        res = JSMA(max_fraction=0.1).generate(model, xs, ys)
+        changed = (np.abs(res.x_adv - xs) > 1e-9).reshape(len(xs), -1).sum(axis=1)
+        assert (changed <= 0.1 * xs[0].size).all()
+        assert res.success_rate >= 0.5
+
+    def test_deepfool_small_l2(self, victim):
+        model, xs, ys = victim
+        res = DeepFool().generate(model, xs, ys)
+        assert res.success_rate >= 0.7
+        mse = ((res.x_adv - xs) ** 2).mean()
+        assert mse < 0.05
+
+    def test_cwl2_low_distortion_success(self, victim):
+        model, xs, ys = victim
+        res = CWL2(steps=60).generate(model, xs, ys)
+        assert res.success_rate >= 0.7
+        mse = ((res.x_adv - xs) ** 2).mean()
+        assert mse < 0.02
+
+    def test_registry_covers_paper_attacks(self):
+        assert set(STANDARD_ATTACKS) == {"bim", "cwl2", "deepfool", "fgsm", "jsma"}
+
+
+class TestAdaptiveAttack:
+    def test_success_and_distortion_recorded(self, victim, small_dataset):
+        model, xs, ys = victim
+        attack = AdaptiveAttack(
+            small_dataset.x_train, small_dataset.y_train,
+            layers_considered=3, steps=25, seed=0,
+        )
+        res = attack.generate(model, xs[:4], ys[:4])
+        assert len(attack.last_samples) == 4
+        for s in attack.last_samples:
+            assert s.distortion_mse >= 0.0
+            assert s.target_class != -1
+        assert res.success_rate >= 0.5
+
+    def test_matching_reduces_activation_distance(self, victim, small_dataset):
+        """The optimisation must actually move activations toward the
+        target's (the differentiable surrogate of the path constraint)."""
+        model, xs, ys = victim
+        attack = AdaptiveAttack(
+            small_dataset.x_train, small_dataset.y_train,
+            layers_considered=2, steps=30, num_targets=1, seed=1,
+        )
+        names = attack._target_layer_names(model)
+        label = int(ys[0])
+        others = np.flatnonzero(small_dataset.y_train != label)
+        xt = small_dataset.x_train[others[0]][None]
+        target_acts = attack._activations(model, xt, names)
+
+        def distance(x):
+            model.forward(x)
+            return sum(
+                float(((model.activations[n] - target_acts[n]) ** 2).sum())
+                for n in names
+            )
+
+        before = distance(xs[:1])
+        x_adv, after = attack._match(model, xs[:1], target_acts, names)
+        assert after < before
+
+    def test_more_layers_is_stronger_constraint(self, victim, small_dataset):
+        model, xs, ys = victim
+        at1 = AdaptiveAttack(small_dataset.x_train, small_dataset.y_train,
+                             layers_considered=1, steps=5)
+        at8 = AdaptiveAttack(small_dataset.x_train, small_dataset.y_train,
+                             layers_considered=8, steps=5)
+        assert len(at1._target_layer_names(model)) == 1
+        assert len(at8._target_layer_names(model)) == 8
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            AdaptiveAttack(small_dataset.x_train, small_dataset.y_train,
+                           layers_considered=0)

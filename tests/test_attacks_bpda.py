@@ -1,0 +1,90 @@
+"""Tests for the BPDA adaptive attack (repro.attacks.bpda)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import BPDA
+from repro.defenses import TransformDefense, default_transforms
+
+
+def test_bpda_parameter_validation():
+    with pytest.raises(ValueError):
+        BPDA(eps=0.0)
+    with pytest.raises(ValueError):
+        BPDA(eps=-0.1)
+    with pytest.raises(ValueError):
+        BPDA(steps=0)
+
+
+def test_bpda_default_alpha_schedule():
+    attack = BPDA(eps=0.08, steps=20)
+    assert attack.alpha == pytest.approx(0.08 / 20 * 2.5)
+    explicit = BPDA(eps=0.08, steps=20, alpha=0.01)
+    assert explicit.alpha == 0.01
+
+
+def test_bpda_respects_linf_ball(trained_mlp, flat_dataset):
+    _, _, x_test, y_test = flat_dataset
+    attack = BPDA(eps=0.05, steps=8)
+    x = x_test[:6]
+    result = attack.generate(trained_mlp, x, y_test[:6])
+    assert np.all(np.abs(result.x_adv - x) <= 0.05 + 1e-12)
+    assert np.all(result.x_adv >= 0.0)
+    assert np.all(result.x_adv <= 1.0)
+
+
+def test_bpda_without_transforms_still_attacks(trained_mlp, flat_dataset):
+    """With no transforms BPDA degenerates to targeted PGD and should
+    flip most predictions at a healthy budget."""
+    _, _, x_test, y_test = flat_dataset
+    attack = BPDA(eps=0.15, steps=15)
+    result = attack.generate(trained_mlp, x_test[:10], y_test[:10])
+    assert result.success_rate > 0.5
+
+
+def test_bpda_untargeted_mode(trained_mlp, flat_dataset):
+    _, _, x_test, y_test = flat_dataset
+    attack = BPDA(eps=0.15, steps=15, targeted=False)
+    result = attack.generate(trained_mlp, x_test[:10], y_test[:10])
+    assert result.success_rate > 0.5
+
+
+def test_bpda_target_labels_avoid_true_class(trained_mlp, flat_dataset):
+    _, _, x_test, y_test = flat_dataset
+    attack = BPDA()
+    targets = attack._target_labels(trained_mlp, x_test[:12], y_test[:12])
+    assert targets.shape == (12,)
+    assert np.all(targets != y_test[:12])
+
+
+def test_bpda_shape_preserved(trained_alexnet, small_dataset):
+    attack = BPDA(default_transforms(), eps=0.08, steps=3)
+    x = small_dataset.x_test[:2]
+    result = attack.generate(trained_alexnet, x, small_dataset.y_test[:2])
+    assert result.x_adv.shape == x.shape
+
+
+def test_bpda_beats_squeezing_relative_to_pgd(trained_alexnet, small_dataset):
+    """The BPDA samples must look *more benign* to the squeezing
+    detector than equally-budgeted plain iterative samples do."""
+    x = small_dataset.x_test[:10]
+    y = small_dataset.y_test[:10]
+    squeeze = TransformDefense(trained_alexnet)
+    through = BPDA(default_transforms(), eps=0.12, steps=15).generate(
+        trained_alexnet, x, y
+    )
+    plain = BPDA(eps=0.12, steps=15, targeted=False).generate(
+        trained_alexnet, x, y
+    )
+    score_through = squeeze.scores_for_set(through.x_adv).mean()
+    score_plain = squeeze.scores_for_set(plain.x_adv).mean()
+    assert score_through < score_plain
+
+
+def test_bpda_repr_lists_transforms():
+    attack = BPDA(default_transforms())
+    assert "depth-4bit" in repr(attack)
+    assert "blur-mild" in repr(attack)
+    assert "identity" in repr(BPDA())

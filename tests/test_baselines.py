@@ -1,0 +1,124 @@
+"""Baseline-detector tests: EP, CDRP, DeepFense."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM
+from repro.baselines import (
+    CDRPDetector,
+    DEEPFENSE_VARIANTS,
+    DeepFenseDetector,
+    EPDetector,
+    deepfense_overheads,
+    ep_cost,
+)
+from repro.hw import model_workload
+
+
+@pytest.fixture(scope="module")
+def attack_sets(trained_alexnet, small_dataset):
+    atk = BIM(eps=0.08)
+    adv_fit = atk.generate(trained_alexnet, small_dataset.x_train[:30],
+                           small_dataset.y_train[:30]).x_adv
+    adv_eval = atk.generate(trained_alexnet, small_dataset.x_test[:15],
+                            small_dataset.y_test[:15]).x_adv
+    benign_fit = small_dataset.x_train[30:60]
+    benign_eval = small_dataset.x_test[15:30]
+    return benign_fit, adv_fit, benign_eval, adv_eval
+
+
+class TestEP:
+    def test_detects_adversaries(self, trained_alexnet, small_dataset,
+                                 attack_sets):
+        benign_fit, adv_fit, benign_eval, adv_eval = attack_sets
+        ep = EPDetector(trained_alexnet, n_trees=40)
+        ep.profile(small_dataset.x_train, small_dataset.y_train,
+                   max_per_class=15)
+        ep.fit_classifier(benign_fit, adv_fit)
+        auc = ep.evaluate_auc(benign_eval, adv_eval)
+        assert auc > 0.75
+
+    def test_uses_scalar_features(self, trained_alexnet):
+        ep = EPDetector(trained_alexnet)
+        assert ep.feature_mode == "scalar"
+
+    def test_cost_exceeds_hw_bwcu(self, trained_alexnet, small_dataset):
+        """EP runs without the path-constructor hardware; on the same
+        workload it must cost at least as much as hardware BwCu
+        (Fig. 11 shows EP ~= BwCu or worse)."""
+        from repro.compiler import apply_optimizations
+        from repro.core import ExtractionConfig, PathExtractor
+        from repro.hw import simulate_detection
+
+        trained_alexnet.forward(small_dataset.x_test[:1])
+        workload = model_workload(trained_alexnet)
+        ep = EPDetector(trained_alexnet)
+        trace = PathExtractor(trained_alexnet, ep.config).extract(
+            small_dataset.x_test[:1]
+        ).trace
+        ep_report = ep_cost(workload, ep, trace)
+        config = ExtractionConfig.bwcu(8, theta=0.5)
+        schedule = apply_optimizations(config, 8)
+        hw_report = simulate_detection(workload, config, trace, schedule)
+        assert ep_report.latency_overhead >= hw_report.latency_overhead
+
+
+class TestCDRP:
+    def test_routing_path_shape(self, trained_alexnet, small_dataset):
+        cdrp = CDRPDetector(trained_alexnet, n_trees=20)
+        path = cdrp.routing_path(small_dataset.x_test[:1])
+        conv_channels = sum(
+            n.module.out_channels
+            for n in trained_alexnet.extraction_units()
+            if hasattr(n.module, "out_channels")
+        )
+        assert path.shape == (conv_channels,)
+        assert (path >= 0).all() and (path <= 1).all()
+
+    def test_fit_and_score(self, trained_alexnet, attack_sets):
+        benign_fit, adv_fit, benign_eval, adv_eval = attack_sets
+        cdrp = CDRPDetector(trained_alexnet, n_trees=20)
+        cdrp.fit(benign_fit, adv_fit)
+        score = cdrp.score(benign_eval[:1])
+        assert 0.0 <= score <= 1.0
+        auc = cdrp.evaluate_auc(benign_eval, adv_eval)
+        assert 0.0 <= auc <= 1.0
+
+    def test_requires_conv_layers(self, trained_mlp):
+        with pytest.raises(ValueError):
+            CDRPDetector(trained_mlp)
+
+    def test_unfitted_raises(self, trained_alexnet, small_dataset):
+        cdrp = CDRPDetector(trained_alexnet)
+        with pytest.raises(RuntimeError):
+            cdrp.score(small_dataset.x_test[:1])
+
+
+class TestDeepFense:
+    def test_detects_adversaries(self, trained_alexnet, small_dataset,
+                                 attack_sets):
+        _, _, benign_eval, adv_eval = attack_sets
+        df = DeepFenseDetector(trained_alexnet, num_defenders=4, seed=0)
+        df.fit(small_dataset.x_train)
+        auc = df.evaluate_auc(benign_eval, adv_eval)
+        assert auc > 0.6  # redundancy-based detection is weaker (Fig. 12a)
+
+    def test_score_unfitted_raises(self, trained_alexnet, small_dataset):
+        df = DeepFenseDetector(trained_alexnet)
+        with pytest.raises(RuntimeError):
+            df.score(small_dataset.x_test[:1])
+
+    def test_variant_registry(self):
+        assert DEEPFENSE_VARIANTS == {"DFL": 1, "DFM": 8, "DFH": 16}
+
+    def test_overhead_scales_with_defenders(self):
+        """Modular redundancy: cost grows linearly in defender count."""
+        dfl = deepfense_overheads(1)
+        dfm = deepfense_overheads(8)
+        dfh = deepfense_overheads(16)
+        assert dfl["latency_overhead"] < dfm["latency_overhead"] < dfh["latency_overhead"]
+        assert dfl["latency_overhead"] == pytest.approx(1.19)
+
+    def test_invalid_defender_count(self):
+        with pytest.raises(ValueError):
+            deepfense_overheads(0)

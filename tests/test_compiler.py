@@ -1,0 +1,176 @@
+"""Compiler tests: memory map, codegen, scheduling passes, and the
+ISS-vs-numpy bit-equivalence integration test."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    MemoryMap,
+    apply_optimizations,
+    build_schedule,
+    compile_bwcu,
+    compile_inference,
+    theta_to_fixed,
+)
+from repro.core import Direction, ExtractionConfig, PathExtractor
+from repro.isa import Machine, ModelAdapter, Opcode
+
+
+@pytest.fixture(scope="module")
+def mlp_setup(trained_mlp, flat_dataset):
+    _, _, x_test, _ = flat_dataset
+    n = trained_mlp.num_extraction_units()
+    config = ExtractionConfig.bwcu(n, theta=0.5)
+    trained_mlp.forward(x_test[:1])
+    mem_map = MemoryMap(trained_mlp, config)
+    return trained_mlp, config, mem_map, x_test
+
+
+class TestMemoryMap:
+    def test_regions_disjoint(self, mlp_setup):
+        _, _, mem_map, _ = mlp_setup
+        spans = sorted(
+            (r.base, r.end) for r in mem_map.regions.values() if r.size
+        )
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    def test_path_region_contiguous(self, mlp_setup):
+        model, config, mem_map, _ = mlp_setup
+        extracted = config.extracted_indices()
+        expected = sum(
+            model.extraction_units()[i].module.input_feature_size
+            for i in extracted
+        )
+        assert mem_map.path_bits == expected
+        # masks are laid out back-to-back starting at path_base
+        offset = mem_map.path_base
+        for i in extracted:
+            assert mem_map.mask(i) == offset
+            offset += mem_map.regions[f"mask{i}"].size
+
+    def test_output_mask_links_to_next_unit(self, mlp_setup):
+        _, _, mem_map, _ = mlp_setup
+        assert mem_map.output_mask(0) == mem_map.mask(1)
+        assert mem_map.output_mask(2) == mem_map.base("seed")
+
+
+class TestCodegen:
+    def test_theta_quantisation(self):
+        assert theta_to_fixed(0.5) == 128
+        assert theta_to_fixed(0.25) == 64
+        with pytest.raises(ValueError):
+            theta_to_fixed(300.0)
+
+    def test_program_is_small(self, mlp_setup):
+        """The paper's largest program is ~30 static instructions; ours
+        scales with layer count but stays tiny (bytes, not KB)."""
+        model, config, mem_map, _ = mlp_setup
+        program = compile_bwcu(model, config, mem_map)
+        assert program.size_bytes < 1024
+
+    def test_inference_program(self, mlp_setup):
+        model, config, _, _ = mlp_setup
+        program = compile_inference(model, config)
+        infs = [i for i in program.instructions if i.opcode is Opcode.INF]
+        assert len(infs) == model.num_extraction_units()
+        assert program.instructions[-1].opcode is Opcode.HALT
+
+    def test_rejects_forward_config(self, mlp_setup):
+        model, _, _, x = mlp_setup
+        fw = ExtractionConfig.fwab(model.num_extraction_units())
+        mem_map = MemoryMap(model, fw)
+        with pytest.raises(ValueError):
+            compile_bwcu(model, fw, mem_map)
+
+    def test_infsp_used_without_recompute(self, mlp_setup):
+        model, config, mem_map, _ = mlp_setup
+        program = compile_bwcu(model, config, mem_map, recompute=False)
+        assert any(i.opcode is Opcode.INFSP for i in program.instructions)
+        program2 = compile_bwcu(model, config, mem_map, recompute=True)
+        assert not any(i.opcode is Opcode.INFSP for i in program2.instructions)
+
+
+class TestIssEquivalence:
+    @pytest.mark.parametrize("theta", [0.5, 0.25])
+    def test_compiled_program_matches_numpy_extractor(self, mlp_setup, theta):
+        """The central compiler correctness property: the compiled BwCu
+        program, executed on the ISS, produces the exact masks and
+        similarity inputs the numpy reference extractor produces."""
+        model, _, _, x_test = mlp_setup
+        n = model.num_extraction_units()
+        config = ExtractionConfig.bwcu(n, theta=theta)
+        extractor = PathExtractor(model, config)
+        mem_map = MemoryMap(model, config)
+        program = compile_bwcu(model, config, mem_map)
+        for sample in range(3):
+            x = x_test[sample : sample + 1]
+            ref = extractor.extract(x)
+            machine = Machine(1 << 16, adapter=ModelAdapter(model, mem_map, x))
+            machine.run(program)
+            for tap_i, unit_i in enumerate(config.extracted_indices()):
+                base = mem_map.mask(unit_i)
+                size = mem_map.regions[f"mask{unit_i}"].size
+                iss_bits = machine.memory[base : base + size] != 0
+                assert np.array_equal(iss_bits, ref.path.masks[tap_i].to_bool()), (
+                    f"unit {unit_i} mask mismatch (sample {sample})"
+                )
+
+    def test_cls_similarity_against_loaded_class_path(self, mlp_setup):
+        """Load a canary into machine memory; cls must compute the same
+        S as the numpy similarity."""
+        from repro.core import path_similarity, profile_class_paths
+
+        model, config, mem_map, x_test = mlp_setup
+        extractor = PathExtractor(model, config)
+        class_paths = profile_class_paths(
+            extractor, x_test[:20],
+            model.predict(x_test[:20]),
+        )
+        x = x_test[:1]
+        ref = extractor.extract(x)
+        canary = class_paths.path_for(ref.predicted_class)
+        program = compile_bwcu(model, config, mem_map)
+        machine = Machine(1 << 16, adapter=ModelAdapter(model, mem_map, x))
+        # controller loads the canary (count-prefixed bit words)
+        cp = mem_map.base("classpath")
+        bits = np.concatenate([m.to_bool() for m in canary.masks])
+        machine.memory[cp] = bits.size
+        machine.memory[cp + 1 : cp + 1 + bits.size] = bits.astype(float)
+        machine.run(program)
+        assert machine.result == pytest.approx(
+            path_similarity(ref.path, canary)
+        )
+
+
+class TestSchedule:
+    def test_naive_schedule_orders_extraction_after_inference(self):
+        config = ExtractionConfig.bwcu(4)
+        schedule = build_schedule(config, 4)
+        kinds = [b.kind for b in schedule.blocks]
+        assert kinds == ["inf"] * 4 + ["extract"] * 4
+        # backward: extraction runs last-to-first
+        ext_units = [b.unit for b in schedule.blocks if b.kind == "extract"]
+        assert ext_units == [3, 2, 1, 0]
+
+    def test_layer_pipelining_interleaves_forward(self):
+        config = ExtractionConfig.fwab(4)
+        schedule = apply_optimizations(config, 4)
+        assert schedule.layer_pipelined
+        blocks = [repr(b) for b in schedule.blocks]
+        assert blocks == [
+            "inf(0)", "inf(1)", "extract(0)", "inf(2)", "extract(1)",
+            "inf(3)", "extract(2)", "extract(3)",
+        ]
+        assert len(schedule.overlapped_pairs()) == 3
+
+    def test_backward_not_layer_pipelined(self):
+        config = ExtractionConfig.bwcu(4)
+        schedule = apply_optimizations(config, 4)
+        assert not schedule.layer_pipelined
+
+    def test_recompute_only_for_backward_cumulative(self):
+        bw = apply_optimizations(ExtractionConfig.bwcu(4), 4, recompute=True)
+        assert bw.recompute
+        fw = apply_optimizations(ExtractionConfig.fwab(4), 4, recompute=True)
+        assert not fw.recompute

@@ -1,0 +1,93 @@
+"""Bitmask tests, including hypothesis property tests against the
+boolean-array reference semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmask import Bitmask
+
+
+class TestBasics:
+    def test_empty(self):
+        mask = Bitmask(10)
+        assert mask.popcount() == 0
+        assert mask.length == 10
+
+    def test_from_positions(self):
+        mask = Bitmask.from_positions(10, [0, 3, 9])
+        assert mask.popcount() == 3
+        assert mask.get(0) and mask.get(3) and mask.get(9)
+        assert not mask.get(1)
+
+    def test_positions_round_trip(self):
+        pos = [1, 5, 7, 12]
+        mask = Bitmask.from_positions(16, pos)
+        assert mask.positions().tolist() == pos
+
+    def test_out_of_range_position(self):
+        with pytest.raises(IndexError):
+            Bitmask.from_positions(4, [4])
+
+    def test_tail_bits_are_masked(self):
+        """Buffer bits beyond `length` must never leak into popcount."""
+        mask = Bitmask(3, np.array([0xFF], dtype=np.uint8))
+        assert mask.popcount() == 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Bitmask(8) | Bitmask(9)
+
+    def test_get_bounds(self):
+        with pytest.raises(IndexError):
+            Bitmask(4).get(4)
+
+
+bool_arrays = st.integers(1, 200).flatmap(
+    lambda n: st.lists(st.booleans(), min_size=n, max_size=n)
+)
+
+
+class TestProperties:
+    @given(bool_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, flags):
+        flags = np.array(flags)
+        assert np.array_equal(Bitmask.from_bool(flags).to_bool(), flags)
+
+    @given(bool_arrays, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_or_and_match_numpy(self, flags, rnd):
+        a = np.array(flags)
+        b = np.array([rnd.random() < 0.5 for _ in flags])
+        ma, mb = Bitmask.from_bool(a), Bitmask.from_bool(b)
+        assert np.array_equal((ma | mb).to_bool(), a | b)
+        assert np.array_equal((ma & mb).to_bool(), a & b)
+        assert np.array_equal((ma ^ mb).to_bool(), a ^ b)
+        assert ma.intersection_count(mb) == int((a & b).sum())
+
+    @given(bool_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_or_identity_and_idempotence(self, flags):
+        a = Bitmask.from_bool(np.array(flags))
+        zero = Bitmask(a.length)
+        assert (a | zero) == a
+        assert (a | a) == a
+
+    @given(bool_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_ior_matches_or(self, flags):
+        a = np.array(flags)
+        b = np.roll(a, 1)
+        mask = Bitmask.from_bool(a)
+        mask.ior(Bitmask.from_bool(b))
+        assert np.array_equal(mask.to_bool(), a | b)
+
+    @given(bool_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_copy_is_independent(self, flags):
+        a = Bitmask.from_bool(np.array(flags))
+        c = a.copy()
+        c.ior(Bitmask.from_bool(np.ones(a.length, dtype=bool)))
+        assert a.popcount() == int(np.array(flags).sum())

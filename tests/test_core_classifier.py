@@ -1,0 +1,99 @@
+"""Random-forest (and decision-tree) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import DecisionTree, RandomForest
+
+
+def make_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_separable_data(self):
+        x, y = make_separable()
+        tree = DecisionTree(max_depth=6, rng=np.random.default_rng(0))
+        tree.fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.95
+
+    def test_pure_leaf_stops(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTree().fit(x, y)
+        assert tree.node_count == 1
+        assert tree.predict_proba(x)[0] == 1.0
+
+    def test_probabilities_bounded(self):
+        x, y = make_separable(seed=3)
+        tree = DecisionTree(max_depth=4, rng=np.random.default_rng(1)).fit(x, y)
+        probs = tree.predict_proba(x)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_max_depth_respected(self):
+        x, y = make_separable(seed=5)
+        tree = DecisionTree(max_depth=3, rng=np.random.default_rng(2)).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_constant_features_yield_leaf(self):
+        x = np.ones((10, 2))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTree().fit(x, y)
+        assert tree.node_count == 1
+        assert tree.predict_proba(x)[0] == pytest.approx(0.5)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+
+
+class TestRandomForest:
+    def test_fits_separable_data(self):
+        x, y = make_separable(seed=7)
+        forest = RandomForest(n_trees=20, max_depth=5, seed=0).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.95
+
+    def test_deterministic_given_seed(self):
+        x, y = make_separable(seed=9)
+        a = RandomForest(n_trees=10, seed=4).fit(x, y).predict_proba(x)
+        b = RandomForest(n_trees=10, seed=4).fit(x, y).predict_proba(x)
+        assert np.array_equal(a, b)
+
+    def test_operation_count_scale(self):
+        """The paper's deployment point: 100 trees x depth ~12 is about
+        2,000 operations (Sec. V-D)."""
+        x, y = make_separable(n=600, seed=11)
+        forest = RandomForest(n_trees=100, max_depth=12, seed=0).fit(x, y)
+        ops = forest.operation_count()
+        assert 100 <= ops <= 100 * 12
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict_proba(np.zeros((1, 2)))
+
+    def test_single_feature_input(self):
+        """The paper feeds a single scalar similarity S to the forest."""
+        rng = np.random.default_rng(0)
+        s_benign = rng.normal(0.9, 0.05, size=80)
+        s_adv = rng.normal(0.4, 0.1, size=80)
+        x = np.concatenate([s_benign, s_adv])[:, None]
+        y = np.concatenate([np.zeros(80), np.ones(80)])
+        forest = RandomForest(n_trees=30, seed=1).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.9
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_probability_bounds_property(self, seed):
+        x, y = make_separable(n=60, seed=seed)
+        forest = RandomForest(n_trees=5, max_depth=3, seed=seed).fit(x, y)
+        probs = forest.predict_proba(x)
+        assert (probs >= 0.0).all() and (probs <= 1.0).all()

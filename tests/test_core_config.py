@@ -1,0 +1,104 @@
+"""ExtractionConfig / LayerSpec / DetectionProgram tests."""
+
+import pytest
+
+from repro.core import (
+    DetectionProgram,
+    Direction,
+    ExtractionConfig,
+    LayerSpec,
+    Thresholding,
+    fig6_program,
+)
+
+
+class TestConstructors:
+    def test_bwcu_full(self):
+        cfg = ExtractionConfig.bwcu(8, theta=0.5)
+        assert cfg.direction is Direction.BACKWARD
+        assert len(cfg.layers) == 8
+        assert all(s.extract for s in cfg.layers)
+        assert all(s.mechanism is Thresholding.CUMULATIVE for s in cfg.layers)
+
+    def test_bwcu_early_termination(self):
+        """Termination layer follows Fig. 16's 1-based convention."""
+        cfg = ExtractionConfig.bwcu(8, termination_layer=6)
+        assert cfg.extracted_indices() == [5, 6, 7]
+
+    def test_fwab_late_start(self):
+        cfg = ExtractionConfig.fwab(8, start_layer=7)
+        assert cfg.direction is Direction.FORWARD
+        assert cfg.extracted_indices() == [6, 7]
+
+    def test_hybrid_splits_mechanisms(self):
+        cfg = ExtractionConfig.hybrid(8, theta=0.5, phi=0.1)
+        first_half = [s.mechanism for s in cfg.layers[:4]]
+        second_half = [s.mechanism for s in cfg.layers[4:]]
+        assert all(m is Thresholding.ABSOLUTE for m in first_half)
+        assert all(m is Thresholding.CUMULATIVE for m in second_half)
+        assert cfg.direction is Direction.BACKWARD
+
+    def test_theta_range_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec(Thresholding.CUMULATIVE, 1.5)
+
+    def test_termination_range_validation(self):
+        with pytest.raises(ValueError):
+            ExtractionConfig.bwcu(8, termination_layer=9)
+        with pytest.raises(ValueError):
+            ExtractionConfig.bwcu(8, termination_layer=0)
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            ExtractionConfig(Direction.BACKWARD, [])
+
+    def test_with_phi_overrides_absolute_only(self):
+        cfg = ExtractionConfig.hybrid(4, theta=0.5, phi=0.0)
+        updated = cfg.with_phi({0: 1.5, 3: 2.0})
+        assert updated.layers[0].threshold == 1.5
+        assert updated.layers[3].threshold == 0.5  # cumulative untouched
+
+    def test_describe(self):
+        text = ExtractionConfig.bwcu(8, termination_layer=6).describe()
+        assert "backward" in text and "6..8" in text
+
+
+class TestDetectionProgram:
+    def test_mixing_directions_rejected(self):
+        """The paper forbids combining forward and backward extraction
+        in one network (Sec. III-D)."""
+        program = DetectionProgram(4)
+        program.extract_important_neurons(3, forward=True, absolute=True,
+                                          threshold=0.1)
+        with pytest.raises(ValueError):
+            program.extract_important_neurons(2, forward=False,
+                                              absolute=True, threshold=0.1)
+
+    def test_duplicate_layer_rejected(self):
+        program = DetectionProgram(4)
+        program.extract_important_neurons(1, forward=True, absolute=True,
+                                          threshold=0.1)
+        with pytest.raises(ValueError):
+            program.extract_important_neurons(1, forward=True, absolute=False,
+                                              threshold=0.5)
+
+    def test_layer_bounds(self):
+        program = DetectionProgram(4)
+        with pytest.raises(ValueError):
+            program.extract_important_neurons(4, forward=True, absolute=True,
+                                              threshold=0.1)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionProgram(4).build()
+
+    def test_fig6_structure(self):
+        """Fig. 6: forward extraction of the last three layers, with the
+        cumulative threshold only on the final layer."""
+        cfg = fig6_program(8, theta=0.5, phi=0.2)
+        assert cfg.direction is Direction.FORWARD
+        assert cfg.extracted_indices() == [5, 6, 7]
+        assert cfg.layers[5].mechanism is Thresholding.ABSOLUTE
+        assert cfg.layers[6].mechanism is Thresholding.ABSOLUTE
+        assert cfg.layers[7].mechanism is Thresholding.CUMULATIVE
+        assert cfg.layers[7].threshold == 0.5

@@ -1,0 +1,107 @@
+"""End-to-end detector tests (the paper's online pipeline, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM
+from repro.core import ExtractionConfig, PtolemyDetector
+
+
+@pytest.fixture(scope="module")
+def fitted_detector(trained_alexnet, small_dataset):
+    detector = PtolemyDetector(
+        trained_alexnet, ExtractionConfig.bwcu(8, theta=0.5),
+        n_trees=40, seed=0,
+    )
+    detector.profile(small_dataset.x_train, small_dataset.y_train,
+                     max_per_class=20)
+    adv = BIM(eps=0.08).generate(
+        trained_alexnet, small_dataset.x_train[:30],
+        small_dataset.y_train[:30],
+    ).x_adv
+    detector.fit_classifier(small_dataset.x_train[30:60], adv)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def eval_sets(trained_alexnet, small_dataset):
+    adv = BIM(eps=0.08).generate(
+        trained_alexnet, small_dataset.x_test[:20],
+        small_dataset.y_test[:20],
+    ).x_adv
+    return small_dataset.x_test[20:40], adv
+
+
+class TestLifecycle:
+    def test_profile_required_before_features(self, trained_alexnet):
+        detector = PtolemyDetector(trained_alexnet,
+                                   ExtractionConfig.bwcu(8))
+        with pytest.raises(RuntimeError):
+            detector.features_for(np.zeros((1, 3, 16, 16)))
+
+    def test_fit_required_before_score(self, trained_alexnet, small_dataset):
+        detector = PtolemyDetector(trained_alexnet,
+                                   ExtractionConfig.bwcu(8))
+        detector.profile(small_dataset.x_train[:20],
+                         small_dataset.y_train[:20])
+        with pytest.raises(RuntimeError):
+            detector.score(small_dataset.x_test[:1])
+
+    def test_invalid_feature_mode(self, trained_alexnet):
+        with pytest.raises(ValueError):
+            PtolemyDetector(trained_alexnet, ExtractionConfig.bwcu(8),
+                            feature_mode="bogus")
+
+
+class TestDetection:
+    def test_auc_high_against_bim(self, fitted_detector, eval_sets):
+        benign, adv = eval_sets
+        auc = fitted_detector.evaluate_auc(benign, adv)
+        assert auc > 0.85
+
+    def test_benign_similarity_exceeds_adversarial(self, fitted_detector,
+                                                   eval_sets):
+        """The core claim: adversarial inputs activate paths unlike the
+        canary of their predicted class (Sec. III-A)."""
+        benign, adv = eval_sets
+        sim_benign = np.mean([fitted_detector.similarity(x[None])
+                              for x in benign[:10]])
+        sim_adv = np.mean([fitted_detector.similarity(x[None])
+                           for x in adv[:10]])
+        assert sim_benign > sim_adv + 0.05
+
+    def test_detect_outcome_fields(self, fitted_detector, eval_sets):
+        benign, _ = eval_sets
+        outcome = fitted_detector.detect(benign[:1])
+        assert 0.0 <= outcome.score <= 1.0
+        assert 0.0 <= outcome.similarity <= 1.0
+        assert outcome.predicted_class in range(5)
+        assert outcome.is_adversarial == (outcome.score >= 0.5)
+
+    def test_feature_width_per_layer_mode(self, fitted_detector, eval_sets):
+        benign, _ = eval_sets
+        features, _ = fitted_detector.features_for(benign[:1])
+        # scalar S + one similarity per tap
+        assert features.shape == (1 + fitted_detector.extractor.layout.num_taps,)
+
+    def test_scalar_feature_mode(self, trained_alexnet, small_dataset,
+                                 eval_sets):
+        detector = PtolemyDetector(
+            trained_alexnet, ExtractionConfig.bwcu(8, theta=0.5),
+            feature_mode="scalar", n_trees=30, seed=0,
+        )
+        detector.profile(small_dataset.x_train, small_dataset.y_train,
+                         max_per_class=15)
+        benign, adv = eval_sets
+        adv_fit = adv[:10]
+        detector.fit_classifier(small_dataset.x_train[:10], adv_fit)
+        features, _ = detector.features_for(benign[:1])
+        assert features.shape == (1,)
+        auc = detector.evaluate_auc(benign[:10], adv[10:])
+        assert auc > 0.6
+
+    def test_trace_available_after_detection(self, fitted_detector, eval_sets):
+        benign, _ = eval_sets
+        fitted_detector.detect(benign[:1])
+        assert fitted_detector.last_trace is not None
+        assert len(fitted_detector.last_trace.units) == 8

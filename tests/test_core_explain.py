@@ -1,0 +1,157 @@
+"""Tests for repro.core.explain — path-based interpretability."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Bitmask,
+    ExtractionConfig,
+    PathExtractor,
+    PathLayout,
+    divergence_report,
+    input_saliency,
+)
+from repro.core.path import ActivationPath
+
+
+@pytest.fixture(scope="module")
+def bwcu_result(trained_alexnet, small_dataset):
+    config = ExtractionConfig.bwcu(8, theta=0.5)
+    extractor = PathExtractor(trained_alexnet, config)
+    return extractor.extract(small_dataset.x_test[:1])
+
+
+@pytest.fixture(scope="module")
+def fwab_result(trained_alexnet, small_dataset):
+    config = ExtractionConfig.fwab(8, phi=0.0)
+    extractor = PathExtractor(trained_alexnet, config)
+    return extractor.extract(small_dataset.x_test[:1])
+
+
+class TestInputSaliency:
+    def test_shape_collapsed(self, bwcu_result):
+        saliency = input_saliency(bwcu_result, (3, 16, 16))
+        assert saliency.shape == (16, 16)
+        assert set(np.unique(saliency)) <= {0.0, 1.0}
+
+    def test_shape_full(self, bwcu_result):
+        saliency = input_saliency(bwcu_result, (3, 16, 16),
+                                  collapse_channels=False)
+        assert saliency.shape == (3, 16, 16)
+
+    def test_matches_tap0_popcount(self, bwcu_result):
+        saliency = input_saliency(bwcu_result, (3, 16, 16),
+                                  collapse_channels=False)
+        assert int(saliency.sum()) == bwcu_result.path.masks[0].popcount()
+
+    def test_sparse_but_nonempty(self, bwcu_result):
+        """The paper: important neurons are generally <5% of the network;
+        the input tap is sparse but a real prediction depends on
+        something."""
+        saliency = input_saliency(bwcu_result, (3, 16, 16),
+                                  collapse_channels=False)
+        density = saliency.mean()
+        assert 0.0 < density < 0.5
+
+    def test_forward_rejected(self, fwab_result):
+        with pytest.raises(ValueError):
+            input_saliency(fwab_result, (3, 16, 16))
+
+    def test_wrong_shape_rejected(self, bwcu_result):
+        with pytest.raises(ValueError):
+            input_saliency(bwcu_result, (3, 8, 8))
+
+    def test_truncated_extraction_rejected(self, trained_alexnet,
+                                           small_dataset):
+        config = ExtractionConfig.bwcu(8, theta=0.5, termination_layer=3)
+        result = PathExtractor(trained_alexnet, config).extract(
+            small_dataset.x_test[:1]
+        )
+        with pytest.raises(ValueError):
+            input_saliency(result, (3, 16, 16))
+
+
+def _path_from_positions(layout, positions_per_tap):
+    return ActivationPath(layout, [
+        Bitmask.from_positions(size, positions)
+        for size, positions in zip(layout.tap_sizes, positions_per_tap)
+    ])
+
+
+class TestDivergenceReport:
+    @pytest.fixture
+    def layout(self):
+        return PathLayout(("a", "b", "c"), (8, 8, 8))
+
+    def test_identical_paths_no_divergence(self, layout):
+        path = _path_from_positions(layout, [(0, 1), (2,), (3, 4)])
+        report = divergence_report(path, path)
+        assert all(r.divergence == 0.0 for r in report)
+
+    def test_worst_first_ordering(self, layout):
+        path = _path_from_positions(layout, [(0, 1), (2, 3), (4, 5)])
+        canary = _path_from_positions(layout, [(0, 1), (2,), (6, 7)])
+        report = divergence_report(path, canary)
+        # tap c: 0/2 hits (divergence 1.0); tap b: 1/2; tap a: 2/2
+        assert [r.name for r in report] == ["c", "b", "a"]
+        assert report[0].divergence == 1.0
+        assert report[-1].divergence == 0.0
+
+    def test_tap_order_preserved_when_unsorted(self, layout):
+        path = _path_from_positions(layout, [(0,), (1,), (2,)])
+        canary = _path_from_positions(layout, [(5,), (1,), (7,)])
+        report = divergence_report(path, canary, worst_first=False)
+        assert [r.tap for r in report] == [0, 1, 2]
+
+    def test_popcounts_reported(self, layout):
+        path = _path_from_positions(layout, [(0, 1, 2), (), (4,)])
+        canary = _path_from_positions(layout, [(0,), (1, 2), ()])
+        report = divergence_report(path, canary, worst_first=False)
+        assert report[0].path_ones == 3
+        assert report[0].canary_ones == 1
+        assert report[1].path_ones == 0
+
+    def test_empty_tap_zero_similarity(self, layout):
+        path = _path_from_positions(layout, [(), (), ()])
+        canary = _path_from_positions(layout, [(0,), (1,), (2,)])
+        report = divergence_report(path, canary)
+        assert all(r.similarity == 0.0 for r in report)
+
+    def test_layout_mismatch_rejected(self, layout):
+        other = PathLayout(("a", "b"), (8, 8))
+        path = _path_from_positions(layout, [(0,), (1,), (2,)])
+        alien = _path_from_positions(other, [(0,), (1,)])
+        with pytest.raises(ValueError):
+            divergence_report(path, alien)
+
+
+class TestEndToEndDivergence:
+    def test_adversarial_diverges_more_than_benign(self, trained_alexnet,
+                                                   small_dataset):
+        """A flagged input should show larger worst-tap divergence from
+        its predicted-class canary than a correctly-handled benign one."""
+        from repro.attacks import BIM
+        from repro.core import PtolemyDetector
+
+        detector = PtolemyDetector(
+            trained_alexnet, ExtractionConfig.bwcu(8, theta=0.5),
+            n_trees=20, seed=0,
+        )
+        detector.profile(small_dataset.x_train, small_dataset.y_train,
+                         max_per_class=15)
+        adv = BIM(eps=0.08).generate(
+            trained_alexnet, small_dataset.x_test[:8],
+            small_dataset.y_test[:8],
+        ).x_adv
+
+        def worst_divergence(x):
+            result = detector.extractor.extract(x)
+            if result.predicted_class not in detector.class_paths:
+                return 1.0
+            canary = detector.class_paths.path_for(result.predicted_class)
+            return divergence_report(result.path, canary)[0].divergence
+
+        benign_div = np.mean([worst_divergence(x[None])
+                              for x in small_dataset.x_test[8:16]])
+        adv_div = np.mean([worst_divergence(x[None]) for x in adv])
+        assert adv_div > benign_div

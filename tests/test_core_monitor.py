@@ -1,0 +1,214 @@
+"""Tests for repro.core.monitor — the deployment wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM
+from repro.core import (
+    ExtractionConfig,
+    InferenceMonitor,
+    PtolemyDetector,
+    calibrate_threshold,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_detector(trained_alexnet, small_dataset):
+    detector = PtolemyDetector(
+        trained_alexnet, ExtractionConfig.bwcu(8, theta=0.5),
+        n_trees=40, seed=0,
+    )
+    detector.profile(small_dataset.x_train, small_dataset.y_train,
+                     max_per_class=20)
+    adv = BIM(eps=0.08).generate(
+        trained_alexnet, small_dataset.x_train[:30],
+        small_dataset.y_train[:30],
+    ).x_adv
+    detector.fit_classifier(small_dataset.x_train[30:60], adv)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def unfitted_detector(trained_alexnet, small_dataset):
+    detector = PtolemyDetector(trained_alexnet, ExtractionConfig.bwcu(8))
+    detector.profile(small_dataset.x_train[:20], small_dataset.y_train[:20])
+    return detector
+
+
+@pytest.fixture(scope="module")
+def adv_eval(trained_alexnet, small_dataset):
+    return BIM(eps=0.08).generate(
+        trained_alexnet, small_dataset.x_test[:15],
+        small_dataset.y_test[:15],
+    ).x_adv
+
+
+class TestCalibrateThreshold:
+    def test_fpr_respected_on_calibration_set(self, fitted_detector,
+                                              small_dataset):
+        clean = small_dataset.x_test[:30]
+        threshold = calibrate_threshold(fitted_detector, clean,
+                                        target_fpr=0.1)
+        scores = fitted_detector.scores_for_set(clean)
+        fpr = float(np.mean(scores > threshold))
+        assert fpr <= 0.1 + 1e-9
+
+    def test_zero_fpr_is_max_score(self, fitted_detector, small_dataset):
+        clean = small_dataset.x_test[:20]
+        threshold = calibrate_threshold(fitted_detector, clean,
+                                        target_fpr=0.0)
+        scores = fitted_detector.scores_for_set(clean)
+        assert (scores <= threshold).all()
+
+    def test_lower_fpr_means_higher_threshold(self, fitted_detector,
+                                              small_dataset):
+        clean = small_dataset.x_test[:30]
+        strict = calibrate_threshold(fitted_detector, clean, target_fpr=0.0)
+        loose = calibrate_threshold(fitted_detector, clean, target_fpr=0.5)
+        assert strict >= loose
+
+    def test_invalid_fpr_rejected(self, fitted_detector, small_dataset):
+        with pytest.raises(ValueError):
+            calibrate_threshold(fitted_detector, small_dataset.x_test[:5],
+                                target_fpr=1.5)
+
+    def test_empty_calibration_rejected(self, fitted_detector, small_dataset):
+        with pytest.raises(ValueError):
+            calibrate_threshold(fitted_detector,
+                                small_dataset.x_test[:0])
+
+
+class TestMonitorConstruction:
+    def test_requires_profiled_detector(self, trained_alexnet):
+        detector = PtolemyDetector(trained_alexnet, ExtractionConfig.bwcu(8))
+        with pytest.raises(ValueError):
+            InferenceMonitor(detector)
+
+    def test_requires_fitted_classifier(self, unfitted_detector):
+        with pytest.raises(ValueError):
+            InferenceMonitor(unfitted_detector)
+
+    def test_invalid_window_rejected(self, fitted_detector):
+        with pytest.raises(ValueError):
+            InferenceMonitor(fitted_detector, window=0)
+
+    def test_deploy_calibrates(self, fitted_detector, small_dataset):
+        monitor = InferenceMonitor.deploy(
+            fitted_detector, small_dataset.x_test[:20], target_fpr=0.1
+        )
+        assert 0.0 <= monitor.threshold <= 1.0 + 1e-9
+
+
+class TestServing:
+    def test_benign_mostly_accepted(self, fitted_detector, small_dataset):
+        monitor = InferenceMonitor.deploy(
+            fitted_detector, small_dataset.x_test[:20], target_fpr=0.1
+        )
+        decisions = monitor.submit_batch(small_dataset.x_test[20:40])
+        accept_rate = np.mean([d.accepted for d in decisions])
+        assert accept_rate >= 0.6
+
+    def test_adversarial_mostly_rejected(self, fitted_detector,
+                                         small_dataset, adv_eval):
+        monitor = InferenceMonitor.deploy(
+            fitted_detector, small_dataset.x_test[:20], target_fpr=0.1
+        )
+        decisions = monitor.submit_batch(adv_eval)
+        reject_rate = np.mean([not d.accepted for d in decisions])
+        assert reject_rate >= 0.6
+
+    def test_decision_fields(self, fitted_detector, small_dataset):
+        monitor = InferenceMonitor(fitted_detector, threshold=0.5)
+        decision = monitor.submit(small_dataset.x_test[:1])
+        assert isinstance(decision.accepted, bool)
+        assert 0 <= decision.predicted_class < 5
+        assert 0.0 <= decision.score <= 1.0
+        assert 0.0 <= decision.similarity <= 1.0
+
+    def test_counters_accumulate(self, fitted_detector, small_dataset):
+        monitor = InferenceMonitor(fitted_detector, threshold=0.5)
+        monitor.submit_batch(small_dataset.x_test[:6])
+        assert monitor.served == 6
+        assert 0 <= monitor.rejected <= 6
+
+
+class TestStats:
+    def test_empty_stats(self, fitted_detector):
+        monitor = InferenceMonitor(fitted_detector, threshold=0.5)
+        stats = monitor.stats()
+        assert stats.served == 0
+        assert stats.rejection_rate == 0.0
+
+    def test_stats_window_truncates(self, fitted_detector, small_dataset):
+        monitor = InferenceMonitor(fitted_detector, threshold=0.5, window=4)
+        monitor.submit_batch(small_dataset.x_test[:8])
+        stats = monitor.stats()
+        assert stats.window == 4
+        assert stats.served == 8
+
+    def test_rejection_rate_consistent(self, fitted_detector, small_dataset,
+                                       adv_eval):
+        monitor = InferenceMonitor(fitted_detector, threshold=0.5, window=64)
+        monitor.submit_batch(small_dataset.x_test[:10])
+        monitor.submit_batch(adv_eval[:10])
+        stats = monitor.stats()
+        assert stats.rejection_rate == pytest.approx(
+            stats.rejected / stats.served
+        )
+
+
+class TestReuseForward:
+    def test_submit_gates_faulty_state(self, fitted_detector, small_dataset):
+        """With reuse_forward the monitor must see injected faults; a
+        fresh submit of the same frame must see the clean run."""
+        from repro.eval import FaultSpec, forward_with_fault
+
+        monitor = InferenceMonitor(fitted_detector, threshold=0.5)
+        frame = small_dataset.x_test[:1]
+        clean = monitor.submit(frame)
+        fault_node = fitted_detector.model.extraction_units()[2].name
+        forward_with_fault(
+            fitted_detector.model, frame,
+            FaultSpec(node=fault_node, fraction=0.3, magnitude=8.0, seed=0),
+        )
+        faulty = monitor.submit(frame, reuse_forward=True)
+        # a massive mid-network corruption must depress similarity
+        assert faulty.similarity < clean.similarity + 1e-9
+
+    def test_detect_reuse_requires_prior_forward(self, fitted_detector,
+                                                 small_dataset):
+        fitted_detector.model.activations = {}
+        with pytest.raises(RuntimeError):
+            fitted_detector.detect(small_dataset.x_test[:1],
+                                   reuse_forward=True)
+
+
+class TestDriftAlarm:
+    def test_no_alarm_before_full_window(self, fitted_detector,
+                                         small_dataset):
+        monitor = InferenceMonitor(fitted_detector, threshold=0.0, window=50)
+        monitor.submit_batch(small_dataset.x_test[:5])
+        # threshold 0 rejects everything, but the window is not full yet
+        assert not monitor.drift_alarm(baseline_rate=0.05)
+
+    def test_alarm_on_attack_burst(self, fitted_detector, small_dataset,
+                                   adv_eval):
+        monitor = InferenceMonitor.deploy(
+            fitted_detector, small_dataset.x_test[:20],
+            target_fpr=0.1, window=10,
+        )
+        monitor.submit_batch(adv_eval[:10])
+        assert monitor.drift_alarm(baseline_rate=0.1, factor=2.0)
+
+    def test_no_alarm_on_clean_traffic(self, fitted_detector, small_dataset):
+        monitor = InferenceMonitor.deploy(
+            fitted_detector, small_dataset.x_test[:20],
+            target_fpr=0.2, window=10,
+        )
+        monitor.submit_batch(small_dataset.x_test[20:30])
+        assert not monitor.drift_alarm(baseline_rate=0.2, factor=3.0)
+
+    def test_negative_baseline_rejected(self, fitted_detector):
+        monitor = InferenceMonitor(fitted_detector, threshold=0.5, window=1)
+        with pytest.raises(ValueError):
+            monitor.drift_alarm(baseline_rate=-0.1)

@@ -1,0 +1,139 @@
+"""Path / class-path / similarity tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmask import Bitmask
+from repro.core.path import (
+    ActivationPath,
+    ClassPath,
+    PathLayout,
+    path_similarity,
+    per_tap_similarity,
+    symmetric_similarity,
+)
+
+
+@pytest.fixture
+def layout():
+    return PathLayout(("a", "b"), (8, 16))
+
+
+def make_path(layout, bits_a, bits_b):
+    return ActivationPath(
+        layout,
+        [
+            Bitmask.from_positions(8, bits_a),
+            Bitmask.from_positions(16, bits_b),
+        ],
+    )
+
+
+class TestLayout:
+    def test_total_bits(self, layout):
+        assert layout.total_bits == 24
+        assert layout.num_taps == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathLayout(("a",), (1, 2))
+        with pytest.raises(ValueError):
+            PathLayout(("a",), (0,))
+
+    def test_empty_path(self, layout):
+        assert layout.empty_path().popcount() == 0
+
+
+class TestActivationPath:
+    def test_popcount_and_density(self, layout):
+        path = make_path(layout, [0, 1], [3])
+        assert path.popcount() == 3
+        assert path.density() == pytest.approx(3 / 24)
+
+    def test_union(self, layout):
+        a = make_path(layout, [0], [1])
+        b = make_path(layout, [1], [1, 2])
+        assert a.union(b).popcount() == 4
+
+    def test_mask_size_validation(self, layout):
+        with pytest.raises(ValueError):
+            ActivationPath(layout, [Bitmask(8), Bitmask(15)])
+
+    def test_layout_mismatch(self, layout):
+        other = PathLayout(("a", "b"), (8, 8))
+        path = make_path(layout, [0], [0])
+        with pytest.raises(ValueError):
+            path.union(ActivationPath(other, [Bitmask(8), Bitmask(8)]))
+
+
+class TestClassPath:
+    def test_aggregate_is_monotone_or(self, layout):
+        canary = ClassPath(layout, class_id=3)
+        canary.aggregate(make_path(layout, [0, 2], [5]))
+        canary.aggregate(make_path(layout, [2, 4], [5, 6]))
+        assert canary.num_samples == 2
+        assert canary.masks[0].positions().tolist() == [0, 2, 4]
+        assert canary.masks[1].positions().tolist() == [5, 6]
+
+    def test_incremental_equals_batch(self, layout):
+        """OR-ing sample-by-sample must equal one-shot aggregation —
+        the paper's incremental-profiling property (Sec. III-B)."""
+        rng = np.random.default_rng(0)
+        paths = [
+            make_path(layout,
+                      rng.choice(8, 3, replace=False),
+                      rng.choice(16, 4, replace=False))
+            for _ in range(6)
+        ]
+        inc = ClassPath(layout, 0)
+        for p in paths:
+            inc.aggregate(p)
+        batch = paths[0]
+        for p in paths[1:]:
+            batch = batch.union(p)
+        assert inc.masks[0] == batch.masks[0]
+        assert inc.masks[1] == batch.masks[1]
+
+
+class TestSimilarity:
+    def test_formula(self, layout):
+        path = make_path(layout, [0, 1], [2, 3])
+        canary = make_path(layout, [1, 5], [2])
+        # |P & Pc| = 2, |P| = 4
+        assert path_similarity(path, canary) == pytest.approx(0.5)
+
+    def test_subset_gives_one(self, layout):
+        path = make_path(layout, [1], [2])
+        canary = make_path(layout, [0, 1], [2, 3])
+        assert path_similarity(path, canary) == 1.0
+
+    def test_empty_path_is_zero(self, layout):
+        assert path_similarity(layout.empty_path(),
+                               make_path(layout, [0], [0])) == 0.0
+
+    def test_per_tap(self, layout):
+        path = make_path(layout, [0, 1], [2])
+        canary = make_path(layout, [0], [3])
+        sims = per_tap_similarity(path, canary)
+        assert sims[0] == pytest.approx(0.5)
+        assert sims[1] == 0.0
+
+    def test_symmetric_similarity_properties(self, layout):
+        a = make_path(layout, [0, 1], [2])
+        b = make_path(layout, [1, 3], [2, 4])
+        assert symmetric_similarity(a, b) == symmetric_similarity(b, a)
+        assert symmetric_similarity(a, a) == 1.0
+
+    @given(st.lists(st.integers(0, 7), max_size=8, unique=True),
+           st.lists(st.integers(0, 7), max_size=8, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_similarity_bounds(self, pos_a, pos_b):
+        layout = PathLayout(("t",), (8,))
+        a = ActivationPath(layout, [Bitmask.from_positions(8, pos_a)])
+        b = ActivationPath(layout, [Bitmask.from_positions(8, pos_b)])
+        s = path_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        j = symmetric_similarity(a, b)
+        assert 0.0 <= j <= 1.0

@@ -1,0 +1,131 @@
+"""Profiling (class paths) and metrics (ROC/AUC) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExtractionConfig,
+    PathExtractor,
+    detection_report,
+    profile_class_paths,
+    roc_auc,
+    roc_curve,
+    saturation_curve,
+)
+
+
+class TestProfiling:
+    def test_class_paths_for_all_classes(self, trained_alexnet, small_dataset):
+        cfg = ExtractionConfig.bwcu(8, theta=0.5)
+        ex = PathExtractor(trained_alexnet, cfg)
+        cps = profile_class_paths(ex, small_dataset.x_train[:60],
+                                  small_dataset.y_train[:60])
+        assert cps.num_classes == 5
+        for cid, path in cps.paths.items():
+            assert path.num_samples > 0
+            assert path.popcount() > 0
+
+    def test_max_per_class_respected(self, trained_alexnet, small_dataset):
+        cfg = ExtractionConfig.bwcu(8, theta=0.5)
+        ex = PathExtractor(trained_alexnet, cfg)
+        cps = profile_class_paths(ex, small_dataset.x_train,
+                                  small_dataset.y_train, max_per_class=3)
+        assert all(p.num_samples <= 3 for p in cps.paths.values())
+
+    def test_misclassified_samples_excluded(self, small_dataset):
+        """An untrained model mispredicts most inputs; those samples
+        must not contribute to class paths."""
+        from repro.nn import build_mini_alexnet
+
+        model = build_mini_alexnet(num_classes=5, seed=77)
+        cfg = ExtractionConfig.bwcu(8, theta=0.5)
+        ex = PathExtractor(model, cfg)
+        cps = profile_class_paths(ex, small_dataset.x_train[:30],
+                                  small_dataset.y_train[:30])
+        total = sum(p.num_samples for p in cps.paths.values())
+        preds = model.predict(small_dataset.x_train[:30])
+        correct = int((preds == small_dataset.y_train[:30]).sum())
+        assert total == correct
+
+    def test_saturation_is_monotone(self, trained_alexnet, small_dataset):
+        """Class-path density can only grow as samples are OR-ed in; the
+        paper observes saturation around ~100 images (Sec. III-A)."""
+        cfg = ExtractionConfig.bwcu(8, theta=0.5)
+        ex = PathExtractor(trained_alexnet, cfg)
+        label = int(small_dataset.y_train[0])
+        curve = saturation_curve(ex, small_dataset.x_train,
+                                 small_dataset.y_train, label,
+                                 checkpoints=[1, 3, 6, 10])
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_storage_bytes_positive(self, trained_alexnet, small_dataset):
+        cfg = ExtractionConfig.bwcu(8, theta=0.5)
+        ex = PathExtractor(trained_alexnet, cfg)
+        cps = profile_class_paths(ex, small_dataset.x_train[:20],
+                                  small_dataset.y_train[:20])
+        assert cps.storage_bytes() > 0
+
+
+class TestROC:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_inverted_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_handled(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([1, 1]), np.array([0.1, 0.2]))
+
+    def test_curve_endpoints(self):
+        labels = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.1, 0.9, 0.4, 0.6, 0.3])
+        fpr, tpr, thr = roc_curve(labels, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert (np.diff(fpr) >= 0).all() and (np.diff(tpr) >= 0).all()
+
+    @given(st.integers(2, 60), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_auc_bounds_and_monotone_invariance(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=n)
+        auc = roc_auc(labels, scores)
+        assert 0.0 <= auc <= 1.0
+        # AUC is invariant under strictly monotone score transforms
+        assert roc_auc(labels, np.exp(scores)) == pytest.approx(auc)
+
+
+class TestDetectionReport:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.2, 0.7, 0.8, 0.3])
+        report = detection_report(labels, scores, threshold=0.5)
+        assert report.accuracy == pytest.approx(0.5)
+        assert report.true_positive_rate == pytest.approx(0.5)
+        assert report.false_positive_rate == pytest.approx(0.5)
+
+    def test_perfect(self):
+        report = detection_report(np.array([0, 1]), np.array([0.1, 0.9]))
+        assert report.accuracy == 1.0
+        assert report.false_positive_rate == 0.0

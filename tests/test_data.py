@@ -1,0 +1,86 @@
+"""Unit tests for synthetic dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetSpec,
+    batch_iterator,
+    make_cifar_like,
+    make_dataset,
+    make_imagenet_like,
+    train_test_split,
+)
+
+
+class TestGeneration:
+    def test_shapes_and_ranges(self):
+        ds = make_dataset(DatasetSpec(num_classes=4, train_per_class=10,
+                                      test_per_class=5, image_size=8))
+        assert ds.x_train.shape == (40, 3, 8, 8)
+        assert ds.x_test.shape == (20, 3, 8, 8)
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.0
+        assert set(np.unique(ds.y_train)) == set(range(4))
+
+    def test_determinism(self):
+        a = make_dataset(DatasetSpec(seed=42))
+        b = make_dataset(DatasetSpec(seed=42))
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset(DatasetSpec(seed=1))
+        b = make_dataset(DatasetSpec(seed=2))
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            make_dataset(DatasetSpec(num_classes=1))
+
+    def test_class_similarity_knob(self):
+        """Higher class_similarity -> more correlated prototypes (the
+        CIFAR-vs-ImageNet contrast of Fig. 5)."""
+
+        def mean_proto_corr(ds):
+            protos = ds.prototypes.reshape(ds.num_classes, -1)
+            protos = protos - protos.mean(axis=1, keepdims=True)
+            corrs = []
+            for i in range(len(protos)):
+                for j in range(i + 1, len(protos)):
+                    c = np.dot(protos[i], protos[j]) / (
+                        np.linalg.norm(protos[i]) * np.linalg.norm(protos[j])
+                    )
+                    corrs.append(c)
+            return np.mean(corrs)
+
+        distinct = make_imagenet_like(num_classes=6, seed=0)
+        similar = make_cifar_like(num_classes=6, seed=0)
+        assert mean_proto_corr(similar) > mean_proto_corr(distinct) + 0.2
+
+
+class TestLoaders:
+    def test_batch_iterator_covers_everything(self):
+        x = np.arange(10)[:, None].astype(float)
+        y = np.arange(10)
+        seen = []
+        for xb, yb in batch_iterator(x, y, batch_size=3):
+            assert len(xb) == len(yb)
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_batch_iterator_validation(self):
+        with pytest.raises(ValueError):
+            list(batch_iterator(np.zeros(3), np.zeros(2), 1))
+        with pytest.raises(ValueError):
+            list(batch_iterator(np.zeros(3), np.zeros(3), 0))
+
+    def test_split_fractions(self):
+        x = np.arange(100)[:, None].astype(float)
+        y = np.arange(100)
+        xtr, ytr, xte, yte = train_test_split(x, y, test_fraction=0.25)
+        assert len(xtr) == 75 and len(xte) == 25
+        assert sorted(np.concatenate([ytr, yte]).tolist()) == list(range(100))
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros(4), np.zeros(4), test_fraction=1.5)

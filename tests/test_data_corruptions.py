@@ -1,0 +1,188 @@
+"""Tests for repro.data.corruptions — natural perturbation sources."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CORRUPTIONS, apply_corruption, corruption_sweep
+from repro.data.corruptions import (
+    MAX_SEVERITY,
+    block_compression,
+    brightness_shift,
+    contrast_change,
+    gaussian_blur,
+    gaussian_noise,
+    motion_streak,
+    quantize_depth,
+    resize_artifacts,
+    salt_and_pepper,
+    shot_noise,
+)
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(7)
+    return rng.random((4, 3, 16, 16))
+
+
+ALL_NAMES = sorted(CORRUPTIONS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_output_shape_and_range(batch, name):
+    out = CORRUPTIONS[name](batch, severity=3, rng=np.random.default_rng(0))
+    assert out.shape == batch.shape
+    assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_input_not_mutated(batch, name):
+    before = batch.copy()
+    CORRUPTIONS[name](batch, severity=5, rng=np.random.default_rng(0))
+    np.testing.assert_array_equal(batch, before)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_severity_monotone_distortion(batch, name):
+    """Higher severity should not reduce distortion (weak monotonicity)."""
+    mses = [apply_corruption(name, batch, s, seed=0).mse
+            for s in (1, 3, 5)]
+    assert mses[0] <= mses[1] + 1e-9
+    assert mses[1] <= mses[2] + 1e-9
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_severity_bounds_rejected(batch, name):
+    with pytest.raises(ValueError):
+        CORRUPTIONS[name](batch, severity=0)
+    with pytest.raises(ValueError):
+        CORRUPTIONS[name](batch, severity=MAX_SEVERITY + 1)
+
+
+def test_non_batch_rejected():
+    with pytest.raises(ValueError):
+        gaussian_noise(np.zeros((3, 16, 16)), severity=1)
+
+
+def test_unknown_corruption_rejected(batch):
+    with pytest.raises(KeyError):
+        apply_corruption("fog_of_war", batch)
+
+
+def test_apply_corruption_is_deterministic(batch):
+    a = apply_corruption("gaussian_noise", batch, 3, seed=11)
+    b = apply_corruption("gaussian_noise", batch, 3, seed=11)
+    np.testing.assert_array_equal(a.images, b.images)
+    assert a.mse == b.mse
+
+
+def test_apply_corruption_seed_matters(batch):
+    a = apply_corruption("gaussian_noise", batch, 3, seed=1)
+    b = apply_corruption("gaussian_noise", batch, 3, seed=2)
+    assert not np.array_equal(a.images, b.images)
+
+
+def test_sweep_covers_grid(batch):
+    results = corruption_sweep(batch, names=["gaussian_noise", "gaussian_blur"],
+                               severities=(1, 5))
+    cells = {(r.name, r.severity) for r in results}
+    assert cells == {
+        ("gaussian_noise", 1), ("gaussian_noise", 5),
+        ("gaussian_blur", 1), ("gaussian_blur", 5),
+    }
+
+
+def test_sweep_default_covers_registry(batch):
+    results = corruption_sweep(batch, severities=(2,))
+    assert {r.name for r in results} == set(CORRUPTIONS)
+
+
+def test_salt_and_pepper_sets_extremes(batch):
+    out = salt_and_pepper(batch, severity=5, rng=np.random.default_rng(3))
+    changed = out != batch
+    assert changed.any()
+    assert np.isin(out[changed], [0.0, 1.0]).all()
+
+
+def test_quantize_depth_levels():
+    images = np.linspace(0, 1, 64).reshape(1, 1, 8, 8)
+    out = quantize_depth(images, severity=5)  # 2 bits -> 4 levels
+    assert len(np.unique(out)) <= 4
+
+
+def test_block_compression_blocky():
+    rng = np.random.default_rng(0)
+    images = rng.random((1, 1, 16, 16))
+    out = block_compression(images, severity=5)  # 8x8 blocks
+    block = out[0, 0, :8, :8]
+    assert np.allclose(block, block[0, 0])
+
+
+def test_brightness_shift_exact():
+    images = np.full((1, 1, 4, 4), 0.5)
+    out = brightness_shift(images, severity=1)
+    np.testing.assert_allclose(out, 0.55)
+
+
+def test_contrast_change_preserves_mean():
+    rng = np.random.default_rng(5)
+    images = rng.uniform(0.3, 0.7, size=(2, 3, 8, 8))
+    out = contrast_change(images, severity=3)
+    np.testing.assert_allclose(
+        out.mean(axis=(1, 2, 3)), images.mean(axis=(1, 2, 3)), atol=1e-9
+    )
+
+
+def test_contrast_change_reduces_variance(batch):
+    out = contrast_change(batch, severity=5)
+    assert out.std() < batch.std()
+
+
+def test_blur_reduces_high_frequency(batch):
+    out = gaussian_blur(batch, severity=5)
+    diff_orig = np.abs(np.diff(batch, axis=3)).mean()
+    diff_blur = np.abs(np.diff(out, axis=3)).mean()
+    assert diff_blur < diff_orig
+
+
+def test_motion_streak_preserves_constant_rows():
+    images = np.full((1, 1, 4, 8), 0.25)
+    out = motion_streak(images, severity=4)
+    np.testing.assert_allclose(out, 0.25)
+
+
+def test_resize_artifacts_severity1_close_on_smooth_image():
+    # On a smooth (low-frequency) image, a mild down/up cycle is nearly
+    # lossless; on white noise it would not be.
+    yy, xx = np.meshgrid(np.linspace(0, 1, 16), np.linspace(0, 1, 16))
+    smooth = ((yy + xx) / 2).reshape(1, 1, 16, 16)
+    out = resize_artifacts(smooth, severity=1)
+    assert np.mean((out - smooth) ** 2) < 0.001
+
+
+def test_shot_noise_dark_pixels_noisier_relative():
+    images = np.full((1, 1, 32, 32), 0.9)
+    dark = np.full((1, 1, 32, 32), 0.1)
+    rng = np.random.default_rng(0)
+    bright_noise = shot_noise(images, 3, rng=np.random.default_rng(0)) - images
+    dark_noise = shot_noise(dark, 3, rng=np.random.default_rng(0)) - dark
+    # Poisson noise is proportional to sqrt(signal): relative noise is
+    # larger for the dark image.
+    assert (np.std(dark_noise) / 0.1) > (np.std(bright_noise) / 0.9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    severity=st.integers(min_value=1, max_value=MAX_SEVERITY),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    name=st.sampled_from(ALL_NAMES),
+)
+def test_property_range_and_shape(severity, seed, name):
+    rng = np.random.default_rng(seed)
+    images = rng.random((2, 1, 9, 11))
+    out = CORRUPTIONS[name](images, severity, np.random.default_rng(seed))
+    assert out.shape == images.shape
+    assert np.isfinite(out).all()
+    assert out.min() >= 0.0 and out.max() <= 1.0

@@ -1,0 +1,293 @@
+"""Tests for repro.defenses: adversarial retraining, input-transform
+detection, and stochastic activation pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import FGSM
+from repro.core import ExtractionConfig, PtolemyDetector
+from repro.defenses import (
+    AdversarialTrainConfig,
+    StochasticActivationPruning,
+    TransformDefense,
+    adversarial_retrain,
+    default_transforms,
+    evaluate_combined_defense,
+    robust_accuracy,
+)
+from repro.nn import TrainConfig, build_mlp, train_classifier
+
+ATTACK = FGSM(eps=0.12)
+
+
+@pytest.fixture(scope="module")
+def fresh_mlp(flat_dataset):
+    """A trained MLP that retraining tests may mutate (module-local,
+    so session fixtures stay pristine)."""
+    x_train, y_train, _, _ = flat_dataset
+    model = build_mlp(
+        in_features=x_train.shape[1], hidden=(24, 16), num_classes=5, seed=11
+    )
+    train_classifier(model, x_train, y_train, TrainConfig(epochs=10, seed=11))
+    return model
+
+
+@pytest.fixture(scope="module")
+def retrained(fresh_mlp, flat_dataset):
+    """(model, history, robust-before) after adversarial retraining."""
+    x_train, y_train, x_test, y_test = flat_dataset
+    before = robust_accuracy(fresh_mlp, x_test, y_test, ATTACK)
+    history = adversarial_retrain(
+        fresh_mlp,
+        x_train,
+        y_train,
+        ATTACK,
+        AdversarialTrainConfig(epochs=6, adv_fraction=0.5, seed=11),
+    )
+    return fresh_mlp, history, before
+
+
+# -- config validation ------------------------------------------------------
+
+def test_adv_fraction_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        AdversarialTrainConfig(adv_fraction=1.5)
+    with pytest.raises(ValueError):
+        AdversarialTrainConfig(adv_fraction=-0.1)
+
+
+def test_adv_fraction_boundaries_accepted():
+    AdversarialTrainConfig(adv_fraction=0.0)
+    AdversarialTrainConfig(adv_fraction=1.0)
+
+
+# -- adversarial retraining --------------------------------------------------
+
+def test_retraining_history_lengths(retrained):
+    _, history, _ = retrained
+    assert len(history.losses) == 6
+    assert len(history.clean_accuracies) == 6
+    assert len(history.adv_accuracies) == 6
+
+
+def test_retraining_improves_robust_accuracy(retrained, flat_dataset):
+    model, _, before = retrained
+    _, _, x_test, y_test = flat_dataset
+    after = robust_accuracy(model, x_test, y_test, ATTACK)
+    assert after > before
+
+
+def test_retraining_keeps_clean_accuracy_usable(retrained, flat_dataset):
+    model, _, _ = retrained
+    _, _, x_test, y_test = flat_dataset
+    clean = float((model.predict(x_test) == y_test).mean())
+    assert clean >= 0.6
+
+
+def test_retraining_adv_accuracy_trends_up(retrained):
+    _, history, _ = retrained
+    assert history.final_adv_accuracy >= history.adv_accuracies[0]
+
+
+def test_retraining_leaves_model_in_eval_mode(retrained):
+    model, _, _ = retrained
+    assert model.training is False
+
+
+def test_zero_adv_fraction_is_plain_training(flat_dataset):
+    x_train, y_train, _, _ = flat_dataset
+    model = build_mlp(
+        in_features=x_train.shape[1], hidden=(16,), num_classes=5, seed=2
+    )
+    history = adversarial_retrain(
+        model,
+        x_train[:40],
+        y_train[:40],
+        ATTACK,
+        AdversarialTrainConfig(epochs=2, adv_fraction=0.0, seed=2),
+    )
+    # No adversarial rows were ever formed, so adv accuracy is undefined.
+    assert all(np.isnan(a) for a in history.adv_accuracies)
+    assert all(np.isfinite(loss) for loss in history.losses)
+
+
+def test_robust_accuracy_bounds(trained_mlp, flat_dataset):
+    _, _, x_test, y_test = flat_dataset
+    value = robust_accuracy(trained_mlp, x_test, y_test, ATTACK)
+    assert 0.0 <= value <= 1.0
+
+
+# -- combined defense (Sec. VIII integration claim) -------------------------
+
+@pytest.fixture(scope="module")
+def combined_report(retrained, flat_dataset):
+    model, _, _ = retrained
+    x_train, y_train, x_test, y_test = flat_dataset
+    config = ExtractionConfig.fwab(model.num_extraction_units())
+    detector = PtolemyDetector(model, config, n_trees=25, seed=0)
+    detector.profile(x_train, y_train, max_per_class=10)
+    fit_adv = ATTACK.generate(model, x_train[:15], y_train[:15]).x_adv
+    detector.fit_classifier(x_train[15:30], fit_adv)
+    eval_adv = ATTACK.generate(model, x_test[:15], y_test[:15]).x_adv
+    return evaluate_combined_defense(
+        model, detector, eval_adv, y_test[:15], x_test[15:30]
+    )
+
+
+def test_combined_defense_dominates_components(combined_report):
+    report = combined_report
+    assert report.handled_combined >= report.model_correct_rate
+    assert report.handled_combined >= report.detector_flag_rate
+
+
+def test_combined_defense_rates_are_probabilities(combined_report):
+    report = combined_report
+    for rate in (
+        report.model_correct_rate,
+        report.detector_flag_rate,
+        report.handled_combined,
+        report.benign_false_alarm_rate,
+    ):
+        assert 0.0 <= rate <= 1.0
+
+
+def test_combined_defense_union_bound(combined_report):
+    report = combined_report
+    assert report.handled_combined <= min(
+        1.0, report.model_correct_rate + report.detector_flag_rate
+    )
+
+
+# -- input-transformation defense --------------------------------------------
+
+def test_default_transforms_named_pair():
+    transforms = default_transforms()
+    assert len(transforms) == 2
+    assert {name for name, _ in transforms} == {"depth-4bit", "blur-mild"}
+
+
+def test_transform_defense_requires_transforms(trained_alexnet):
+    with pytest.raises(ValueError):
+        TransformDefense(trained_alexnet, transforms=[])
+
+
+def test_transform_defense_inference_multiplier(trained_alexnet):
+    defense = TransformDefense(trained_alexnet)
+    assert defense.inference_multiplier == 3
+
+
+def test_transform_scores_bounded(trained_alexnet, small_dataset):
+    defense = TransformDefense(trained_alexnet)
+    scores = defense.scores_for_set(small_dataset.x_test[:6])
+    assert scores.shape == (6,)
+    # L1 distance between two probability vectors is at most 2.
+    assert np.all(scores >= 0.0)
+    assert np.all(scores <= 2.0)
+
+
+def test_identity_transform_scores_zero(trained_alexnet, small_dataset):
+    defense = TransformDefense(
+        trained_alexnet, transforms=[("identity", lambda x: x)]
+    )
+    scores = defense.scores_for_set(small_dataset.x_test[:4])
+    assert np.allclose(scores, 0.0)
+
+
+def test_transform_defense_separates_fgsm(trained_alexnet, small_dataset):
+    defense = TransformDefense(trained_alexnet)
+    benign = small_dataset.x_test[:12]
+    adv = FGSM(eps=0.1).generate(
+        trained_alexnet, benign, small_dataset.y_test[:12]
+    ).x_adv
+    auc = defense.evaluate_auc(benign, adv)
+    assert 0.0 <= auc <= 1.0
+    # Feature squeezing is a real (if weak) detector on gradient attacks.
+    assert auc > 0.5
+
+
+def test_transform_score_single_matches_batch(trained_alexnet, small_dataset):
+    defense = TransformDefense(trained_alexnet)
+    x = small_dataset.x_test[:1]
+    assert defense.score(x) == pytest.approx(defense.scores_for_set(x)[0])
+
+
+# -- stochastic activation pruning -------------------------------------------
+
+def test_sap_parameter_validation(trained_alexnet):
+    with pytest.raises(ValueError):
+        StochasticActivationPruning(trained_alexnet, keep_fraction=0.0)
+    with pytest.raises(ValueError):
+        StochasticActivationPruning(trained_alexnet, keep_fraction=1.5)
+    with pytest.raises(ValueError):
+        StochasticActivationPruning(trained_alexnet, n_passes=0)
+
+
+def test_sap_inference_multiplier(trained_alexnet):
+    sap = StochasticActivationPruning(trained_alexnet, n_passes=5)
+    assert sap.inference_multiplier == 6
+
+
+def test_sap_stochastic_forward_shape(trained_mlp, flat_dataset):
+    _, _, x_test, _ = flat_dataset
+    sap = StochasticActivationPruning(trained_mlp, n_passes=2, seed=0)
+    out = sap.stochastic_forward(x_test[:3])
+    assert out.shape == (3, 5)
+    assert np.all(np.isfinite(out))
+
+
+def test_sap_zero_input_is_finite(trained_mlp, flat_dataset):
+    _, _, x_test, _ = flat_dataset
+    sap = StochasticActivationPruning(trained_mlp, n_passes=1, seed=0)
+    zeros = np.zeros_like(x_test[:2])
+    out = sap.stochastic_forward(zeros)
+    assert np.all(np.isfinite(out))
+
+
+def test_sap_scores_reproducible_across_instances(trained_mlp, flat_dataset):
+    _, _, x_test, _ = flat_dataset
+    first = StochasticActivationPruning(trained_mlp, n_passes=3, seed=42)
+    second = StochasticActivationPruning(trained_mlp, n_passes=3, seed=42)
+    np.testing.assert_allclose(
+        first.scores_for_set(x_test[:4]), second.scores_for_set(x_test[:4])
+    )
+
+
+def test_sap_prune_preserves_expectation(trained_mlp):
+    """E[SAP(a)] == a: inverse-propensity rescaling is unbiased."""
+    sap = StochasticActivationPruning(trained_mlp, keep_fraction=0.6, seed=0)
+    rng = np.random.default_rng(9)
+    activation = np.abs(rng.normal(size=(1, 40)))
+    mean = np.zeros_like(activation)
+    n = 3000
+    for _ in range(n):
+        mean += sap._prune(activation, rng)
+    mean /= n
+    np.testing.assert_allclose(mean, activation, rtol=0.15, atol=0.02)
+
+
+def test_sap_separates_fgsm(trained_mlp, flat_dataset):
+    _, _, x_test, y_test = flat_dataset
+    sap = StochasticActivationPruning(trained_mlp, n_passes=6, seed=1)
+    benign = x_test[:12]
+    adv = FGSM(eps=0.12).generate(trained_mlp, benign, y_test[:12]).x_adv
+    auc = sap.evaluate_auc(benign, adv)
+    assert 0.0 <= auc <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_sap_prune_sign_and_support(seed):
+    """Pruned entries are zero; kept entries keep their sign and are
+    scaled up (|output| >= |input| wherever nonzero)."""
+    model = build_mlp(in_features=8, hidden=(6,), num_classes=3, seed=0)
+    sap = StochasticActivationPruning(model, keep_fraction=0.5, seed=0)
+    rng = np.random.default_rng(seed)
+    activation = np.abs(rng.normal(size=(2, 30)))
+    pruned = sap._prune(activation, rng)
+    nonzero = pruned != 0
+    assert np.all(pruned[nonzero] > 0)
+    assert np.all(pruned[nonzero] >= activation[nonzero] - 1e-12)

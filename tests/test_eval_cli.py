@@ -1,0 +1,168 @@
+"""Tests for the evaluation harness, reporting helpers, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.eval import SCENARIOS, Workbench, render_matrix, render_table
+from repro.eval.harness import _WORKBENCH_CACHE
+
+
+class TestScenarios:
+    def test_registry_covers_paper_workloads(self):
+        assert "alexnet_imagenet" in SCENARIOS
+        assert "resnet18_cifar" in SCENARIOS
+        for name in ("resnet50_imagenet", "vgg_imagenet",
+                     "densenet_imagenet", "inception_imagenet"):
+            assert name in SCENARIOS  # the Sec. VII-H suite
+
+    def test_scenario_builds_deterministically(self):
+        scenario = SCENARIOS["alexnet_imagenet"]
+        a = scenario.build_dataset()
+        b = scenario.build_dataset()
+        assert np.array_equal(a.x_train, b.x_train)
+
+
+class TestWorkbench:
+    def test_cached_instance(self):
+        wb1 = Workbench.get("alexnet_imagenet")
+        wb2 = Workbench.get("alexnet_imagenet")
+        assert wb1 is wb2
+        assert "alexnet_imagenet" in _WORKBENCH_CACHE
+
+    def test_trains_to_usable_accuracy(self):
+        wb = Workbench.get("alexnet_imagenet")
+        assert wb.clean_accuracy > 0.8
+
+    def test_attack_sets_cached_and_disjoint(self):
+        wb = Workbench.get("alexnet_imagenet")
+        fit = wb.attack_fit("fgsm")
+        again = wb.attack_fit("fgsm")
+        assert fit is again
+        # fit and eval adversarial sets come from different samples
+        ev = wb.attack_eval("fgsm")
+        assert fit.x_adv.shape[0] == wb._fit_count
+        assert ev.x_adv.shape[0] == wb._eval_count
+
+    def test_detector_cached_per_variant(self):
+        wb = Workbench.get("alexnet_imagenet")
+        d1 = wb.detector("FwAb")
+        d2 = wb.detector("FwAb")
+        assert d1 is d2
+        assert wb.detector("BwAb") is not d1
+
+    def test_unknown_variant_rejected(self):
+        wb = Workbench.get("alexnet_imagenet")
+        with pytest.raises(ValueError):
+            wb.config_for("NoSuchVariant")
+
+    def test_variant_cost_sane(self):
+        wb = Workbench.get("alexnet_imagenet")
+        cost = wb.variant_cost("FwAb")
+        assert cost.latency_overhead >= 1.0
+
+
+class TestReporting:
+    def test_render_table_aligns(self):
+        text = render_table("title", ["a", "bb"], [(1, 2.5), ("xy", 3.25)])
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "2.500" in text and "xy" in text
+
+    def test_render_table_empty_rows(self):
+        text = render_table("t", ["col"], [])
+        assert "col" in text
+
+    def test_render_matrix(self):
+        mat = np.array([[1.0, 0.25], [0.25, 1.0]])
+        text = render_matrix("m", [0, 1], mat)
+        assert "0.25" in text and "1.00" in text
+
+
+class TestCli:
+    def test_scenarios_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet_imagenet" in out
+
+    def test_area_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead_pct" in out
+
+    def test_cost_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["cost", "alexnet_imagenet", "--variant", "FwAb"]) == 0
+        out = capsys.readouterr().out
+        assert "latency overhead" in out
+
+    def test_compile_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["compile", "alexnet_imagenet"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "sort" in out
+
+    def test_train_profile_detect_pipeline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        model_path = tmp_path / "model.npz"
+        det_path = tmp_path / "det"
+        assert main(["train", "alexnet_imagenet", "--epochs", "4",
+                     "--output", str(model_path)]) == 0
+        assert main(["profile", "alexnet_imagenet",
+                     "--model", str(model_path),
+                     "--max-per-class", "8",
+                     "--output", str(det_path)]) == 0
+        assert main(["detect", "alexnet_imagenet",
+                     "--model", str(model_path),
+                     "--detector", str(det_path),
+                     "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "flagged" in out
+
+    def test_corrupt_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["corrupt", "alexnet_imagenet", "--count", "6",
+                     "--severities", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "gaussian_noise" in out
+        assert "prediction flips" in out
+
+    def test_monitor_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["monitor", "alexnet_imagenet", "--count", "6",
+                     "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "deployed: threshold=" in out
+        assert "rolling rejection rate" in out
+
+    def test_explain_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "alexnet_imagenet", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "benign input saliency" in out
+        assert "adversarial input saliency" in out
+        assert "divergent from the class canary" in out
+
+    def test_defend_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["defend", "alexnet_imagenet", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "robust accuracy before retraining" in out
+        assert "robust accuracy after retraining" in out
+        assert "handled combined" in out
+
+    def test_unknown_scenario_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["train", "nope"])

@@ -1,0 +1,137 @@
+"""Tests for repro.eval.plots — ASCII chart rendering."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import bar_chart, grouped_bars, heatmap, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_non_finite_becomes_blank(self):
+        line = sparkline([0.0, float("nan"), 1.0])
+        assert line[1] == " "
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([float("nan")])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=40))
+    def test_property_length_preserved(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        out = bar_chart("t", ["BwCu", "FwAb"], [12.3, 1.02])
+        assert "BwCu" in out and "FwAb" in out
+        assert "12.3" in out and "1.02" in out
+
+    def test_larger_value_longer_bar(self):
+        out = bar_chart("t", ["a", "b"], [1.0, 10.0])
+        bar_a = out.splitlines()[2].count("█")
+        bar_b = out.splitlines()[3].count("█")
+        assert bar_b > bar_a
+
+    def test_log_scale_compresses_ratio(self):
+        lin = bar_chart("t", ["a", "b"], [1.0, 100.0], width=40)
+        log = bar_chart("t", ["a", "b"], [1.0, 100.0], width=40, log_scale=True)
+        lin_a = lin.splitlines()[2].count("█")
+        log_a = log.splitlines()[2].count("█")
+        # On a log axis the small bar is visible; linearly it is ~1 cell.
+        assert log_a >= lin_a
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [0.0], log_scale=True)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a", "b"], [1.0])
+
+    def test_zero_value_has_no_bar(self):
+        out = bar_chart("t", ["z"], [0.0])
+        assert out.splitlines()[2].count("█") == 0
+
+
+class TestGroupedBars:
+    def test_every_group_and_series_present(self):
+        out = grouped_bars(
+            "Fig 10", ["AlexNet", "ResNet18"],
+            [("BwCu", [0.94, 0.96]), ("EP", [0.93, 0.95])],
+        )
+        for token in ("AlexNet", "ResNet18", "BwCu", "EP"):
+            assert token in out
+
+    def test_values_rendered_per_group(self):
+        out = grouped_bars("t", ["g1"], [("s", [0.123])], value_fmt="{:.3f}")
+        assert "0.123" in out
+
+
+class TestLinePlot:
+    def test_contains_legend_and_bounds(self):
+        out = line_plot("sweep", [1, 2, 3], [("acc", [0.8, 0.9, 0.95])])
+        assert "o=acc" in out
+        assert "0.95" in out and "0.8" in out
+
+    def test_two_series_distinct_markers(self):
+        out = line_plot("t", [0, 1], [("a", [0, 1]), ("b", [1, 0])])
+        assert "o=a" in out and "x=b" in out
+        body = "\n".join(out.splitlines()[2:-3])
+        assert "o" in body and "x" in body
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot("t", [1, 2], [("a", [1.0])])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot("t", [1], [])
+
+    def test_constant_series_renders(self):
+        out = line_plot("t", [0, 1, 2], [("flat", [2.0, 2.0, 2.0])])
+        assert "flat" in out
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(0, 1e3), min_size=2, max_size=12))
+    def test_property_height_fixed(self, ys):
+        out = line_plot("t", list(range(len(ys))), [("s", ys)], height=6)
+        # title + rule + 6 rows + axis + xlabel + legend
+        assert len(out.splitlines()) == 11
+
+
+class TestHeatmap:
+    def test_diagonal_hottest(self):
+        matrix = [[1.0, 0.3], [0.3, 1.0]]
+        out = heatmap("sim", matrix)
+        assert "@" in out  # hottest shade on the diagonal
+        assert "scale:" in out.splitlines()[-1]
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            heatmap("t", [[1.0, 2.0], [1.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            heatmap("t", [])
+
+    def test_labels_used(self):
+        out = heatmap("t", [[0.5]], row_labels=["cat"], col_labels=["dog"])
+        assert "cat" in out
+        assert "d" in out.splitlines()[2]
+
+    def test_constant_matrix(self):
+        out = heatmap("t", [[0.4, 0.4], [0.4, 0.4]])
+        assert "0.40" in out

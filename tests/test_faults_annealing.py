@@ -1,0 +1,153 @@
+"""Tests for the extensions: fault injection and the simulated-
+annealing hard-path attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AnnealingPathAttack
+from repro.core import (
+    ExtractionConfig,
+    PathExtractor,
+    calibrate_phi,
+    path_similarity,
+    profile_class_paths,
+)
+from repro.eval import FaultSpec, bitflip_fault, forward_with_fault, stuck_fault
+
+
+class TestFaultInjection:
+    def test_fault_changes_downstream_only(self, trained_alexnet,
+                                           small_dataset):
+        x = small_dataset.x_test[:1]
+        clean = trained_alexnet.forward(x).copy()
+        clean_conv2 = trained_alexnet.activations["conv2"].copy()
+        forward_with_fault(
+            trained_alexnet, x,
+            FaultSpec(node="conv3", fraction=0.05, magnitude=8.0, seed=0),
+        )
+        # upstream activations identical, downstream logits perturbed
+        assert np.allclose(trained_alexnet.activations["conv2"], clean_conv2)
+        assert not np.allclose(
+            trained_alexnet.activations[trained_alexnet.output_name], clean
+        )
+
+    def test_unknown_node_rejected(self, trained_alexnet, small_dataset):
+        with pytest.raises(ValueError):
+            forward_with_fault(trained_alexnet, small_dataset.x_test[:1],
+                               FaultSpec(node="bogus"))
+
+    def test_stuck_fault_zeroes_elements(self, trained_alexnet,
+                                         small_dataset):
+        x = small_dataset.x_test[:1]
+        spec = FaultSpec(node="conv3", fraction=0.1, seed=3)
+        forward_with_fault(trained_alexnet, x, spec,
+                           corrupt=stuck_fault(spec))
+        faulty = trained_alexnet.activations["conv3"].copy()
+        trained_alexnet.forward(x)
+        clean = trained_alexnet.activations["conv3"]
+        zeroed = int((faulty == 0).sum()) - int((clean == 0).sum())
+        assert zeroed >= 0  # stuck-at-zero can only add zeros
+
+    def test_faults_depress_path_similarity(self, trained_alexnet,
+                                            small_dataset):
+        """The Sec. VIII claim: hardware faults look like adversaries
+        to the path machinery."""
+        config = ExtractionConfig.bwcu(8, theta=0.5)
+        extractor = PathExtractor(trained_alexnet, config)
+        class_paths = profile_class_paths(
+            extractor, small_dataset.x_train[:40],
+            small_dataset.y_train[:40],
+        )
+        drops = []
+        for i in range(5):
+            x = small_dataset.x_test[i : i + 1]
+            clean = extractor.extract(x)
+            if clean.predicted_class not in class_paths:
+                continue
+            canary = class_paths.path_for(clean.predicted_class)
+            sim_clean = path_similarity(clean.path, canary)
+            forward_with_fault(
+                trained_alexnet, x,
+                FaultSpec(node="conv3", fraction=0.05, magnitude=8.0, seed=i),
+            )
+            faulty = extractor.extract(x, reuse_forward=True)
+            if faulty.predicted_class in class_paths:
+                canary = class_paths.path_for(faulty.predicted_class)
+                sim_faulty = path_similarity(faulty.path, canary)
+            else:
+                sim_faulty = 0.0
+            drops.append(sim_clean - sim_faulty)
+        assert np.mean(drops) > 0.02
+
+    def test_reuse_forward_requires_prior_run(self, small_dataset):
+        from repro.nn import build_mini_alexnet
+
+        model = build_mini_alexnet(num_classes=5, seed=50)
+        extractor = PathExtractor(model, ExtractionConfig.bwcu(8))
+        extractor.warm_up(small_dataset.x_test[:1])
+        model.activations = {}
+        with pytest.raises(RuntimeError):
+            extractor.extract(small_dataset.x_test[:1], reuse_forward=True)
+
+
+class TestAnnealingAttack:
+    @pytest.fixture(scope="class")
+    def setup(self, trained_alexnet, small_dataset):
+        config = calibrate_phi(
+            trained_alexnet, ExtractionConfig.fwab(8),
+            small_dataset.x_train[:4], quantile=0.95,
+        )
+        extractor = PathExtractor(trained_alexnet, config)
+        class_paths = profile_class_paths(
+            extractor, small_dataset.x_train[:40],
+            small_dataset.y_train[:40],
+        )
+        return trained_alexnet, extractor, class_paths
+
+    def test_result_fields(self, setup, small_dataset):
+        model, extractor, class_paths = setup
+        attack = AnnealingPathAttack(model, extractor, class_paths,
+                                     iterations=60, seed=0)
+        result = attack.attack(small_dataset.x_test[:1])
+        assert 0.0 <= result.path_similarity <= 1.0
+        assert result.distortion_mse >= 0.0
+        assert result.target_class in range(5)
+        assert result.iterations <= 60
+
+    def test_loss_never_worse_than_start(self, setup, small_dataset):
+        """Annealing keeps the best-seen state; the reported loss can
+        only improve on the unperturbed input's loss."""
+        model, extractor, class_paths = setup
+        attack = AnnealingPathAttack(model, extractor, class_paths,
+                                     iterations=80, seed=1)
+        x = small_dataset.x_test[1:2]
+        start_loss, _, _, _ = attack._loss(
+            x, x, attack.attack(x).target_class
+        )
+        result = attack.attack(x)
+        assert result.loss <= start_loss + 1e-9
+
+    def test_batch_validation(self, setup, small_dataset):
+        model, extractor, class_paths = setup
+        attack = AnnealingPathAttack(model, extractor, class_paths)
+        with pytest.raises(ValueError):
+            attack.attack(small_dataset.x_test[:2])
+
+    def test_invalid_parameters(self, setup):
+        model, extractor, class_paths = setup
+        with pytest.raises(ValueError):
+            AnnealingPathAttack(model, extractor, class_paths, iterations=0)
+        with pytest.raises(ValueError):
+            AnnealingPathAttack(model, extractor, class_paths, cooling=1.5)
+
+    def test_joint_success_is_rare(self, setup, small_dataset):
+        """The paper's conjecture: un-guided search rarely satisfies
+        the hard path constraint while fooling the model."""
+        model, extractor, class_paths = setup
+        attack = AnnealingPathAttack(model, extractor, class_paths,
+                                     iterations=120, seed=2)
+        joint = 0
+        for i in range(4):
+            result = attack.attack(small_dataset.x_test[i : i + 1])
+            joint += result.fools_model and result.matches_path
+        assert joint <= 1

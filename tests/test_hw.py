@@ -1,0 +1,208 @@
+"""Hardware-model tests: inference cost, path constructor, DRAM
+footprint, full detection simulation, and the area model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compiler import apply_optimizations
+from repro.core import ExtractionConfig, PathExtractor, calibrate_phi
+from repro.hw import (
+    DEFAULT_HW,
+    HardwareConfig,
+    area_report,
+    controller_cost,
+    detection_dram_footprint,
+    inference_cost,
+    model_workload,
+    recompute_cycles,
+    simulate_detection,
+)
+from repro.hw.path_constructor import sort_cycles, sort_energy_pj
+
+
+@pytest.fixture(scope="module")
+def alexnet_env(trained_alexnet, small_dataset):
+    trained_alexnet.forward(small_dataset.x_test[:1])
+    workload = model_workload(trained_alexnet)
+    return trained_alexnet, workload, small_dataset
+
+
+def _trace_for(model, config, x):
+    return PathExtractor(model, config).extract(x).trace
+
+
+class TestInferenceCost:
+    def test_macs_bound_compute_cycles(self, alexnet_env):
+        _, workload, _ = alexnet_env
+        cost = inference_cost(workload, DEFAULT_HW)
+        min_cycles = math.ceil(workload.total_macs / DEFAULT_HW.macs_per_cycle)
+        assert cost.cycles >= min_cycles
+
+    def test_bigger_array_is_faster(self, alexnet_env):
+        _, workload, _ = alexnet_env
+        small = inference_cost(workload, DEFAULT_HW)
+        big = inference_cost(workload, DEFAULT_HW.with_array(32, 32))
+        assert big.cycles <= small.cycles
+
+    def test_energy_positive_per_layer(self, alexnet_env):
+        _, workload, _ = alexnet_env
+        cost = inference_cost(workload, DEFAULT_HW)
+        assert all(l.energy_pj > 0 for l in cost.layers)
+
+    def test_recompute_uses_first_row_only(self):
+        cycles = recompute_cycles(10, 100, DEFAULT_HW)
+        assert cycles == 10 * math.ceil(100 / DEFAULT_HW.array_cols)
+        assert recompute_cycles(0, 100, DEFAULT_HW) == 0
+
+
+class TestPathConstructor:
+    def test_sort_cycles_grow_with_length(self):
+        assert sort_cycles(1024, DEFAULT_HW) > sort_cycles(64, DEFAULT_HW)
+
+    def test_longer_merge_tree_reduces_latency(self):
+        """Fig. 18a: longer merge trees cut sort latency."""
+        short = DEFAULT_HW.with_merge_length(4)
+        long = DEFAULT_HW.with_merge_length(32)
+        n = 20000
+        assert sort_cycles(n, long) < sort_cycles(n, short)
+
+    def test_more_sort_units_marginal(self):
+        """Fig. 18b: extra sort units barely matter (merge-bound)."""
+        few = DEFAULT_HW.with_sort_units(2)
+        many = DEFAULT_HW.with_sort_units(16)
+        n = 20000
+        saving = sort_cycles(n, few) - sort_cycles(n, many)
+        assert 0 <= saving < 0.2 * sort_cycles(n, few)
+
+    def test_tiny_sequences(self):
+        assert sort_cycles(0, DEFAULT_HW) == 0
+        assert sort_cycles(1, DEFAULT_HW) == 1
+        assert sort_energy_pj(1, DEFAULT_HW) == 0.0
+
+
+class TestDramFootprint:
+    def test_store_all_regime_scales_with_psums(self, alexnet_env):
+        model, workload, ds = alexnet_env
+        config = ExtractionConfig.bwcu(8, theta=0.5)
+        trace = _trace_for(model, config, ds.x_test[:1])
+        fp = detection_dram_footprint(workload, config, trace, DEFAULT_HW,
+                                      recompute=False)
+        assert fp.space_bytes == workload.total_psums * 2
+        assert fp.write_bytes == workload.total_psums * 2
+
+    def test_recompute_shrinks_space(self, alexnet_env):
+        model, workload, ds = alexnet_env
+        config = ExtractionConfig.bwcu(8, theta=0.5)
+        trace = _trace_for(model, config, ds.x_test[:1])
+        stored = detection_dram_footprint(workload, config, trace, DEFAULT_HW,
+                                          recompute=False)
+        recomputed = detection_dram_footprint(workload, config, trace,
+                                              DEFAULT_HW, recompute=True)
+        assert recomputed.space_bytes < stored.space_bytes
+        assert recomputed.write_bytes == 0
+
+    def test_absolute_mode_stores_bits(self, alexnet_env):
+        model, workload, ds = alexnet_env
+        config = calibrate_phi(model, ExtractionConfig.bwab(8),
+                               ds.x_train[:4])
+        trace = _trace_for(model, config, ds.x_test[:1])
+        fp = detection_dram_footprint(workload, config, trace, DEFAULT_HW,
+                                      recompute=False)
+        # masks are 1 bit per psum: 16x smaller than storing psums
+        assert fp.space_bytes <= workload.total_psums / 8 + len(config.layers)
+
+
+class TestDetectionSimulation:
+    def _cost(self, model, ds, workload, variant, **opt):
+        n = model.num_extraction_units()
+        if variant == "BwCu":
+            config = ExtractionConfig.bwcu(n, theta=0.5)
+        elif variant == "BwAb":
+            config = calibrate_phi(model, ExtractionConfig.bwab(n),
+                                   ds.x_train[:4])
+        elif variant == "FwAb":
+            config = calibrate_phi(model, ExtractionConfig.fwab(n),
+                                   ds.x_train[:4], quantile=0.95)
+        else:
+            config = calibrate_phi(model, ExtractionConfig.hybrid(n, 0.5),
+                                   ds.x_train[:4])
+        trace = _trace_for(model, config, ds.x_test[:1])
+        schedule = apply_optimizations(config, n, **opt)
+        return simulate_detection(workload, config, trace, schedule)
+
+    def test_paper_variant_ordering(self, alexnet_env):
+        """Fig. 11's qualitative result: BwCu >> Hybrid > BwAb > FwAb in
+        latency; FwAb is within a few percent of plain inference."""
+        model, workload, ds = alexnet_env
+        bwcu = self._cost(model, ds, workload, "BwCu")
+        bwab = self._cost(model, ds, workload, "BwAb")
+        fwab = self._cost(model, ds, workload, "FwAb")
+        hybrid = self._cost(model, ds, workload, "Hybrid")
+        assert bwcu.latency_overhead > hybrid.latency_overhead
+        assert hybrid.latency_overhead > bwab.latency_overhead
+        assert bwab.latency_overhead >= fwab.latency_overhead
+        assert fwab.latency_overhead < 1.10
+        assert bwcu.energy_overhead > bwab.energy_overhead
+
+    def test_overheads_at_least_one(self, alexnet_env):
+        model, workload, ds = alexnet_env
+        for variant in ("BwCu", "BwAb", "FwAb", "Hybrid"):
+            cost = self._cost(model, ds, workload, variant)
+            assert cost.latency_overhead >= 1.0
+            assert cost.energy_overhead >= 1.0
+
+    def test_recompute_cuts_bwcu_energy(self, alexnet_env):
+        """The compute-for-memory trade-off of Sec. IV-B."""
+        model, workload, ds = alexnet_env
+        stored = self._cost(model, ds, workload, "BwCu", recompute=False)
+        recomputed = self._cost(model, ds, workload, "BwCu", recompute=True)
+        assert recomputed.energy_overhead < stored.energy_overhead
+        assert recomputed.dram.space_bytes < stored.dram.space_bytes
+
+    def test_neuron_pipelining_helps_bwcu(self, alexnet_env):
+        model, workload, ds = alexnet_env
+        on = self._cost(model, ds, workload, "BwCu", neuron_pipelining=True)
+        off = self._cost(model, ds, workload, "BwCu", neuron_pipelining=False)
+        assert on.total_cycles <= off.total_cycles
+
+    def test_layer_pipelining_hides_forward_extraction(self, alexnet_env):
+        model, workload, ds = alexnet_env
+        on = self._cost(model, ds, workload, "FwAb", layer_pipelining=True)
+        off = self._cost(model, ds, workload, "FwAb", layer_pipelining=False)
+        assert on.total_cycles <= off.total_cycles
+
+
+class TestController:
+    def test_rf_op_count(self):
+        cost = controller_cost(DEFAULT_HW)
+        assert cost.classify_cycles == 100 * 12 * 2
+        assert cost.energy_pj > 0
+
+
+class TestArea:
+    def test_default_overhead_near_paper(self):
+        """Sec. VII-A: ~5.2% total, ~3.9 points from SRAM."""
+        report = area_report(DEFAULT_HW)
+        breakdown = report.breakdown()
+        assert 4.0 <= breakdown["overhead_pct"] <= 7.0
+        assert breakdown["sram_pct_points"] > breakdown["mac_aug_pct_points"]
+
+    def test_8bit_overhead_increases(self):
+        """Sec. VII-G: 8-bit raises the overhead (5.2% -> 5.5%)."""
+        base = area_report(DEFAULT_HW).overhead
+        eight = area_report(DEFAULT_HW.with_8bit()).overhead
+        assert eight > base
+
+    def test_unsupported_width_rejected(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            area_report(replace(DEFAULT_HW, datapath_bits=4))
+
+    def test_invalid_hw_config(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(array_rows=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(merge_tree_length=1)

@@ -1,0 +1,200 @@
+"""Tests for the transaction-level LPDDR3 model (repro.hw.dram)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.dram import (
+    Bank,
+    DoubleBufferPlan,
+    DramConfig,
+    DramModel,
+    DramTimings,
+    double_buffer_cycles,
+    stream_cycles,
+)
+
+
+class TestBank:
+    def test_first_access_is_miss(self):
+        bank = Bank()
+        outcome, extra = bank.access(3, DramTimings())
+        assert outcome == "miss"
+        assert extra == DramTimings().row_miss_penalty()
+
+    def test_same_row_hits(self):
+        bank = Bank()
+        bank.access(3, DramTimings())
+        outcome, extra = bank.access(3, DramTimings())
+        assert outcome == "hit"
+        assert extra == 0
+
+    def test_row_change_conflicts(self):
+        bank = Bank()
+        bank.access(3, DramTimings())
+        outcome, extra = bank.access(4, DramTimings())
+        assert outcome == "conflict"
+        assert extra == DramTimings().row_conflict_penalty()
+
+
+class TestConfigValidation:
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            DramConfig(channels=0)
+
+    def test_rejects_misaligned_row(self):
+        with pytest.raises(ValueError):
+            DramConfig(row_bytes=100, burst_bytes=32)
+
+    def test_bursts_per_row(self):
+        assert DramConfig(row_bytes=2048, burst_bytes=32).bursts_per_row == 64
+
+
+class TestSequentialStreams:
+    def test_sequential_stream_is_mostly_row_hits(self):
+        model = DramModel()
+        model.access(0, 256 * 1024)  # 256 KB weight stream
+        stats = model.stats()
+        assert stats.row_hit_rate > 0.95
+
+    def test_channel_interleaving_spreads_bursts(self):
+        model = DramModel(DramConfig(channels=4))
+        model.access(0, 64 * 32)  # 64 bursts
+        per_channel = [c.stats.bursts for c in model.channels]
+        assert per_channel == [16, 16, 16, 16]
+
+    def test_more_channels_fewer_cycles(self):
+        one = stream_cycles(1 << 20, DramConfig(channels=1))
+        four = stream_cycles(1 << 20, DramConfig(channels=4))
+        assert four < one
+        # parallelism is bounded by the channel count (a small slack
+        # covers per-channel activate overheads and refresh rounding)
+        assert one <= 4 * four * 1.05 + 100
+
+    def test_bytes_moved_rounds_up_to_bursts(self):
+        model = DramModel()
+        model.access(0, 33)  # straddles two bursts
+        assert model.bytes_moved() == 64
+
+    def test_zero_bytes_is_free(self):
+        model = DramModel()
+        model.access(0, 0)
+        assert model.stats().bursts == 0
+        assert model.bytes_moved() == 0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel().access(0, -1)
+
+
+class TestScatteredAccess:
+    def test_scattered_psum_reads_have_lower_hit_rate(self):
+        """Scattered reads (backward extraction's receptive-field loads)
+        should pay far more activates than a sequential stream of the
+        same volume — the reason the flat-bandwidth model undercounts
+        BwCu's memory stalls."""
+        cfg = DramConfig()
+        seq = DramModel(cfg)
+        seq.access(0, 512 * 32)
+        scattered = DramModel(cfg)
+        # one burst every 8 rows: guaranteed activate per access
+        stride = 8 * cfg.row_bytes * cfg.channels
+        scattered.access_scattered(
+            (i * stride for i in range(512)), nbytes_each=32
+        )
+        assert scattered.stats().row_hit_rate < seq.stats().row_hit_rate
+        assert scattered.cycles() > seq.cycles()
+
+    def test_effective_bandwidth_degrades_when_scattered(self):
+        cfg = DramConfig()
+        seq = DramModel(cfg)
+        seq.access(0, 4096 * 32)
+        scattered = DramModel(cfg)
+        stride = 3 * cfg.row_bytes * cfg.channels
+        scattered.access_scattered(
+            (i * stride for i in range(4096)), nbytes_each=32
+        )
+        assert (
+            scattered.effective_bytes_per_cycle()
+            < seq.effective_bytes_per_cycle()
+        )
+
+
+class TestModelAccounting:
+    def test_reset_clears_stats(self):
+        model = DramModel()
+        model.access(0, 1024)
+        model.reset()
+        assert model.stats().bursts == 0
+
+    def test_reads_and_writes_counted_separately(self):
+        model = DramModel()
+        model.access(0, 320, is_write=False)
+        model.access(0, 640, is_write=True)
+        stats = model.stats()
+        assert stats.read_bursts == 10
+        assert stats.write_bursts == 20
+
+    def test_cycles_include_refresh_penalty(self):
+        cfg = DramConfig(timings=DramTimings(t_refresh_penalty=0.0))
+        base = stream_cycles(1 << 16, cfg)
+        cfg_refresh = DramConfig(timings=DramTimings(t_refresh_penalty=0.10))
+        with_refresh = stream_cycles(1 << 16, cfg_refresh)
+        assert with_refresh >= math.floor(base * 1.08)
+
+
+class TestDoubleBuffer:
+    def test_empty_plan(self):
+        plan = double_buffer_cycles([], [])
+        assert plan.total_cycles == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            double_buffer_cycles([1, 2], [1])
+
+    def test_single_tile_serialises(self):
+        plan = double_buffer_cycles([100], [40])
+        assert plan.total_cycles == 140
+
+    def test_compute_bound_hides_transfers(self):
+        # every transfer shorter than the previous compute: only the
+        # first fill and nothing else is exposed
+        plan = double_buffer_cycles([100, 100, 100], [10, 10, 10])
+        assert plan.total_cycles == 10 + 100 + 100 + 100
+
+    def test_transfer_bound_hides_compute(self):
+        plan = double_buffer_cycles([10, 10, 10], [100, 100, 100])
+        assert plan.total_cycles == 100 + 100 + 100 + 10
+
+    def test_overlap_efficiency_perfect_when_balanced(self):
+        plan = double_buffer_cycles([50, 50, 50, 50], [50, 50, 50, 50])
+        # fill + 3 steps + drain = 50*5; ideal = 200, serial = 400
+        assert plan.total_cycles == 250
+        assert 0.0 <= plan.overlap_efficiency <= 1.0
+
+
+@given(
+    tiles=st.lists(
+        st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_double_buffer_bounds(tiles):
+    """total is bounded below by max(compute, transfer) and above by
+    the fully serial schedule."""
+    compute = [c for c, _ in tiles]
+    transfer = [t for _, t in tiles]
+    plan = double_buffer_cycles(compute, transfer)
+    assert plan.total_cycles >= max(sum(compute), sum(transfer))
+    assert plan.total_cycles <= sum(compute) + sum(transfer)
+
+
+@given(nbytes=st.integers(0, 1 << 16), extra=st.integers(0, 1 << 14))
+@settings(max_examples=40, deadline=None)
+def test_stream_cycles_monotonic(nbytes, extra):
+    cfg = DramConfig()
+    assert stream_cycles(nbytes + extra, cfg) >= stream_cycles(nbytes, cfg)

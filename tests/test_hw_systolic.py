@@ -1,0 +1,162 @@
+"""Tests for the weight-stationary dataflow model (repro.hw.systolic)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.config import DEFAULT_HW, HardwareConfig
+from repro.hw.systolic import (
+    GemmShape,
+    gemm_shape,
+    systolic_gemm_cycles,
+    systolic_inference_cycles,
+    systolic_layer_cost,
+)
+from repro.hw.workload import LayerWorkload, model_workload
+from repro.nn.models import build_mini_alexnet
+
+
+def _layer(m, k, n, name="layer"):
+    return LayerWorkload(
+        name=name,
+        index=0,
+        macs=m * k * n,
+        weight_words=k * n,
+        in_words=m * k,
+        out_words=m * n,
+        rf_size=k,
+    )
+
+
+class TestGemmShape:
+    def test_recovers_dims_from_workload(self):
+        shape = gemm_shape(_layer(m=64, k=27, n=16))
+        assert (shape.m, shape.k, shape.n) == (64, 27, 16)
+
+    def test_macs(self):
+        assert GemmShape(4, 5, 6).macs == 120
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            GemmShape(0, 1, 1)
+
+    def test_rejects_inconsistent_weight_words(self):
+        layer = LayerWorkload("bad", 0, macs=100, weight_words=101,
+                              in_words=10, out_words=10, rf_size=10)
+        with pytest.raises(ValueError):
+            gemm_shape(layer)
+
+    def test_real_model_layers_lower_cleanly(self):
+        model = build_mini_alexnet(num_classes=10)
+        x = np.random.default_rng(0).random((1, 3, 16, 16))
+        model.forward(x)
+        for layer in model_workload(model).layers:
+            shape = gemm_shape(layer)
+            assert shape.macs == layer.macs
+
+
+class TestSystolicCycles:
+    def test_exact_fit_single_tile(self):
+        hw = DEFAULT_HW  # 20x20
+        cost = systolic_gemm_cycles(GemmShape(m=100, k=20, n=20), hw)
+        assert cost.tiles == 1
+        assert cost.load_cycles == 20
+        assert cost.stream_cycles == 100
+        assert cost.drain_cycles == 40
+
+    def test_tiling_counts(self):
+        hw = DEFAULT_HW
+        cost = systolic_gemm_cycles(GemmShape(m=10, k=45, n=50), hw)
+        assert cost.k_tiles == 3
+        assert cost.n_tiles == 3
+        assert cost.tiles == 9
+        assert cost.stream_cycles == 9 * 10
+
+    def test_never_faster_than_ideal(self):
+        hw = DEFAULT_HW
+        for m, k, n in [(1, 1, 1), (100, 27, 16), (1000, 400, 400), (7, 3, 500)]:
+            cost = systolic_gemm_cycles(GemmShape(m, k, n), hw)
+            assert cost.cycles >= cost.ideal_cycles(hw)
+            assert 0.0 < cost.utilization(hw) <= 1.0
+
+    def test_large_square_gemm_nears_full_utilization(self):
+        hw = DEFAULT_HW
+        cost = systolic_gemm_cycles(GemmShape(m=20_000, k=400, n=400), hw)
+        assert cost.utilization(hw) > 0.9
+
+    def test_ragged_layer_wastes_array(self):
+        """A 10-class FC head (N=10) can use at most half the columns."""
+        hw = DEFAULT_HW
+        cost = systolic_gemm_cycles(GemmShape(m=1, k=400, n=10), hw)
+        assert cost.utilization(hw) < 0.5
+
+    def test_small_k_first_conv_underutilises(self):
+        """First conv (K = 3x3x3 = 27) spans two K-tiles of a 20-row
+        array, with the second tile only 7 rows deep."""
+        hw = DEFAULT_HW
+        cost = systolic_gemm_cycles(GemmShape(m=1024, k=27, n=32), hw)
+        assert cost.k_tiles == 2
+        assert cost.utilization(hw) < 0.75
+
+    def test_bigger_array_not_slower(self):
+        small = HardwareConfig(array_rows=16, array_cols=16)
+        big = HardwareConfig(array_rows=32, array_cols=32)
+        shape = GemmShape(m=500, k=64, n=64)
+        assert (
+            systolic_gemm_cycles(shape, big).cycles
+            <= systolic_gemm_cycles(shape, small).cycles
+        )
+
+    def test_layer_cost_matches_gemm_cost(self):
+        layer = _layer(m=64, k=27, n=16)
+        assert (
+            systolic_layer_cost(layer, DEFAULT_HW).cycles
+            == systolic_gemm_cycles(gemm_shape(layer), DEFAULT_HW).cycles
+        )
+
+
+class TestWholeNetwork:
+    def test_per_layer_costs_cover_all_units(self):
+        model = build_mini_alexnet(num_classes=10)
+        x = np.random.default_rng(0).random((1, 3, 16, 16))
+        model.forward(x)
+        workload = model_workload(model)
+        costs = systolic_inference_cycles(workload, DEFAULT_HW)
+        assert len(costs) == len(workload.layers)
+        for layer, cost in zip(workload.layers, costs):
+            assert cost.shape.macs == layer.macs
+
+    def test_dataflow_overhead_is_bounded(self):
+        """The dataflow model should stay within a small factor of the
+        ideal compute-bound estimate for a real (if small) CNN."""
+        model = build_mini_alexnet(num_classes=10)
+        x = np.random.default_rng(0).random((1, 3, 16, 16))
+        model.forward(x)
+        workload = model_workload(model)
+        total = sum(c.cycles for c in systolic_inference_cycles(workload, DEFAULT_HW))
+        ideal = sum(
+            math.ceil(l.macs / DEFAULT_HW.macs_per_cycle)
+            for l in workload.layers
+        )
+        assert total >= ideal
+        assert total < 40 * ideal  # mini layers are ragged but not absurd
+
+
+@given(
+    m=st.integers(1, 2000),
+    k=st.integers(1, 500),
+    n=st.integers(1, 500),
+)
+@settings(max_examples=80, deadline=None)
+def test_systolic_invariants(m, k, n):
+    hw = DEFAULT_HW
+    cost = systolic_gemm_cycles(GemmShape(m, k, n), hw)
+    # cycle components are consistent with the tiling
+    assert cost.stream_cycles == cost.tiles * m
+    assert cost.cycles >= cost.ideal_cycles(hw)
+    assert 0.0 < cost.utilization(hw) <= 1.0
+    # load cycles never exceed one full array fill per tile
+    assert cost.load_cycles <= cost.tiles * hw.array_rows

@@ -1,0 +1,187 @@
+"""Cross-module integration tests: the full offline/online pipeline of
+Fig. 4 wired through extraction, profiling, classification, hardware
+simulation, and the defenses package, on one shared substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM, FGSM
+from repro.compiler import apply_optimizations
+from repro.core import (
+    ExtractionConfig,
+    PathExtractor,
+    PtolemyDetector,
+    calibrate_phi,
+    profile_class_paths,
+)
+from repro.defenses import StochasticActivationPruning, TransformDefense
+from repro.hw import model_workload, simulate_detection
+from repro.hw.config import DEFAULT_HW
+
+VARIANTS = ("BwCu", "BwAb", "FwAb", "Hybrid")
+
+
+def _config(model, variant, sample):
+    n = model.num_extraction_units()
+    if variant == "BwCu":
+        return ExtractionConfig.bwcu(n)
+    if variant == "BwAb":
+        return calibrate_phi(model, ExtractionConfig.bwab(n), sample)
+    if variant == "FwAb":
+        return calibrate_phi(
+            model, ExtractionConfig.fwab(n), sample, quantile=0.95
+        )
+    return calibrate_phi(model, ExtractionConfig.hybrid(n), sample)
+
+
+@pytest.fixture(scope="module", params=VARIANTS)
+def fitted_detector(request, trained_alexnet, small_dataset):
+    """One profiled + fitted detector per Ptolemy variant."""
+    config = _config(
+        trained_alexnet, request.param, small_dataset.x_train[:4]
+    )
+    detector = PtolemyDetector(trained_alexnet, config, n_trees=30, seed=0)
+    detector.profile(
+        small_dataset.x_train, small_dataset.y_train, max_per_class=12
+    )
+    adv = BIM(eps=0.08).generate(
+        trained_alexnet, small_dataset.x_train[:20], small_dataset.y_train[:20]
+    ).x_adv
+    detector.fit_classifier(small_dataset.x_train[20:40], adv)
+    return request.param, detector
+
+
+class TestFullPipelinePerVariant:
+    def test_detects_bim(self, fitted_detector, trained_alexnet, small_dataset):
+        _, detector = fitted_detector
+        benign = small_dataset.x_test[:12]
+        adv = BIM(eps=0.08).generate(
+            trained_alexnet, benign, small_dataset.y_test[:12]
+        ).x_adv
+        auc = detector.evaluate_auc(benign, adv)
+        assert auc > 0.7, f"{fitted_detector[0]} AUC {auc:.3f}"
+
+    def test_detect_consistent_with_score(self, fitted_detector, small_dataset):
+        _, detector = fitted_detector
+        x = small_dataset.x_test[:1]
+        outcome = detector.detect(x)
+        assert outcome.score == pytest.approx(detector.score(x))
+        assert outcome.is_adversarial == (outcome.score >= 0.5)
+
+    def test_hw_cost_simulates(self, fitted_detector, trained_alexnet,
+                               small_dataset):
+        """Every variant's extraction trace feeds the cycle model and
+        yields a >= 1x latency multiplier."""
+        variant, detector = fitted_detector
+        trained_alexnet.forward(small_dataset.x_test[:1])
+        workload = model_workload(trained_alexnet)
+        trace = detector.extractor.extract(small_dataset.x_test[:1]).trace
+        schedule = apply_optimizations(
+            detector.config, detector.config.num_layers
+        )
+        cost = simulate_detection(
+            workload, detector.config, trace, schedule, DEFAULT_HW
+        )
+        assert cost.latency_overhead >= 1.0
+        assert cost.energy_overhead >= 1.0
+
+
+class TestCostOrdering:
+    """The paper's headline ordering must emerge end-to-end, not just
+    inside the hw model: FwAb hides extraction, BwCu pays for sorting."""
+
+    @pytest.fixture(scope="class")
+    def costs(self, trained_alexnet, small_dataset):
+        trained_alexnet.forward(small_dataset.x_test[:1])
+        workload = model_workload(trained_alexnet)
+        sample = small_dataset.x_train[:4]
+        out = {}
+        for variant in ("BwCu", "BwAb", "FwAb"):
+            config = _config(trained_alexnet, variant, sample)
+            extractor = PathExtractor(trained_alexnet, config)
+            trace = extractor.extract(small_dataset.x_test[:1]).trace
+            schedule = apply_optimizations(config, config.num_layers)
+            out[variant] = simulate_detection(
+                workload, config, trace, schedule, DEFAULT_HW
+            )
+        return out
+
+    def test_fwab_cheapest_latency(self, costs):
+        assert costs["FwAb"].latency_overhead <= costs["BwAb"].latency_overhead
+        assert costs["FwAb"].latency_overhead < costs["BwCu"].latency_overhead
+
+    def test_bwcu_most_expensive_energy(self, costs):
+        assert costs["BwCu"].energy_overhead > costs["BwAb"].energy_overhead
+        assert costs["BwCu"].energy_overhead > costs["FwAb"].energy_overhead
+
+    def test_fwab_latency_near_inference(self, costs):
+        """The paper's headline: forward extraction hides behind
+        inference (2% on AlexNet; generous bound here)."""
+        assert costs["FwAb"].latency_overhead < 1.5
+
+
+class TestIncrementalProfiling:
+    """Sec. III-B: new samples are OR-ed into existing class paths
+    'without having to re-generate the entire class paths'."""
+
+    def test_incremental_equals_batch(self, trained_alexnet, small_dataset):
+        config = ExtractionConfig.bwcu(
+            trained_alexnet.num_extraction_units()
+        )
+        extractor = PathExtractor(trained_alexnet, config)
+        x, y = small_dataset.x_train[:30], small_dataset.y_train[:30]
+
+        batch = profile_class_paths(extractor, x, y)
+        first = profile_class_paths(extractor, x[:15], y[:15])
+        second = profile_class_paths(extractor, x[15:], y[15:])
+        # OR the second half into the first, class by class.
+        for cid, path in second.paths.items():
+            for tap, mask in enumerate(path.masks):
+                merged = first.path_for(cid)
+                merged.masks[tap] |= mask
+
+        assert set(first.paths) == set(batch.paths)
+        for cid in batch.paths:
+            for got, want in zip(first.paths[cid].masks, batch.paths[cid].masks):
+                np.testing.assert_array_equal(got, want)
+
+
+class TestReuseForward:
+    def test_reuse_forward_matches_fresh_extraction(
+        self, trained_alexnet, small_dataset
+    ):
+        config = ExtractionConfig.bwcu(
+            trained_alexnet.num_extraction_units()
+        )
+        extractor = PathExtractor(trained_alexnet, config)
+        x = small_dataset.x_test[:1]
+        fresh = extractor.extract(x)
+        trained_alexnet.forward(x)
+        reused = extractor.extract(x, reuse_forward=True)
+        assert fresh.predicted_class == reused.predicted_class
+        for got, want in zip(reused.path.masks, fresh.path.masks):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestDefenseInterop:
+    """The defenses package and the Ptolemy detector expose the same
+    evaluate_auc contract, so harnesses can mix them freely."""
+
+    def test_all_detectors_share_eval_contract(
+        self, trained_alexnet, small_dataset
+    ):
+        benign = small_dataset.x_test[:8]
+        adv = FGSM(eps=0.1).generate(
+            trained_alexnet, benign, small_dataset.y_test[:8]
+        ).x_adv
+        detectors = [
+            TransformDefense(trained_alexnet),
+            StochasticActivationPruning(trained_alexnet, n_passes=3, seed=0),
+        ]
+        for detector in detectors:
+            auc = detector.evaluate_auc(benign, adv)
+            assert 0.0 <= auc <= 1.0
+            scores = detector.scores_for_set(benign)
+            assert scores.shape == (8,)

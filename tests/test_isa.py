@@ -1,0 +1,250 @@
+"""ISA tests: encoding round trips, assembler, and machine semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    FIXED_ONE,
+    Instruction,
+    Machine,
+    MachineError,
+    Opcode,
+    OPERAND_SPECS,
+    Program,
+    assemble,
+    decode,
+    disassemble,
+    encode,
+)
+
+
+class TestEncoding:
+    def test_word_is_24_bits(self):
+        word = encode(Instruction(Opcode.SORT, (1, 3, 6)))
+        assert 0 <= word < (1 << 24)
+
+    def test_round_trip_all_opcodes(self):
+        for opcode, spec in OPERAND_SPECS.items():
+            operands = tuple(
+                3 if kind == "r" else 1234 for kind in spec
+            )
+            instr = Instruction(opcode, operands)
+            assert decode(encode(instr)) == Instruction(opcode, operands)
+
+    def test_operand_count_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.SORT, (1, 2))
+
+    def test_register_range_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.DEC, (16,))
+
+    def test_immediate_range_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOV, (0, 1 << 16))
+
+    @given(st.sampled_from(list(Opcode)), st.integers(0, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, opcode, seed):
+        rng = np.random.default_rng(seed)
+        spec = OPERAND_SPECS[opcode]
+        operands = tuple(
+            int(rng.integers(0, 16 if kind == "r" else
+                             (1 << 12 if kind == "i12" else 1 << 16)))
+            for kind in spec
+        )
+        instr = Instruction(opcode, operands)
+        assert decode(encode(instr)).operands == operands
+
+
+class TestAssembler:
+    LISTING1_STYLE = """
+    .set rfsize 0x200
+    .set thrd 0x80
+    mov r3, rfsize
+    mov r5, thrd
+    <start>
+    findneuron r1, r4, r7
+    mul r5, r7
+    sort r1, r3, r6
+    acum r6, r1, r5
+    dec r11
+    jne <start>
+    halt
+    """
+
+    def test_assembles_listing1(self):
+        program = assemble(self.LISTING1_STYLE)
+        assert program.constants == {"rfsize": 0x200, "thrd": 0x80}
+        assert program.labels == {"start": 2}
+        opcodes = [i.opcode for i in program.instructions]
+        assert opcodes == [
+            Opcode.MOV, Opcode.MOV, Opcode.FINDNEURON, Opcode.MUL,
+            Opcode.SORT, Opcode.ACUM, Opcode.DEC, Opcode.JNE, Opcode.HALT,
+        ]
+        # jne target patched to the label
+        assert program.instructions[7].operands == (2,)
+
+    def test_constant_substitution(self):
+        program = assemble(".set k 42\nmov r1, k\nhalt")
+        assert program.instructions[0].operands == (1, 42)
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(SyntaxError):
+            assemble("jne <nowhere>\nhalt")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(SyntaxError):
+            assemble("frobnicate r1")
+
+    def test_size_bytes(self):
+        program = assemble("halt")
+        assert program.size_bytes == 3
+
+    def test_disassemble_round_trip(self):
+        program = assemble(self.LISTING1_STYLE)
+        words = program.encode_all()
+        back = disassemble(words)
+        assert [i.opcode for i in back.instructions] == [
+            i.opcode for i in program.instructions
+        ]
+
+    def test_str_renders(self):
+        program = assemble(self.LISTING1_STYLE)
+        text = str(program)
+        assert "<start>" in text and "sort" in text
+
+
+class TestMachineScalars:
+    def test_mov_movr_add(self):
+        program = Program()
+        program.append(Opcode.MOV, 1, 7)
+        program.append(Opcode.MOVR, 2, 1)
+        program.append(Opcode.ADD, 3, 1, 2)
+        program.append(Opcode.HALT)
+        m = Machine(64)
+        m.run(program)
+        assert m.regs[3] == 14
+
+    def test_dec_jne_loop(self):
+        program = Program()
+        program.append(Opcode.MOV, 1, 5)
+        program.append(Opcode.MOV, 2, 0)
+        program.label("loop")
+        program.append(Opcode.MOV, 3, 1)
+        program.append(Opcode.ADD, 2, 2, 3)
+        program.append(Opcode.DEC, 1)
+        idx = program.append(Opcode.JNE, 0)
+        program.patch(idx, program.labels["loop"])
+        program.append(Opcode.HALT)
+        m = Machine(64)
+        m.run(program)
+        assert m.regs[2] == 5
+
+    def test_mul_is_q8_memory_multiply(self):
+        program = Program()
+        program.append(Opcode.MOV, 1, 128)  # 0.5 in Q8
+        program.append(Opcode.MOV, 2, 10)   # address
+        program.append(Opcode.MUL, 1, 2)
+        program.append(Opcode.HALT)
+        m = Machine(64)
+        m.memory[10] = 3.0
+        m.run(program)
+        assert m.regs[1] == pytest.approx(1.5)
+
+    def test_runaway_loop_detected(self):
+        program = Program()
+        program.append(Opcode.MOV, 1, 2)
+        program.label("loop")
+        idx = program.append(Opcode.JNE, 0)
+        program.patch(idx, program.labels["loop"])
+        m = Machine(16)
+        with pytest.raises(MachineError):
+            m.run(program, max_steps=100)
+
+    def test_bad_address_raises(self):
+        program = Program()
+        program.append(Opcode.MOV, 1, 999)
+        program.append(Opcode.MUL, 1, 1)
+        m = Machine(16)
+        with pytest.raises(MachineError):
+            m.run(program)
+
+
+class TestMachinePathOps:
+    def _machine(self):
+        return Machine(1024)
+
+    def test_sort_descends_with_indices(self):
+        m = self._machine()
+        # pair list at 100: count 3, pairs (1.0,10) (5.0,11) (3.0,12)
+        m.memory[100:107] = [3, 1.0, 10, 5.0, 11, 3.0, 12]
+        program = Program()
+        program.append(Opcode.MOV, 1, 100)
+        program.append(Opcode.MOV, 2, 8)
+        program.append(Opcode.MOV, 3, 200)
+        program.append(Opcode.SORT, 1, 2, 3)
+        program.append(Opcode.HALT)
+        m.run(program)
+        assert m.memory[200] == 3
+        assert m.memory[201:207].tolist() == [5.0, 11, 3.0, 12, 1.0, 10]
+
+    def test_acum_stops_at_threshold(self):
+        m = self._machine()
+        m.memory[100:107] = [3, 5.0, 11, 3.0, 12, 1.0, 10]  # sorted pairs
+        program = Program()
+        program.append(Opcode.MOV, 1, 100)
+        program.append(Opcode.MOV, 2, 300)  # dst index list
+        program.append(Opcode.MOV, 3, 6)    # target 6.0
+        program.append(Opcode.ACUM, 1, 2, 3)
+        program.append(Opcode.HALT)
+        m.run(program)
+        # 5.0 < 6.0, 5.0+3.0 >= 6.0 -> two indices selected
+        assert m.memory[300] == 2
+        assert m.memory[301:303].tolist() == [11, 12]
+
+    def test_acum_zero_target_selects_nothing(self):
+        m = self._machine()
+        m.memory[100:103] = [1, 5.0, 11]
+        program = Program()
+        program.append(Opcode.MOV, 1, 100)
+        program.append(Opcode.MOV, 2, 300)
+        program.append(Opcode.MOV, 3, 0)
+        program.append(Opcode.ACUM, 1, 2, 3)
+        program.append(Opcode.HALT)
+        m.run(program)
+        assert m.memory[300] == 0
+
+    def test_genmasks_sets_and_clears(self):
+        m = self._machine()
+        m.memory[300:303] = [2, 4, 7]  # index list
+        program = Program()
+        program.append(Opcode.MOV, 1, 300)
+        program.append(Opcode.MOV, 2, 400)
+        program.append(Opcode.GENMASKS, 1, 2)
+        program.append(Opcode.HALT)
+        m.run(program)
+        assert m.memory[404] == FIXED_ONE and m.memory[407] == FIXED_ONE
+        assert m.memory[300] == 0  # list consumed
+
+    def test_cls_similarity(self):
+        m = self._machine()
+        # class path at 500: length 4, bits 1,1,0,0; activation at 600
+        m.memory[500:505] = [4, 1, 1, 0, 0]
+        m.memory[600:604] = [1, 0, 1, 0]
+        program = Program()
+        program.append(Opcode.MOV, 1, 500)
+        program.append(Opcode.MOV, 2, 600)
+        program.append(Opcode.CLS, 1, 2, 5)
+        program.append(Opcode.HALT)
+        m.run(program)
+        assert m.regs[5] == pytest.approx(0.5)  # 1 of 2 path bits in canary
+
+    def test_delegation_without_adapter_raises(self):
+        program = Program()
+        program.append(Opcode.INF, 1, 2, 3)
+        program.append(Opcode.HALT)
+        with pytest.raises(MachineError):
+            Machine(16).run(program)

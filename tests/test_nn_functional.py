@@ -1,0 +1,97 @@
+"""Unit tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(16, 3, 1, 1) == 16
+        assert conv_output_size(16, 2, 2, 0) == 8
+        assert conv_output_size(5, 3, 1, 0) == 3
+
+    def test_stride(self):
+        assert conv_output_size(16, 3, 2, 1) == 8
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=float).reshape(2, 3, 5, 5)
+        cols = im2col(x, 3, 3, 1, 0)
+        assert cols.shape == (2, 3 * 9, 9)
+
+    def test_values_identity_kernel(self):
+        x = np.arange(1 * 1 * 4 * 4, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 1, 1, 1, 0)
+        assert np.array_equal(cols[0, 0], x.ravel())
+
+    def test_padding_zeroes(self):
+        x = np.ones((1, 1, 2, 2))
+        cols = im2col(x, 3, 3, 1, 1)
+        # the corner patch sees 5 zeros from padding
+        corner = cols[0, :, 0]
+        assert corner.sum() == 4.0 - 0.0 or corner.sum() <= 4.0
+
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        cols = im2col(x, 3, 3, 1, 1)
+        out = (w.reshape(3, -1) @ cols[0]).reshape(3, 6, 6)
+        # direct computation at a few positions
+        padded = np.pad(x[0], ((0, 0), (1, 1), (1, 1)))
+        for (c, i, j) in [(0, 0, 0), (1, 3, 2), (2, 5, 5)]:
+            direct = (w[c] * padded[:, i : i + 3, j : j + 3]).sum()
+            assert out[c, i, j] == pytest.approx(direct)
+
+
+class TestCol2im:
+    def test_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> (adjointness)."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        y = rng.normal(size=(2, 3 * 9, 36))
+        lhs = (im2col(x, 3, 3, 1, 1) * y).sum()
+        rhs = (x * col2im(y, x.shape, 3, 3, 1, 1)).sum()
+        assert lhs == pytest.approx(rhs)
+
+    def test_accumulates_overlaps(self):
+        cols = np.ones((1, 4, 4))  # 2x2 kernel over 3x3 input, stride 1
+        out = col2im(cols, (1, 1, 3, 3), 2, 2, 1, 0)
+        assert out[0, 0, 1, 1] == 4.0  # centre overlapped by all 4 windows
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(8, 5)) * 10
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(4, 6))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.normal(size=(4, 6))
+        assert np.allclose(log_softmax(logits), np.log(softmax(logits)))
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(
+            out, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        )

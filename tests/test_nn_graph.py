@@ -1,0 +1,117 @@
+"""Unit tests for the DAG container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Add, Conv2d, Flatten, Graph, Linear, ReLU
+from repro.nn.graph import INPUT
+
+
+def make_residual_graph():
+    rng = np.random.default_rng(0)
+    g = Graph("res")
+    g.add("conv1", Conv2d(1, 2, 3, padding=1, rng=rng))
+    g.add("relu1", ReLU())
+    g.add("conv2", Conv2d(2, 2, 3, padding=1, rng=rng), ["relu1"])
+    g.add("add", Add(), ["conv2", "relu1"])
+    g.add("flatten", Flatten())
+    g.add("fc", Linear(2 * 4 * 4, 3, rng=rng))
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_name_raises(self):
+        g = Graph()
+        g.add("a", ReLU())
+        with pytest.raises(ValueError):
+            g.add("a", ReLU())
+
+    def test_unknown_input_raises(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add("a", ReLU(), ["nope"])
+
+    def test_default_chaining(self):
+        g = Graph()
+        g.add("a", ReLU())
+        g.add("b", ReLU())
+        assert g.node("b").inputs == ["a"]
+        assert g.node("a").inputs == [INPUT]
+
+
+class TestExecution:
+    def test_forward_residual(self, rng):
+        g = make_residual_graph()
+        x = rng.normal(size=(2, 1, 4, 4))
+        out = g.forward(x)
+        assert out.shape == (2, 3)
+        # manual recompute
+        a = g.node("conv1").module.forward(x)
+        r = np.maximum(a, 0)
+        b = g.node("conv2").module.forward(r)
+        merged = (b + r).reshape(2, -1)
+        fc = g.node("fc").module
+        assert np.allclose(out, merged @ fc.weight.data.T + fc.bias.data)
+
+    def test_input_gradient_matches_numerical(self, rng, numgrad):
+        g = make_residual_graph()
+        x = rng.normal(size=(1, 1, 4, 4))
+
+        def loss(xv):
+            return float(g.forward(xv).sum())
+
+        g.forward(x)
+        analytic = g.backward(np.ones((1, 3)))
+        numeric = numgrad(loss, x.copy())
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_backward_from_intermediate_seed(self, rng, numgrad):
+        g = make_residual_graph()
+        x = rng.normal(size=(1, 1, 4, 4))
+
+        def loss(xv):
+            g.forward(xv)
+            return float((g.activations["conv2"] ** 2).sum())
+
+        g.forward(x)
+        seed = {"conv2": 2.0 * g.activations["conv2"]}
+        analytic = g.backward_from(seed)
+        numeric = numgrad(loss, x.copy())
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_predict(self, rng):
+        g = make_residual_graph()
+        x = rng.normal(size=(4, 1, 4, 4))
+        preds = g.predict(x)
+        assert preds.shape == (4,)
+        assert np.array_equal(preds, g.forward(x).argmax(axis=1))
+
+
+class TestMetadata:
+    def test_extraction_units_order(self):
+        g = make_residual_graph()
+        names = [n.name for n in g.extraction_units()]
+        assert names == ["conv1", "conv2", "fc"]
+
+    def test_consumers(self):
+        g = make_residual_graph()
+        consumers = {n.name for n in g.consumers("relu1")}
+        assert consumers == {"conv2", "add"}
+
+    def test_state_dict_round_trip(self, rng):
+        g = make_residual_graph()
+        x = rng.normal(size=(1, 1, 4, 4))
+        ref = g.forward(x)
+        state = g.state_dict()
+        g2 = make_residual_graph()
+        # perturb then restore
+        for p in g2.parameters():
+            p.data += 1.0
+        g2.load_state_dict(state)
+        assert np.allclose(g2.forward(x), ref)
+
+    def test_total_macs(self, rng):
+        g = make_residual_graph()
+        g.forward(rng.normal(size=(1, 1, 4, 4)))
+        expected = 2 * 16 * 9 + 2 * 16 * 18 + 32 * 3
+        assert g.total_macs() == expected

@@ -1,0 +1,73 @@
+"""Unit tests for the Linear layer and its introspection protocol."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+
+
+@pytest.fixture
+def layer():
+    return Linear(6, 4, rng=np.random.default_rng(0))
+
+
+class TestForward:
+    def test_matches_matmul(self, layer, rng):
+        x = rng.normal(size=(3, 6))
+        out = layer.forward(x)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out, expected)
+
+    def test_shape_validation(self, layer):
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 5)))
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestBackward:
+    def test_input_gradient_matches_numerical(self, layer, rng, numgrad):
+        x = rng.normal(size=(2, 6))
+        target = rng.normal(size=(2, 4))
+
+        def loss(xv):
+            return float(((layer.forward(xv) - target) ** 2).sum())
+
+        layer.forward(x)
+        grad_out = 2.0 * (layer.forward(x) - target)
+        analytic = layer.backward(grad_out)
+        numeric = numgrad(loss, x.copy())
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_weight_gradient_accumulates(self, layer, rng):
+        x = rng.normal(size=(2, 6))
+        layer.forward(x)
+        layer.backward(np.ones((2, 4)))
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((2, 4)))
+        assert np.allclose(layer.weight.grad, 2 * first)
+
+
+class TestIntrospection:
+    def test_receptive_field_is_full_input(self, layer):
+        assert np.array_equal(layer.receptive_field(2), np.arange(6))
+
+    def test_receptive_field_bounds(self, layer):
+        with pytest.raises(IndexError):
+            layer.receptive_field(4)
+
+    def test_partial_sums_reconstruct_output(self, layer, rng):
+        """sum(psums) + bias == output neuron value (Fig. 3 semantics)."""
+        x = rng.normal(size=(1, 6))
+        out = layer.forward(x)
+        for j in range(4):
+            psums = layer.partial_sums(j)
+            assert psums.shape == (6,)
+            assert psums.sum() + layer.bias.data[j] == pytest.approx(out[0, j])
+
+    def test_mac_count(self, layer):
+        assert layer.mac_count() == 24
+        assert layer.nominal_rf_size() == 6

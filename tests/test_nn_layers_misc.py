@@ -1,0 +1,158 @@
+"""Unit tests for ReLU/Flatten/Dropout, BatchNorm, Add and Concat."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Add,
+    BatchNorm1d,
+    BatchNorm2d,
+    Concat,
+    Dropout,
+    Flatten,
+    ReLU,
+)
+
+
+class TestReLU:
+    def test_forward_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0, -3.0, 4.0]])
+        assert np.array_equal(relu.forward(x), [[0, 2, 0, 4]])
+        grad = relu.backward(np.ones_like(x))
+        assert np.array_equal(grad, [[0, 1, 0, 1]])
+
+    def test_propagate_is_identity(self):
+        relu = ReLU()
+        pos = np.array([1, 5, 9])
+        assert relu.propagate_back(pos) is pos
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        flat = Flatten()
+        out = flat.forward(x)
+        assert out.shape == (2, 48)
+        back = flat.backward(out)
+        assert np.array_equal(back, x)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        drop = Dropout(0.5)
+        drop.train(False)
+        x = rng.normal(size=(4, 10))
+        assert np.array_equal(drop.forward(x), x)
+
+    def test_train_mode_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train(True)
+        x = np.ones((1, 10000))
+        out = drop.forward(x)
+        # inverted dropout preserves the expectation
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(out)) <= {0.0, 2.0}
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestBatchNorm2d:
+    def test_training_normalises(self, rng):
+        bn = BatchNorm2d(3)
+        bn.train(True)
+        x = rng.normal(2.0, 3.0, size=(16, 3, 4, 4))
+        out = bn.forward(x)
+        assert abs(out.mean()) < 1e-6
+        assert out.std() == pytest.approx(1.0, abs=0.01)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm2d(2)
+        bn.train(True)
+        for _ in range(60):
+            bn.forward(rng.normal(1.5, 2.0, size=(8, 2, 3, 3)))
+        assert np.allclose(bn.running_mean, 1.5, atol=0.2)
+        assert np.allclose(np.sqrt(bn.running_var), 2.0, atol=0.3)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        bn.train(True)
+        for _ in range(40):
+            bn.forward(rng.normal(1.0, 2.0, size=(8, 2, 3, 3)))
+        bn.train(False)
+        x = rng.normal(1.0, 2.0, size=(4, 2, 3, 3))
+        out = bn.forward(x)
+        expected = (x - bn.running_mean[None, :, None, None]) / np.sqrt(
+            bn.running_var[None, :, None, None] + bn.eps
+        )
+        assert np.allclose(out, expected)
+
+    def test_eval_backward_matches_numerical(self, rng, numgrad):
+        bn = BatchNorm2d(2)
+        bn.running_mean = np.array([0.5, -0.5])
+        bn.running_var = np.array([1.5, 0.7])
+        bn.train(False)
+        x = rng.normal(size=(1, 2, 2, 2))
+        target = rng.normal(size=(1, 2, 2, 2))
+
+        def loss(xv):
+            return float(((bn.forward(xv) - target) ** 2).sum())
+
+        out = bn.forward(x)
+        analytic = bn.backward(2.0 * (out - target))
+        numeric = numgrad(loss, x.copy())
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_state_dict_roundtrip(self, rng):
+        bn = BatchNorm1d(4)
+        bn.train(True)
+        bn.forward(rng.normal(size=(8, 4)))
+        state = bn.state_dict()
+        bn2 = BatchNorm1d(4)
+        bn2.load_state_dict(state)
+        assert np.allclose(bn2.running_mean, bn.running_mean)
+        assert np.allclose(bn2.running_var, bn.running_var)
+
+
+class TestAdd:
+    def test_forward_backward(self, rng):
+        add = Add()
+        a, b = rng.normal(size=(1, 2, 3, 3)), rng.normal(size=(1, 2, 3, 3))
+        out = add.forward_multi([a, b])
+        assert np.allclose(out, a + b)
+        grads = add.backward_multi(np.ones_like(out))
+        assert len(grads) == 2 and np.allclose(grads[0], 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Add().forward_multi([np.zeros((1, 2, 3, 3)), np.zeros((1, 2, 4, 4))])
+
+    def test_propagate_copies_to_both(self):
+        add = Add()
+        add.forward_multi([np.zeros((1, 1, 2, 2))] * 2)
+        split = add.propagate_back_multi(np.array([0, 3]))
+        assert np.array_equal(split[0], [0, 3])
+        assert np.array_equal(split[1], [0, 3])
+
+
+class TestConcat:
+    def test_forward_backward(self, rng):
+        cat = Concat()
+        a = rng.normal(size=(1, 2, 3, 3))
+        b = rng.normal(size=(1, 3, 3, 3))
+        out = cat.forward_multi([a, b])
+        assert out.shape == (1, 5, 3, 3)
+        grads = cat.backward_multi(np.ones_like(out))
+        assert grads[0].shape == a.shape and grads[1].shape == b.shape
+
+    def test_propagate_splits_by_channel(self, rng):
+        cat = Concat()
+        cat.forward_multi(
+            [np.zeros((1, 2, 2, 2)), np.zeros((1, 1, 2, 2))]
+        )
+        # first input spans flat 0..7, second spans 8..11
+        split = cat.propagate_back_multi(np.array([3, 8, 11]))
+        assert np.array_equal(split[0], [3])
+        assert np.array_equal(split[1], [0, 3])

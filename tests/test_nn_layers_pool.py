@@ -1,0 +1,90 @@
+"""Unit tests for pooling layers and their importance propagation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pool = MaxPool2d(2)
+        out = pool.forward(x)
+        assert np.array_equal(out[0, 0], np.array([[5, 7], [13, 15]]))
+
+    def test_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pool = MaxPool2d(2)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        assert np.array_equal(grad[0, 0], expected)
+
+    def test_propagate_back_maps_to_argmax(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pool = MaxPool2d(2)
+        pool.forward(x)
+        # pooled position 0 (value 5) came from input (1,1) = flat 5
+        mapped = pool.propagate_back(np.array([0]))
+        assert np.array_equal(mapped, np.array([5]))
+        # pooled position 3 (value 15) came from flat 15
+        assert np.array_equal(pool.propagate_back(np.array([3])), np.array([15]))
+
+    def test_propagate_back_empty(self):
+        pool = MaxPool2d(2)
+        pool.forward(np.zeros((1, 1, 4, 4)))
+        assert pool.propagate_back(np.array([], dtype=np.int64)).size == 0
+
+    def test_multi_channel(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 3, 6, 6))
+        pool = MaxPool2d(2)
+        out = pool.forward(x)
+        assert out.shape == (1, 3, 3, 3)
+        for c in range(3):
+            assert out[0, c, 0, 0] == x[0, c, :2, :2].max()
+
+
+class TestAvgPool:
+    def test_forward(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pool = AvgPool2d(2)
+        out = pool.forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_backward_spreads_uniformly(self):
+        pool = AvgPool2d(2)
+        pool.forward(np.zeros((1, 1, 4, 4)))
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        assert np.allclose(grad, 0.25)
+
+    def test_propagate_back_expands_window(self):
+        pool = AvgPool2d(2)
+        pool.forward(np.zeros((1, 1, 4, 4)))
+        mapped = pool.propagate_back(np.array([0]))
+        assert np.array_equal(mapped, np.array([0, 1, 4, 5]))
+
+
+class TestGlobalAvgPool:
+    def test_forward(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        gap = GlobalAvgPool2d()
+        out = gap.forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+
+    def test_backward(self, rng):
+        x = rng.normal(size=(1, 2, 3, 3))
+        gap = GlobalAvgPool2d()
+        gap.forward(x)
+        grad = gap.backward(np.array([[1.0, 2.0]]))
+        assert np.allclose(grad[0, 0], 1.0 / 9)
+        assert np.allclose(grad[0, 1], 2.0 / 9)
+
+    def test_propagate_back_expands_channel(self, rng):
+        gap = GlobalAvgPool2d()
+        gap.forward(rng.normal(size=(1, 2, 3, 3)))
+        mapped = gap.propagate_back(np.array([1]))
+        assert np.array_equal(mapped, np.arange(9, 18))

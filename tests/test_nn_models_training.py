@@ -1,0 +1,151 @@
+"""Model zoo structure checks and training/optimiser/loss tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_imagenet_like
+from repro.nn import (
+    Adam,
+    SGD,
+    TrainConfig,
+    build_mini_alexnet,
+    build_mini_densenet,
+    build_mini_inception,
+    build_mini_resnet18,
+    build_mini_resnet50,
+    build_mini_vgg,
+    build_mlp,
+    cross_entropy,
+    evaluate_accuracy,
+    load_model_into,
+    margin_loss,
+    save_model,
+    train_classifier,
+)
+
+
+class TestZooStructure:
+    def test_alexnet_has_8_units(self):
+        model = build_mini_alexnet()
+        assert model.num_extraction_units() == 8
+
+    def test_resnet18_main_path_units(self):
+        model = build_mini_resnet18()
+        units = model.extraction_units()
+        main = [u for u in units if "proj" not in u.name]
+        assert len(main) == 18  # stem + 16 block convs + fc, like ResNet18
+
+    def test_vgg16_unit_count(self):
+        assert build_mini_vgg(depth="vgg16").num_extraction_units() == 16
+        assert build_mini_vgg(depth="vgg19").num_extraction_units() == 19
+
+    def test_vgg_invalid_depth(self):
+        with pytest.raises(ValueError):
+            build_mini_vgg(depth="vgg11")
+
+    def test_densenet_uses_concat(self):
+        from repro.nn.layers import Concat
+
+        model = build_mini_densenet()
+        assert any(isinstance(n.module, Concat) for n in model.nodes)
+
+    def test_inception_branches(self):
+        model = build_mini_inception()
+        x = np.random.default_rng(0).normal(size=(1, 3, 16, 16))
+        assert model.forward(x).shape == (1, 10)
+
+    def test_resnet50_uses_bottlenecks(self):
+        model = build_mini_resnet50()
+        assert any("conv3" in n.name for n in model.extraction_units())
+
+    def test_forward_shapes(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 16, 16))
+        for builder in (build_mini_alexnet, build_mini_resnet18,
+                        build_mini_vgg, build_mini_densenet):
+            model = builder(num_classes=7)
+            assert model.forward(x).shape == (2, 7)
+
+
+class TestLosses:
+    def test_cross_entropy_gradient_numerical(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 1])
+        _, grad = cross_entropy(logits, labels)
+        eps = 1e-6
+        for i, j in [(0, 0), (1, 2), (2, 3)]:
+            up = logits.copy(); up[i, j] += eps
+            down = logits.copy(); down[i, j] -= eps
+            num = (cross_entropy(up, labels)[0] - cross_entropy(down, labels)[0]) / (2 * eps)
+            assert grad[i, j] == pytest.approx(num, abs=1e-5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = cross_entropy(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_margin_loss_sign(self):
+        logits = np.array([[5.0, 1.0, 0.0]])
+        loss_true, grad = margin_loss(logits, np.array([0]))
+        assert loss_true > 0  # true class on top: positive margin
+        assert grad[0, 0] > 0  # pushing the true logit down reduces loss
+        # once the margin is already below -kappa the hinge clamps to it
+        loss_flipped, grad_flipped = margin_loss(logits, np.array([1]))
+        assert loss_flipped == pytest.approx(0.0)
+        assert np.allclose(grad_flipped, 0.0) or loss_flipped <= 0.0
+
+
+class TestOptimizers:
+    def _quadratic_steps(self, optimizer_cls, **kw):
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = optimizer_cls([p], **kw)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad += 2.0 * p.data  # d/dp ||p||^2
+            opt.step()
+        return np.abs(p.data).max()
+
+    def test_sgd_converges(self):
+        assert self._quadratic_steps(SGD, lr=0.05) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_steps(Adam, lr=0.1) < 1e-3
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+
+class TestTraining:
+    def test_training_reaches_high_accuracy(self, small_dataset):
+        model = build_mini_alexnet(num_classes=5, seed=11)
+        result = train_classifier(
+            model,
+            small_dataset.x_train,
+            small_dataset.y_train,
+            TrainConfig(epochs=8, seed=11),
+        )
+        assert result.final_accuracy > 0.9
+        assert (
+            evaluate_accuracy(model, small_dataset.x_test, small_dataset.y_test)
+            > 0.8
+        )
+
+    def test_loss_decreases(self, small_dataset):
+        model = build_mini_alexnet(num_classes=5, seed=12)
+        result = train_classifier(
+            model,
+            small_dataset.x_train,
+            small_dataset.y_train,
+            TrainConfig(epochs=5, seed=12),
+        )
+        assert result.losses[-1] < result.losses[0]
+
+    def test_save_load_round_trip(self, trained_alexnet, small_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(trained_alexnet, path)
+        fresh = build_mini_alexnet(num_classes=5, seed=99)
+        load_model_into(fresh, path)
+        x = small_dataset.x_test[:4]
+        assert np.allclose(fresh.forward(x), trained_alexnet.forward(x))
