@@ -9,7 +9,6 @@ both at once with small distortion — the defense's robustness margin
 against its own proposed future attack.
 """
 
-import numpy as np
 
 from repro.attacks import AnnealingPathAttack
 from repro.core import PathExtractor, profile_class_paths

@@ -12,7 +12,7 @@ i.e. attacking a similar class does not make Ptolemy more vulnerable.
 import numpy as np
 
 from repro.attacks import AdaptiveAttack
-from repro.core import ExtractionConfig, PathExtractor, profile_class_paths, roc_auc, symmetric_similarity
+from repro.core import roc_auc, symmetric_similarity
 from repro.eval import Workbench, render_table
 
 

@@ -1,0 +1,90 @@
+"""Runtime engine throughput — samples/sec vs micro-batch size.
+
+The batched detection engine exists so the online detector keeps up
+with inference-rate traffic; this benchmark is its contract.  The same
+fitted FwAb detector (the low-latency serving variant) drives a fixed
+mixed benign/adversarial traffic stream through
+:class:`repro.runtime.DetectionEngine` at micro-batch sizes
+{1, 8, 64, 256} and reports samples/sec, per-batch latency, and the
+per-stage time split.
+
+Two properties are asserted: batching must never change decisions
+(bit-identical scores across batch sizes), and batch 64 must be at
+least 5x faster than batch 1 — the speedup the packed-word kernels
+were built for.  ``scripts/perf_gate.py`` reuses
+:func:`measure_throughput` to compare CI runs against the committed
+baseline.
+"""
+
+import numpy as np
+
+from repro.eval import Workbench, render_table
+from repro.runtime import measure_throughput as _measure_engine
+
+BATCH_SIZES = (1, 8, 64, 256)
+DEFAULT_SCENARIO = "alexnet_imagenet"
+DEFAULT_VARIANT = "FwAb"
+
+
+def measure_throughput(
+    workbench,
+    batch_sizes=BATCH_SIZES,
+    count=256,
+    variant=DEFAULT_VARIANT,
+    repeats=2,
+):
+    """Scenario wrapper over :func:`repro.runtime.measure_throughput`
+    (the shared warm-up + best-of-``repeats`` harness, so the CLI, this
+    benchmark, and the CI perf gate all measure the same way).  Returns
+    ``{batch_size: report_dict}`` with the first pass's scores attached
+    for cross-batch-size equivalence checks.
+    """
+    detector = workbench.detector(variant)
+    traffic = workbench.traffic(count=count)
+    return _measure_engine(
+        detector, traffic, batch_sizes=batch_sizes, repeats=repeats
+    )
+
+
+def test_runtime_throughput(benchmark, smoke):
+    workbench = Workbench.get(DEFAULT_SCENARIO)
+    count = 64 if smoke else 256
+
+    results = benchmark.pedantic(
+        lambda: measure_throughput(workbench, count=count),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for batch_size, report in results.items():
+        rows.append((
+            batch_size,
+            f"{report['samples_per_sec']:.0f}",
+            f"{report['mean_batch_latency_ms']:.2f}",
+            f"{report['stage_extract_seconds'] * 1e3:.1f}",
+            f"{report['stage_classify_seconds'] * 1e3:.1f}",
+        ))
+    print()
+    print(render_table(
+        f"engine throughput: {DEFAULT_VARIANT} on {DEFAULT_SCENARIO} "
+        f"({count} mixed-traffic samples)",
+        ["batch", "samples/s", "mean ms/batch", "extract ms", "classify ms"],
+        rows,
+    ))
+    speedup = (
+        results[64]["samples_per_sec"] / results[1]["samples_per_sec"]
+    )
+    print(f"batch-64 speedup over batch-1: {speedup:.1f}x (gate: >= 5x)")
+
+    # Batching is a throughput decision, never an accuracy one.  A
+    # RuntimeError (not an assert) so smoke mode's relaxed-assertion
+    # wrapper can never skip past an equivalence regression.
+    reference = results[BATCH_SIZES[0]]["scores"]
+    for batch_size in BATCH_SIZES[1:]:
+        if not np.array_equal(results[batch_size]["scores"], reference):
+            raise RuntimeError(
+                f"batch {batch_size} changed detection scores"
+            )
+    if not all(r["samples_per_sec"] > 0 for r in results.values()):
+        raise RuntimeError("throughput accounting produced zero rates")
+    assert speedup >= 5.0

@@ -11,7 +11,6 @@ This bench reports extra detection traffic relative to baseline
 inference DRAM traffic for the three storage regimes.
 """
 
-from repro.compiler import apply_optimizations
 from repro.core import ExtractionConfig, PathExtractor, calibrate_phi
 from repro.eval import Workbench, render_table
 from repro.hw import DEFAULT_HW, detection_dram_footprint, inference_cost

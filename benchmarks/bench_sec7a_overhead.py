@@ -8,7 +8,6 @@ optimisation needs 12.8 MB / 17.6 MB; the 8-bit design rises to 5.5%
 area overhead.
 """
 
-from repro.compiler import apply_optimizations
 from repro.core import ExtractionConfig, PathExtractor, calibrate_phi
 from repro.eval import Workbench, render_table
 from repro.hw import DEFAULT_HW, area_report, detection_dram_footprint

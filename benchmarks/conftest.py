@@ -7,9 +7,65 @@ cached in the Workbench, so pytest-benchmark's repeated calls measure
 the detection machinery, not training.
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+
+Smoke mode (``pytest benchmarks/ --smoke``) shrinks every scenario to
+tiny sizes and relaxes paper-shape assertions into skips, so CI can
+execute every benchmark script end-to-end in minutes: imports, data
+plumbing, and table rendering can never silently rot, while the
+quantitative claims stay bound to full-size runs.
 """
 
+import sys
+from pathlib import Path
+
+# Make the in-repo package importable from any working directory —
+# pytest (and CI) must not depend on the invoker exporting PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="tiny-sizes mode: shrink scenarios, relax paper-shape "
+        "assertions into skips (plumbing check only)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--smoke"):
+        from repro.eval import workloads
+
+        workloads.shrink_for_smoke()
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when the suite runs in tiny-sizes smoke mode."""
+    return request.config.getoption("--smoke")
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """In smoke mode a failed paper-shape assertion is a skip, not a
+    failure: tiny substrates cannot support the quantitative claims,
+    only exercise the code paths.
+
+    This relaxation covers *every* AssertionError, so correctness
+    contracts that must hold even at tiny sizes (batch equivalence,
+    accounting sanity) should raise RuntimeError instead of asserting —
+    see bench_runtime_throughput for the pattern."""
+    try:
+        return (yield)
+    except AssertionError as exc:
+        if item.config.getoption("--smoke"):
+            pytest.skip(f"paper-shape assertion relaxed in smoke mode: {exc}")
+        raise
 
 
 def pytest_collection_modifyitems(items):

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI performance gate for the batched detection engine.
+
+Runs ``benchmarks/bench_runtime_throughput.measure_throughput`` at
+smoke sizes and compares samples/sec per micro-batch size against the
+committed ``BENCH_baseline.json``.  A drop of more than
+``--tolerance`` (default 30%) at any gated batch size fails the build,
+so a regression in the packed-word kernels or the engine's batching
+path can never land silently.  The batch-64-over-batch-1 speedup ratio
+is gated the same way — it is hardware-independent, so it also
+protects the gate on CI machines slower than the one that recorded
+the baseline.
+
+Usage::
+
+    python scripts/perf_gate.py              # compare against baseline
+    python scripts/perf_gate.py --update     # re-record the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+for entry in (REPO / "src", REPO / "benchmarks"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+BASELINE_PATH = REPO / "BENCH_baseline.json"
+#: Batch sizes whose absolute samples/sec are gated.
+GATED_BATCH_SIZES = (1, 8, 64)
+SMOKE_TRAFFIC = 192
+
+
+def run_bench() -> dict:
+    import numpy as np
+
+    from bench_runtime_throughput import measure_throughput
+    from repro.eval import Workbench, workloads
+
+    workloads.shrink_for_smoke()
+    workbench = Workbench.get("alexnet_imagenet")
+    results = measure_throughput(
+        workbench, batch_sizes=GATED_BATCH_SIZES, count=SMOKE_TRAFFIC
+    )
+    # decisions must be identical across batch sizes even at smoke sizes
+    reference = results[GATED_BATCH_SIZES[0]]["scores"]
+    for batch_size in GATED_BATCH_SIZES[1:]:
+        if not np.array_equal(results[batch_size]["scores"], reference):
+            raise SystemExit(
+                f"FATAL: batch {batch_size} changed detection scores"
+            )
+    report = {
+        str(bs): {
+            "samples_per_sec": results[bs]["samples_per_sec"],
+            "mean_batch_latency_ms": results[bs]["mean_batch_latency_ms"],
+        }
+        for bs in GATED_BATCH_SIZES
+    }
+    report["speedup_64_over_1"] = (
+        results[64]["samples_per_sec"] / results[1]["samples_per_sec"]
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-record BENCH_baseline.json from this machine",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional throughput drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--ratio-only", action="store_true",
+        help="gate only the batch-64-over-batch-1 speedup ratio "
+        "(hardware-independent; use on CI runners whose absolute "
+        "speed differs from the baseline machine)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"perf gate: measuring smoke throughput ({SMOKE_TRAFFIC} samples, "
+          f"batch sizes {GATED_BATCH_SIZES})...")
+    current = run_bench()
+    for batch_size in GATED_BATCH_SIZES:
+        row = current[str(batch_size)]
+        print(f"  batch {batch_size:3d}: {row['samples_per_sec']:9.1f} "
+              f"samples/s, {row['mean_batch_latency_ms']:.2f} ms/batch")
+    print(f"  batch-64 speedup over batch-1: "
+          f"{current['speedup_64_over_1']:.2f}x")
+
+    if args.update or not BASELINE_PATH.exists():
+        baseline = {
+            "note": "recorded by scripts/perf_gate.py --update; "
+                    "smoke-size throughput of the batched engine",
+            "machine": platform.platform(),
+            "python": platform.python_version(),
+            "results": current,
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())["results"]
+    failures = []
+    for batch_size in GATED_BATCH_SIZES:
+        old = baseline[str(batch_size)]["samples_per_sec"]
+        new = current[str(batch_size)]["samples_per_sec"]
+        floor = old * (1.0 - args.tolerance)
+        if args.ratio_only:
+            print(f"  batch {batch_size:3d}: {new:9.1f} vs baseline "
+                  f"{old:9.1f} (absolute gate skipped: --ratio-only)")
+            continue
+        status = "ok" if new >= floor else "REGRESSION"
+        print(f"  batch {batch_size:3d}: {new:9.1f} vs baseline {old:9.1f} "
+              f"(floor {floor:9.1f}) {status}")
+        if new < floor:
+            failures.append(
+                f"batch {batch_size}: {new:.1f} samples/s < "
+                f"{floor:.1f} ({args.tolerance:.0%} below {old:.1f})"
+            )
+    old_ratio = baseline["speedup_64_over_1"]
+    new_ratio = current["speedup_64_over_1"]
+    ratio_floor = old_ratio * (1.0 - args.tolerance)
+    print(f"  speedup 64/1: {new_ratio:.2f}x vs baseline {old_ratio:.2f}x "
+          f"(floor {ratio_floor:.2f}x)")
+    if new_ratio < ratio_floor:
+        failures.append(
+            f"batch-64 speedup {new_ratio:.2f}x < floor {ratio_floor:.2f}x"
+        )
+
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,6 @@ through its explicit backward pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

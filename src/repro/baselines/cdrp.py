@@ -14,7 +14,7 @@ vector is the routing-path feature fed to a random forest.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -12,9 +12,7 @@ serialized software without the sort/merge hardware.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
 
-import numpy as np
 
 from repro.compiler import apply_optimizations
 from repro.core import ExtractionConfig, PtolemyDetector

@@ -11,6 +11,7 @@ Commands
 ``scenarios``   list the named evaluation scenarios
 ``corrupt``     sweep natural corruptions over a scenario's test set
 ``monitor``     deploy an InferenceMonitor and stream mixed traffic
+``throughput``  measure batched detection-engine throughput
 ``explain``     saliency + per-layer divergence for a benign/attacked pair
 ``defend``      adversarial retraining + re-profiled Ptolemy (Sec. VIII)
 """
@@ -19,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
 import numpy as np
 
@@ -83,7 +83,7 @@ def cmd_profile(args) -> None:
 
 
 def cmd_detect(args) -> None:
-    """Score clean test inputs with a saved detector."""
+    """Score clean test inputs with a saved detector (batched)."""
     from repro.core import load_detector
     from repro.nn import load_model_into
 
@@ -92,15 +92,17 @@ def cmd_detect(args) -> None:
     model = scenario.build_model()
     load_model_into(model, args.model)
     detector = load_detector(model, args.detector)
-    flagged = 0
-    for i in range(min(args.count, len(dataset.x_test))):
-        outcome = detector.detect(dataset.x_test[i : i + 1])
-        flagged += outcome.is_adversarial
-        print(f"input {i}: class={outcome.predicted_class} "
-              f"score={outcome.score:.2f} "
-              f"{'ADVERSARIAL' if outcome.is_adversarial else 'benign'}")
-    print(f"\nflagged {flagged}/{min(args.count, len(dataset.x_test))} "
-          f"clean inputs (false positives)")
+    count = min(args.count, len(dataset.x_test))
+    if count == 0:
+        print("flagged 0/0 clean inputs (false positives)")
+        return
+    result = detector.detect_batch(dataset.x_test[:count])
+    for i in range(count):
+        verdict = "ADVERSARIAL" if result.is_adversarial[i] else "benign"
+        print(f"input {i}: class={int(result.predicted_classes[i])} "
+              f"score={result.scores[i]:.2f} {verdict}")
+    flagged = int(result.is_adversarial.sum())
+    print(f"\nflagged {flagged}/{count} clean inputs (false positives)")
 
 
 def cmd_cost(args) -> None:
@@ -183,20 +185,23 @@ def cmd_monitor(args) -> None:
     )
     print(f"deployed: threshold={monitor.threshold:.2f} "
           f"(target FPR {args.fpr})")
-    adv = workbench.attack_eval(args.attack).x_adv
-    benign = workbench.eval_benign
-    rng = np.random.default_rng(0)
+    from repro.runtime import iter_microbatches
+
+    frames, is_attack = workbench.traffic(
+        attack=args.attack, count=args.count,
+        attack_rate=args.attack_rate, return_truth=True,
+    )
     rows = []
-    for i in range(args.count):
-        is_attack = rng.random() < args.attack_rate
-        pool = adv if is_attack else benign
-        idx = int(rng.integers(0, len(pool)))
-        decision = monitor.submit(pool[idx : idx + 1])
-        rows.append((
-            i, "attack" if is_attack else "benign",
-            f"{decision.score:.2f}",
-            "accept" if decision.accepted else "REJECT",
-        ))
+    served = 0
+    for chunk in iter_microbatches(frames, args.batch_size):
+        for decision in monitor.submit_batch(chunk):
+            rows.append((
+                served,
+                "attack" if is_attack[served] else "benign",
+                f"{decision.score:.2f}",
+                "accept" if decision.accepted else "REJECT",
+            ))
+            served += 1
     print(render_table(
         "streamed traffic", ["frame", "truth", "score", "action"], rows,
     ))
@@ -300,6 +305,36 @@ def cmd_defend(args) -> None:
     ))
 
 
+def cmd_throughput(args) -> None:
+    """Measure detection-engine throughput across micro-batch sizes."""
+    from repro.eval import Workbench, render_table
+    from repro.runtime import measure_throughput
+
+    workbench = Workbench.get(args.scenario)
+    detector = workbench.detector(args.variant)
+    traffic = workbench.traffic(
+        attack=args.attack, count=args.count, attack_rate=args.attack_rate
+    )
+    results = measure_throughput(
+        detector, traffic, batch_sizes=args.batch_sizes
+    )
+    rows = []
+    for batch_size, report in results.items():
+        rows.append((
+            batch_size,
+            f"{report['samples_per_sec']:.0f}",
+            f"{report['mean_batch_latency_ms']:.2f}",
+            f"{report['p95_batch_latency_ms']:.2f}",
+            f"{report['rejection_rate']:.2f}",
+        ))
+    print(render_table(
+        f"{args.variant} on {args.scenario}: engine throughput "
+        f"({args.count} mixed-traffic samples)",
+        ["batch", "samples/s", "mean ms/batch", "p95 ms/batch", "reject rate"],
+        rows,
+    ))
+
+
 def cmd_scenarios(args) -> None:
     """List the named evaluation scenarios."""
     from repro.eval import SCENARIOS
@@ -370,6 +405,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attack", choices=["bim", "fgsm", "deepfool",
                                         "cwl2", "jsma"], default="bim")
     p.add_argument("--attack-rate", type=float, default=0.33)
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="micro-batch size for the serving pipeline")
     p.add_argument("--fast", action="store_true",
                    help="use the low-latency FwAb variant")
     p.set_defaults(func=cmd_monitor)
@@ -390,6 +427,20 @@ def build_parser() -> argparse.ArgumentParser:
                                         "cwl2", "jsma"], default="fgsm")
     p.add_argument("--epochs", type=int, default=4)
     p.set_defaults(func=cmd_defend)
+
+    p = sub.add_parser(
+        "throughput", help="measure engine throughput across batch sizes"
+    )
+    p.add_argument("scenario")
+    p.add_argument("--variant", default="FwAb",
+                   choices=["BwCu", "BwAb", "FwAb", "FwCu", "Hybrid"])
+    p.add_argument("--count", type=int, default=256)
+    p.add_argument("--attack", choices=["bim", "fgsm", "deepfool",
+                                        "cwl2", "jsma"], default="bim")
+    p.add_argument("--attack-rate", type=float, default=0.33)
+    p.add_argument("--batch-sizes", type=int, nargs="+",
+                   default=[1, 8, 64, 256])
+    p.set_defaults(func=cmd_throughput)
 
     p = sub.add_parser("scenarios", help="list named scenarios")
     p.set_defaults(func=cmd_scenarios)

@@ -30,9 +30,7 @@ r14/15 class path / activation path bases
 
 from __future__ import annotations
 
-from typing import List
 
-import numpy as np
 
 from repro.compiler.memory_map import MemoryMap
 from repro.core.config import Direction, ExtractionConfig, Thresholding

@@ -10,7 +10,7 @@ region the ``cls`` instruction can scan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.config import Direction, ExtractionConfig

@@ -17,7 +17,7 @@ forward configs the block order also shows the Fig. 7a interleaving.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Tuple
 
 from repro.core.config import Direction, ExtractionConfig, Thresholding

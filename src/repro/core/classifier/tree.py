@@ -49,6 +49,7 @@ class DecisionTree:
         self.max_features = max_features
         self._rng = rng or np.random.default_rng()
         self._root: Optional[_TreeNode] = None
+        self._flat: Optional[dict] = None
         self.node_count = 0
         self.depth = 0
 
@@ -59,6 +60,7 @@ class DecisionTree:
             raise ValueError("x and y must have the same number of rows")
         self.node_count = 0
         self.depth = 0
+        self._flat = None
         self._root = self._build(x, y, depth=0)
         return self
 
@@ -128,18 +130,74 @@ class DecisionTree:
             return None
         return best
 
+    def flatten(self) -> dict:
+        """Array form of the tree (preorder): parallel ``feature`` /
+        ``threshold`` / ``left`` / ``right`` / ``probability`` arrays
+        with ``left == -1`` marking leaves.  Built lazily and cached;
+        this is what the batched evaluator and serialization share."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        if self._flat is None:
+            features, thresholds, lefts, rights, probs = [], [], [], [], []
+
+            def visit(node) -> int:
+                idx = len(features)
+                features.append(node.feature)
+                thresholds.append(node.threshold)
+                probs.append(node.probability)
+                lefts.append(-1)
+                rights.append(-1)
+                if not node.is_leaf:
+                    lefts[idx] = visit(node.left)
+                    rights[idx] = visit(node.right)
+                return idx
+
+            visit(self._root)
+            self._flat = {
+                "feature": np.array(features, dtype=np.int64),
+                "threshold": np.array(thresholds),
+                "left": np.array(lefts, dtype=np.int64),
+                "right": np.array(rights, dtype=np.int64),
+                "probability": np.array(probs),
+            }
+        return self._flat
+
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        """P(adversarial) for each row of ``x``."""
+        """P(adversarial) for each row of ``x``.
+
+        All rows descend the flattened tree together, one vectorized
+        level per iteration — the same comparisons (and therefore the
+        same leaves) as a per-row recursive walk.
+        """
         if self._root is None:
             raise RuntimeError("tree is not fitted")
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        out = np.empty(x.shape[0])
-        for i, row in enumerate(x):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.probability
-        return out
+        if x.shape[0] <= 8:
+            # tiny batches: a direct walk beats vectorization overhead
+            # (identical comparisons either way, so identical outputs)
+            out = np.empty(x.shape[0])
+            for i, row in enumerate(x):
+                node = self._root
+                while not node.is_leaf:
+                    node = (
+                        node.left
+                        if row[node.feature] <= node.threshold
+                        else node.right
+                    )
+                out[i] = node.probability
+            return out
+        flat = self.flatten()
+        feature, threshold = flat["feature"], flat["threshold"]
+        left, right = flat["left"], flat["right"]
+        idx = np.zeros(x.shape[0], dtype=np.int64)
+        while True:
+            rows = np.flatnonzero(left[idx] >= 0)
+            if rows.size == 0:
+                break
+            nodes = idx[rows]
+            go_left = x[rows, feature[nodes]] <= threshold[nodes]
+            idx[rows] = np.where(go_left, left[nodes], right[nodes])
+        return flat["probability"][idx]
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return (self.predict_proba(x) >= 0.5).astype(np.int64)

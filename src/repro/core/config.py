@@ -20,8 +20,8 @@ as constructors: :meth:`ExtractionConfig.bwcu`, ``bwab``, ``fwab`` and
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 __all__ = [
     "Direction",

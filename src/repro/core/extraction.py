@@ -25,12 +25,16 @@ import numpy as np
 
 from repro.core.bitmask import Bitmask
 from repro.core.config import Direction, ExtractionConfig, LayerSpec, Thresholding
-from repro.core.path import ActivationPath, PathLayout
+from repro.core.path import ActivationPath, PackedPathBatch, PathLayout
 from repro.core.trace import ExtractionTrace, UnitTrace
 from repro.nn.graph import Graph, INPUT
-from repro.nn.layers import Conv2d, Linear
 
-__all__ = ["ExtractionResult", "PathExtractor", "calibrate_phi"]
+__all__ = [
+    "ExtractionResult",
+    "BatchExtractionResult",
+    "PathExtractor",
+    "calibrate_phi",
+]
 
 
 @dataclass
@@ -41,6 +45,30 @@ class ExtractionResult:
     predicted_class: int
     trace: ExtractionTrace
     logits: np.ndarray
+
+
+@dataclass
+class BatchExtractionResult:
+    """Output of one batched extraction: N paths in packed-word form.
+
+    ``traces`` is populated for the backward direction (whose engine
+    walks samples individually anyway) and for forward extraction only
+    on request — the vectorized forward engine never materialises
+    per-sample operation counts unless asked.
+    """
+
+    packed: PackedPathBatch
+    predicted_classes: np.ndarray
+    logits: np.ndarray
+    traces: Optional[List[ExtractionTrace]] = None
+
+    @property
+    def batch_size(self) -> int:
+        return self.packed.batch_size
+
+    def paths(self) -> List[ActivationPath]:
+        """Unpack into per-sample paths (equivalence tests, explain)."""
+        return self.packed.to_paths()
 
 
 def _select_cumulative(psums: np.ndarray, theta: float) -> np.ndarray:
@@ -72,6 +100,33 @@ def _select_cumulative(psums: np.ndarray, theta: float) -> np.ndarray:
 def _select_absolute(psums: np.ndarray, phi: float) -> np.ndarray:
     """Indices where the partial sum exceeds the absolute threshold."""
     return np.flatnonzero(psums > phi)
+
+
+def _select_cumulative_batch(psums: np.ndarray, theta: float) -> np.ndarray:
+    """Row-wise :func:`_select_cumulative` over an ``(N, L)`` matrix,
+    returned as a boolean selection matrix.
+
+    Every step is the vectorized twin of the scalar path — same stable
+    sort, same cumulative-sum order, same degenerate-row rules — so the
+    selected sets are bit-identical per row (asserted by the
+    batch-equivalence tests).
+    """
+    n, length = psums.shape
+    totals = psums.sum(axis=1)
+    targets = theta * totals
+    order = np.argsort(-psums, axis=1, kind="stable")
+    sorted_psums = np.take_along_axis(psums, order, axis=1)
+    csums = np.cumsum(sorted_psums, axis=1)
+    k = np.argmax(csums >= targets[:, None], axis=1) + 1
+    degenerate = targets <= 0.0
+    if degenerate.any():
+        keep_one = degenerate & (totals < 0.0) & (sorted_psums[:, 0] > 0.0)
+        k = np.where(degenerate, np.where(keep_one, 1, 0), k)
+    flags = np.zeros((n, length), dtype=bool)
+    flags[np.arange(n)[:, None], order] = (
+        np.arange(length)[None, :] < k[:, None]
+    )
+    return flags
 
 
 class PathExtractor:
@@ -147,9 +202,124 @@ class PathExtractor:
         path = ActivationPath(self._layout, masks)
         return ExtractionResult(path, predicted, trace, logits[0].copy())
 
+    def extract_batch(
+        self,
+        x: np.ndarray,
+        reuse_forward: bool = False,
+        collect_traces: bool = False,
+    ) -> BatchExtractionResult:
+        """Extract the activation paths of a whole batch at once.
+
+        One batched inference feeds all samples; forward-direction
+        selection then runs as matrix kernels over the stacked feature
+        maps, while backward extraction walks each sample's cached
+        per-sample state (partial sums, pooling argmaxes).  Results are
+        bit-identical to calling :meth:`extract` per sample — the model
+        forward is batch-invariant and every selection step reuses the
+        scalar path's exact operation order.
+        """
+        if x.ndim < 2:
+            raise ValueError("extract_batch expects a batched input")
+        if x.shape[0] == 0:
+            if self._layout is None:
+                raise RuntimeError(
+                    "layout unknown; warm_up() before extracting an "
+                    "empty batch"
+                )
+            num_classes = self.model.activations[
+                self.model.output_name
+            ].shape[1] if self.model.activations else 0
+            return BatchExtractionResult(
+                PackedPathBatch.from_paths(self._layout, []),
+                np.empty(0, dtype=np.int64),
+                np.empty((0, num_classes)),
+                traces=[] if collect_traces else None,
+            )
+        if reuse_forward:
+            if not self.model.activations:
+                raise RuntimeError("reuse_forward=True requires a prior forward")
+            logits = self.model.activations[self.model.output_name]
+            if logits.shape[0] != x.shape[0]:
+                raise ValueError(
+                    "cached forward batch does not match the input batch"
+                )
+        else:
+            logits = self.model.forward(x)
+        if self._layout is None:
+            self._layout = self._build_layout()
+        predicted = logits.argmax(axis=1).astype(np.int64)
+        traces: Optional[List[ExtractionTrace]] = None
+        if self.config.direction is Direction.BACKWARD:
+            paths: List[ActivationPath] = []
+            traces = []
+            for i in range(x.shape[0]):
+                masks, trace = self._extract_backward(
+                    int(predicted[i]), sample=i
+                )
+                paths.append(ActivationPath(self._layout, masks))
+                traces.append(trace)
+            # backward traces come for free (the walk builds them anyway)
+            packed = PackedPathBatch.from_paths(self._layout, paths)
+        else:
+            packed, traces = self._extract_forward_batch(
+                x.shape[0], collect_traces
+            )
+        return BatchExtractionResult(
+            packed, predicted, logits.copy(), traces=traces
+        )
+
+    # -- forward batch engine ---------------------------------------------
+    def _extract_forward_batch(
+        self, batch_size: int, collect_traces: bool
+    ) -> Tuple[PackedPathBatch, Optional[List[ExtractionTrace]]]:
+        """Vectorized forward extraction over the cached batch forward."""
+        tap_flags: List[np.ndarray] = []
+        unit_meta: List[Tuple] = []
+        for unit_idx in self.config.extracted_indices():
+            node = self.units[unit_idx]
+            spec = self.config.layers[unit_idx]
+            values = self.model.activations[node.name].reshape(
+                batch_size, -1
+            )
+            if spec.mechanism is Thresholding.CUMULATIVE:
+                # rank outputs by value; cover theta of the positive mass
+                positive = np.clip(values, 0.0, None)
+                flags = _select_cumulative_batch(positive, spec.threshold)
+            else:
+                flags = values > spec.threshold
+            tap_flags.append(flags)
+            unit_meta.append((node, unit_idx, spec, values.shape[1]))
+        packed = PackedPathBatch.from_tap_bools(self._layout, tap_flags)
+        if not collect_traces:
+            return packed, None
+        traces: List[ExtractionTrace] = []
+        per_tap_ones = [flags.sum(axis=1) for flags in tap_flags]
+        for i in range(batch_size):
+            trace = ExtractionTrace(Direction.FORWARD)
+            for tap, (node, unit_idx, spec, size) in enumerate(unit_meta):
+                unit_trace = UnitTrace(
+                    name=node.name,
+                    index=unit_idx,
+                    extracted=True,
+                    mechanism=spec.mechanism,
+                    in_size=node.module.input_feature_size,
+                    out_size=node.module.output_feature_size,
+                    rf_size=node.module.nominal_rf_size(),
+                    mac_count=node.module.mac_count(),
+                )
+                if spec.mechanism is Thresholding.CUMULATIVE:
+                    unit_trace.n_psums_sorted = size
+                else:
+                    unit_trace.n_compared = size
+                unit_trace.n_out_processed = size
+                unit_trace.n_important = int(per_tap_ones[tap][i])
+                trace.units.append(unit_trace)
+            traces.append(trace)
+        return packed, traces
+
     # -- backward engine ---------------------------------------------------
     def _extract_backward(
-        self, predicted: int
+        self, predicted: int, sample: int = 0
     ) -> Tuple[List[Bitmask], ExtractionTrace]:
         trace = ExtractionTrace(Direction.BACKWARD)
         importance: Dict[str, np.ndarray] = {
@@ -166,7 +336,8 @@ class PathExtractor:
                 if not spec.extract:
                     continue  # early-termination: stop the walk here
                 in_positions, unit_trace = self._extract_unit_backward(
-                    node.module, unit_idx, node.name, positions, spec
+                    node.module, unit_idx, node.name, positions, spec,
+                    sample=sample,
                 )
                 trace.units.append(unit_trace)
                 masks[unit_idx] = Bitmask.from_positions(
@@ -174,11 +345,11 @@ class PathExtractor:
                 )
                 self._merge(importance, node.inputs[0], in_positions)
             elif node.is_multi_input:
-                split = node.module.propagate_back_multi(positions)
+                split = node.module.propagate_back_multi(positions, sample)
                 for input_name, pos in zip(node.inputs, split):
                     self._merge(importance, input_name, pos)
             else:
-                mapped = node.module.propagate_back(positions)
+                mapped = node.module.propagate_back(positions, sample)
                 self._merge(importance, node.inputs[0], mapped)
         trace.units.sort(key=lambda u: u.index)
         ordered = [
@@ -205,6 +376,7 @@ class PathExtractor:
         name: str,
         out_positions: np.ndarray,
         spec: LayerSpec,
+        sample: int = 0,
     ) -> Tuple[np.ndarray, UnitTrace]:
         unit_trace = UnitTrace(
             name=name,
@@ -218,7 +390,7 @@ class PathExtractor:
         )
         collected: List[np.ndarray] = []
         for out_pos in out_positions:
-            psums = module.partial_sums(int(out_pos))
+            psums = module.partial_sums(int(out_pos), sample)
             rf = module.receptive_field(int(out_pos))
             unit_trace.n_out_processed += 1
             if spec.mechanism is Thresholding.CUMULATIVE:

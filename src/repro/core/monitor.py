@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, List
 
 import numpy as np
 
@@ -144,8 +144,27 @@ class InferenceMonitor:
         return decision
 
     def submit_batch(self, xs: np.ndarray) -> List[MonitorDecision]:
-        """Serve a batch, one decision per input."""
-        return [self.submit(x[None]) for x in xs]
+        """Serve a batch through the vectorized detection pipeline —
+        one decision per input, with decisions (accept/score/similarity/
+        predicted class) identical to per-sample :meth:`submit` calls.
+        Unlike :meth:`submit`, extraction traces are not collected: each
+        decision's ``outcome.extraction.trace`` is an empty placeholder
+        and ``detector.last_trace`` is not updated."""
+        result = self.detector.detect_batch(xs, threshold=self.threshold)
+        decisions: List[MonitorDecision] = []
+        for outcome in result.outcomes():
+            decision = MonitorDecision(
+                accepted=not outcome.is_adversarial,
+                predicted_class=outcome.predicted_class,
+                score=outcome.score,
+                similarity=outcome.similarity,
+                outcome=outcome,
+            )
+            self._recent.append(decision)
+            self._served += 1
+            self._rejected += not decision.accepted
+            decisions.append(decision)
+        return decisions
 
     # -- operations ---------------------------------------------------
     @property

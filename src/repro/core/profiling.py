@@ -9,14 +9,52 @@ profiler exposes a saturation curve for reproducing that observation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.bitmask import batch_or
 from repro.core.extraction import PathExtractor
-from repro.core.path import ActivationPath, ClassPath, PathLayout
+from repro.core.path import ClassPath, PathLayout, _word_geometry
 
-__all__ = ["ClassPathSet", "profile_class_paths", "saturation_curve"]
+__all__ = [
+    "ClassPathSet",
+    "PackedCanaries",
+    "profile_class_paths",
+    "saturation_curve",
+]
+
+
+@dataclass(frozen=True)
+class PackedCanaries:
+    """Canary class paths as one ``(num_classes, words)`` word matrix.
+
+    This is the warm-cache form the batched detector gathers from: one
+    row per profiled class, sorted by class id, in
+    :class:`~repro.core.path.PackedPathBatch` word layout.
+    """
+
+    layout: PathLayout
+    class_ids: np.ndarray
+    words: np.ndarray
+
+    def rows_for(self, predicted: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather each sample's canary row by predicted class.
+
+        Returns ``(rows, known)``: classes never profiled get an
+        all-zero row and ``known=False`` — zero canaries produce the
+        scalar path's "maximally suspicious" all-zero features.
+        """
+        predicted = np.asarray(predicted, dtype=np.int64)
+        n = predicted.shape[0]
+        rows = np.zeros((n, self.words.shape[1]), dtype=np.uint64)
+        if n == 0 or self.class_ids.size == 0:
+            return rows, np.zeros(n, dtype=bool)
+        idx = np.searchsorted(self.class_ids, predicted)
+        clipped = np.minimum(idx, self.class_ids.size - 1)
+        known = self.class_ids[clipped] == predicted
+        rows[known] = self.words[clipped[known]]
+        return rows, known
 
 
 @dataclass
@@ -48,32 +86,75 @@ class ClassPathSet:
     def densities(self) -> Dict[int, float]:
         return {cid: path.density() for cid, path in self.paths.items()}
 
+    def packed(self) -> PackedCanaries:
+        """Snapshot all canaries into a :class:`PackedCanaries` matrix."""
+        class_ids = np.array(sorted(self.paths), dtype=np.int64)
+        _, total_words = _word_geometry(self.layout)
+        words = np.zeros((class_ids.size, total_words), dtype=np.uint64)
+        for row, cid in enumerate(class_ids):
+            words[row] = self.paths[int(cid)].packed_words()
+        return PackedCanaries(self.layout, class_ids, words)
+
 
 def profile_class_paths(
     extractor: PathExtractor,
     x_train: np.ndarray,
     y_train: np.ndarray,
     max_per_class: Optional[int] = None,
+    batch_size: int = 64,
 ) -> ClassPathSet:
     """Build canary class paths from training data.
 
     Only *correctly predicted* samples contribute (the paper's
     ``x_c`` is the set of correctly-predicted inputs of class ``c``).
+
+    Samples run through the batched extractor in micro-batches; the
+    per-class cap is still applied in sample order (a micro-batch may
+    extract a few samples the cap then discards, but the aggregated
+    canaries are identical to the one-at-a-time profile — OR is
+    order-independent and contribution decisions are sequential).
     """
     if len(x_train) != len(y_train):
         raise ValueError("x_train and y_train must have equal length")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
     extractor.warm_up(x_train[:1])
     class_paths = ClassPathSet(extractor.layout)
     counts: Dict[int, int] = {}
-    for i in range(len(x_train)):
-        label = int(y_train[i])
-        if max_per_class is not None and counts.get(label, 0) >= max_per_class:
+    cursor = 0
+    n = len(x_train)
+    while cursor < n:
+        # Candidate rows: skip samples whose class is already capped
+        # (exactly what the sequential profiler would skip).
+        take: List[int] = []
+        while cursor < n and len(take) < batch_size:
+            label = int(y_train[cursor])
+            if (
+                max_per_class is None
+                or counts.get(label, 0) < max_per_class
+            ):
+                take.append(cursor)
+            cursor += 1
+        if not take:
             continue
-        result = extractor.extract(x_train[i : i + 1])
-        if result.predicted_class != label:
-            continue  # misclassified training samples are excluded
-        class_paths.path_for(label).aggregate(result.path)
-        counts[label] = counts.get(label, 0) + 1
+        batch = extractor.extract_batch(x_train[take])
+        per_class_rows: Dict[int, List[int]] = {}
+        for j, idx in enumerate(take):
+            label = int(y_train[idx])
+            if (
+                max_per_class is not None
+                and counts.get(label, 0) >= max_per_class
+            ):
+                continue  # capped by an earlier row of this micro-batch
+            if int(batch.predicted_classes[j]) != label:
+                continue  # misclassified training samples are excluded
+            per_class_rows.setdefault(label, []).append(j)
+            counts[label] = counts.get(label, 0) + 1
+        for label, rows in per_class_rows.items():
+            combined = batch_or(batch.packed.words[rows])
+            class_paths.path_for(label).aggregate_words(
+                combined, num_samples=len(rows)
+            )
     return class_paths
 
 

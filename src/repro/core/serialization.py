@@ -107,29 +107,9 @@ def config_from_dict(data: dict) -> ExtractionConfig:
 # -- random forest -----------------------------------------------------------
 
 def _tree_to_lists(tree: DecisionTree) -> dict:
-    """Flatten a tree into parallel arrays (preorder)."""
-    features, thresholds, lefts, rights, probs = [], [], [], [], []
-
-    def visit(node) -> int:
-        idx = len(features)
-        features.append(node.feature)
-        thresholds.append(node.threshold)
-        probs.append(node.probability)
-        lefts.append(-1)
-        rights.append(-1)
-        if not node.is_leaf:
-            lefts[idx] = visit(node.left)
-            rights[idx] = visit(node.right)
-        return idx
-
-    visit(tree._root)
-    return {
-        "feature": np.array(features, dtype=np.int64),
-        "threshold": np.array(thresholds),
-        "left": np.array(lefts, dtype=np.int64),
-        "right": np.array(rights, dtype=np.int64),
-        "probability": np.array(probs),
-    }
+    """Flatten a tree into parallel arrays (preorder) — the same array
+    form the batched evaluator uses."""
+    return tree.flatten()
 
 
 def _tree_from_lists(data: dict, meta: dict) -> DecisionTree:

@@ -16,7 +16,7 @@ the convention of the ImageNet-C robustness benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy import ndimage

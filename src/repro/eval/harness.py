@@ -9,7 +9,7 @@ state.  All construction is deterministic (seeded).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -21,13 +21,12 @@ from repro.attacks import (
     JSMA,
     AttackResult,
 )
-from repro.compiler import Schedule, apply_optimizations
+from repro.compiler import apply_optimizations
 from repro.core import (
     ExtractionConfig,
     PathExtractor,
     PtolemyDetector,
     calibrate_phi,
-    roc_auc,
 )
 from repro.eval.workloads import SCENARIOS, Scenario
 from repro.hw import (
@@ -88,6 +87,11 @@ class Workbench:
     def get(cls, scenario_name: str) -> "Workbench":
         """Cached workbench per scenario (benchmarks share state)."""
         if scenario_name not in _WORKBENCH_CACHE:
+            if scenario_name not in SCENARIOS:
+                known = ", ".join(sorted(SCENARIOS))
+                raise KeyError(
+                    f"unknown scenario {scenario_name!r}; known: {known}"
+                )
             _WORKBENCH_CACHE[scenario_name] = cls(SCENARIOS[scenario_name])
         return _WORKBENCH_CACHE[scenario_name]
 
@@ -212,6 +216,31 @@ class Workbench:
             )
             self._detectors[key] = detector
         return self._detectors[key]
+
+    # -- runtime serving ---------------------------------------------------
+    def traffic(self, attack: str = "bim", count: int = 256,
+                attack_rate: float = 0.33, seed: int = 0,
+                return_truth: bool = False):
+        """A deterministic mixed benign/adversarial traffic stream of
+        ``count`` samples for serving benchmarks.  With
+        ``return_truth=True`` also returns the per-frame ground-truth
+        boolean array (True = adversarial) for operator displays."""
+        rng = np.random.default_rng(seed)
+        adv = self.attack_eval(attack).x_adv
+        benign = self.eval_benign
+        frames, truths = [], []
+        for _ in range(count):
+            is_attack = rng.random() < attack_rate
+            pool = adv if is_attack else benign
+            frames.append(pool[int(rng.integers(0, len(pool)))])
+            truths.append(is_attack)
+        if frames:
+            stream = np.stack(frames)
+        else:
+            stream = np.empty((0, *benign.shape[1:]))
+        if return_truth:
+            return stream, np.array(truths, dtype=bool)
+        return stream
 
     # -- measurements ------------------------------------------------------
     def variant_auc(

@@ -3,7 +3,7 @@ large-model suite of Sec. VII-H), with deterministic construction."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict
 
 from repro.data import SyntheticDataset, make_cifar_like, make_imagenet_like
@@ -71,3 +71,25 @@ SCENARIOS: Dict[str, Scenario] = {
         "inception_imagenet", build_mini_inception, make_imagenet_like, epochs=18
     ),
 }
+
+
+def shrink_for_smoke(
+    train_per_class: int = 10,
+    test_per_class: int = 8,
+    epochs: int = 2,
+) -> None:
+    """Shrink every scenario in place to tiny CI-smoke sizes.
+
+    Used by ``benchmarks/conftest.py --smoke`` and
+    ``scripts/perf_gate.py`` so benchmark plumbing can run end-to-end
+    in minutes.  Idempotent; only ever shrinks, never grows.
+    """
+    import dataclasses
+
+    for name, scenario in list(SCENARIOS.items()):
+        SCENARIOS[name] = dataclasses.replace(
+            scenario,
+            train_per_class=min(scenario.train_per_class, train_per_class),
+            test_per_class=min(scenario.test_per_class, test_per_class),
+            epochs=min(scenario.epochs, epochs),
+        )

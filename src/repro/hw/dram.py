@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 __all__ = [
     "DramTimings",

@@ -10,7 +10,6 @@ AND + popcount.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from repro.hw.config import HardwareConfig
 

@@ -11,8 +11,8 @@ absolute instruction index.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 __all__ = [
     "Opcode",

@@ -27,7 +27,7 @@ simulator.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hw.config import DEFAULT_HW, HardwareConfig

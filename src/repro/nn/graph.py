@@ -9,7 +9,7 @@ through pooling/merge layers without special cases per architecture.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

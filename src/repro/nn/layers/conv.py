@@ -65,7 +65,25 @@ class Conv2d(Module):
         out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
         cols = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.padding)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        out = np.einsum("of,nfp->nop", w_mat, cols)
+        # One flattened (o,f) @ (f, N*p) GEMM instead of an einsum: BLAS
+        # beats c_einsum ~2x at these shapes.  Cross-batch-size
+        # bit-identity is an empirical property of the BLAS build (GEMM
+        # k-reduction blocking does not depend on the column count on
+        # OpenBLAS/MKL; verified bitwise for N in 1..256 here) — it is
+        # not guaranteed by the standard, so the batch-equivalence tests
+        # and the perf gate's cross-batch score check enforce it on
+        # every machine rather than trusting this comment.
+        n, f, p = cols.shape
+        if n == 1:
+            # Identical (o,f) @ (f,p) dgemm to the flattened path at
+            # n == 1, minus the transpose copies — keeps per-sample
+            # latency low.
+            out = (w_mat @ cols[0])[None]
+        else:
+            flat = cols.transpose(1, 0, 2).reshape(f, n * p)
+            out = (
+                (w_mat @ flat).reshape(self.out_channels, n, p).transpose(1, 0, 2)
+            )
         if self.bias is not None:
             out = out + self.bias.data[None, :, None]
         out = out.reshape(batch, self.out_channels, out_h, out_w)
@@ -79,12 +97,17 @@ class Conv2d(Module):
         batch = grad_out.shape[0]
         grad_mat = grad_out.reshape(batch, self.out_channels, -1)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        self.weight.grad += np.einsum("nop,nfp->of", grad_mat, cols).reshape(
+        n, f, p = cols.shape
+        cols_flat = cols.transpose(1, 0, 2).reshape(f, n * p)
+        grad_flat = grad_mat.transpose(1, 0, 2).reshape(self.out_channels, n * p)
+        self.weight.grad += (grad_flat @ cols_flat.T).reshape(
             self.weight.data.shape
         )
         if self.bias is not None:
             self.bias.grad += grad_mat.sum(axis=(0, 2))
-        grad_cols = np.einsum("of,nop->nfp", w_mat, grad_mat)
+        grad_cols = (
+            (w_mat.T @ grad_flat).reshape(f, n, p).transpose(1, 0, 2)
+        )
         return col2im(
             grad_cols,
             x.shape,

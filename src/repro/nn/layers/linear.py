@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -40,7 +39,16 @@ class Linear(Module):
                 f"Linear expected (N, {self.in_features}), got {x.shape}"
             )
         self._cache = {"x": x}
-        out = x @ self.weight.data.T
+        if self.training:
+            out = x @ self.weight.data.T
+        else:
+            # einsum (not BLAS matmul): its reduction order is independent
+            # of the batch size, so batch-N and batch-1 inference forwards
+            # are bit-identical — the invariant the batched detection
+            # engine's equivalence guarantee rests on.  Training sticks
+            # with the faster BLAS path (like BatchNorm, train and eval
+            # modes are allowed different numerics).
+            out = np.einsum("nk,ok->no", x, self.weight.data)
         if self.bias is not None:
             out = out + self.bias.data
         return out

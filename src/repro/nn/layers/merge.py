@@ -12,7 +12,7 @@ merged output into per-input position sets:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

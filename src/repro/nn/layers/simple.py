@@ -20,7 +20,7 @@ class ReLU(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * self._cache["mask"]
 
-    def propagate_back(self, positions: np.ndarray) -> np.ndarray:
+    def propagate_back(self, positions: np.ndarray, sample: int = 0) -> np.ndarray:
         """Importance positions are unchanged by an element-wise op."""
         return positions
 
@@ -34,7 +34,7 @@ class Identity(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out
 
-    def propagate_back(self, positions: np.ndarray) -> np.ndarray:
+    def propagate_back(self, positions: np.ndarray, sample: int = 0) -> np.ndarray:
         return positions
 
 
@@ -52,7 +52,7 @@ class Flatten(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out.reshape(self._cache["shape"])
 
-    def propagate_back(self, positions: np.ndarray) -> np.ndarray:
+    def propagate_back(self, positions: np.ndarray, sample: int = 0) -> np.ndarray:
         return positions
 
 
@@ -79,5 +79,5 @@ class Dropout(Module):
         mask = self._cache["mask"]
         return grad_out if mask is None else grad_out * mask
 
-    def propagate_back(self, positions: np.ndarray) -> np.ndarray:
+    def propagate_back(self, positions: np.ndarray, sample: int = 0) -> np.ndarray:
         return positions

@@ -24,7 +24,6 @@ from repro.nn.layers import (
     Conv2d,
     Flatten,
     GlobalAvgPool2d,
-    Identity,
     Linear,
     MaxPool2d,
     ReLU,

@@ -9,7 +9,7 @@ values (inputs, argmax indices, partial sums).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -8,7 +8,7 @@ in seconds, which every experiment script does deterministically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -1,0 +1,28 @@
+"""repro.runtime — the batched online-serving subsystem.
+
+The paper's detector must keep up with inference-rate traffic; this
+package drives streaming workloads through the vectorized detection
+pipeline in micro-batches: :class:`MicroBatcher` shapes arrival
+streams into batches, :class:`DetectionEngine` runs them through the
+packed-word detection kernels with warm canary caches, and
+:class:`ThroughputStats` keeps the samples/sec and per-stage latency
+accounting the benchmarks and the CI perf gate read.
+"""
+
+from repro.runtime.batching import MicroBatcher, iter_microbatches
+from repro.runtime.engine import (
+    DetectionEngine,
+    EngineRunResult,
+    measure_throughput,
+)
+from repro.runtime.stats import StageTimer, ThroughputStats
+
+__all__ = [
+    "MicroBatcher",
+    "iter_microbatches",
+    "DetectionEngine",
+    "EngineRunResult",
+    "measure_throughput",
+    "StageTimer",
+    "ThroughputStats",
+]

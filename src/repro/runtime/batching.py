@@ -1,0 +1,73 @@
+"""Micro-batch shaping for streaming detection workloads.
+
+Requests arrive one sample at a time; the engine processes them in
+micro-batches so the vectorized kernels amortise per-call overhead.
+:class:`MicroBatcher` is the arrival buffer, :func:`iter_microbatches`
+the zero-copy path for workloads that are already arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["MicroBatcher", "iter_microbatches"]
+
+
+def iter_microbatches(
+    xs: np.ndarray, batch_size: int
+) -> Iterator[np.ndarray]:
+    """Yield contiguous ``batch_size`` slices of an ``(N, ...)`` array.
+
+    Slices are views — no copies on the hot path.  The final batch may
+    be short; an empty input yields nothing.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, len(xs), batch_size):
+        yield xs[start : start + batch_size]
+
+
+class MicroBatcher:
+    """Accumulates single samples into fixed-size micro-batches.
+
+    ``add`` returns a stacked batch exactly when the buffer fills;
+    ``flush`` drains a partial batch (end of stream, latency deadline).
+    The batcher is shape-agnostic: it stacks whatever sample arrays it
+    is given, so it serves any model input layout.
+    """
+
+    def __init__(self, batch_size: int):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self._pending: List[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def add(self, sample: np.ndarray) -> Optional[np.ndarray]:
+        """Buffer one sample; return a full batch when one completes."""
+        sample = np.asarray(sample)
+        if self._pending and sample.shape != self._pending[0].shape:
+            raise ValueError(
+                f"sample shape {sample.shape} does not match pending "
+                f"batch shape {self._pending[0].shape}"
+            )
+        self._pending.append(sample)
+        if len(self._pending) >= self.batch_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[np.ndarray]:
+        """Drain the buffer as one (possibly short) batch."""
+        if not self._pending:
+            return None
+        batch = np.stack(self._pending)
+        self._pending = []
+        return batch

@@ -3,12 +3,20 @@ session (training is deterministic, so every test sees identical state)."""
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make the in-repo package importable from any working directory —
+# pytest (and CI) must not depend on the invoker exporting PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 import numpy as np
 import pytest
 
 from repro.data import make_imagenet_like
 from repro.nn import (
-    Graph,
     TrainConfig,
     build_mini_alexnet,
     build_mlp,

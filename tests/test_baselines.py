@@ -1,6 +1,5 @@
 """Baseline-detector tests: EP, CDRP, DeepFense."""
 
-import numpy as np
 import pytest
 
 from repro.attacks import BIM

@@ -12,7 +12,7 @@ from repro.compiler import (
     compile_inference,
     theta_to_fixed,
 )
-from repro.core import Direction, ExtractionConfig, PathExtractor
+from repro.core import ExtractionConfig, PathExtractor
 from repro.isa import Machine, ModelAdapter, Opcode
 
 

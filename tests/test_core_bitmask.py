@@ -1,12 +1,25 @@
 """Bitmask tests, including hypothesis property tests against the
-boolean-array reference semantics."""
+boolean-array reference semantics, and the packed-word batch kernels
+against looped scalar Bitmask operations."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.bitmask import Bitmask
+from repro.core.bitmask import (
+    WORD_BITS,
+    Bitmask,
+    batch_and_popcount,
+    batch_containment,
+    batch_jaccard,
+    batch_or,
+    batch_popcount,
+    pack_bool_matrix,
+    segment_popcount,
+    unpack_word_matrix,
+    words_for_bits,
+)
 
 
 class TestBasics:
@@ -91,3 +104,125 @@ class TestProperties:
         c = a.copy()
         c.ior(Bitmask.from_bool(np.ones(a.length, dtype=bool)))
         assert a.popcount() == int(np.array(flags).sum())
+
+
+class TestWordRepresentation:
+    def test_words_for_bits(self):
+        assert words_for_bits(0) == 0
+        assert words_for_bits(1) == 1
+        assert words_for_bits(WORD_BITS) == 1
+        assert words_for_bits(WORD_BITS + 1) == 2
+
+    def test_word_boundary_lengths(self):
+        for length in (63, 64, 65, 127, 128, 129):
+            flags = np.zeros(length, dtype=bool)
+            flags[0] = flags[-1] = True
+            mask = Bitmask.from_bool(flags)
+            assert mask.words.size == words_for_bits(length)
+            assert mask.popcount() == 2
+            assert mask.get(length - 1)
+
+    def test_from_words_masks_tail(self):
+        words = np.full(2, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        mask = Bitmask.from_words(70, words)
+        assert mask.popcount() == 70
+
+    def test_words_view_is_read_only(self):
+        mask = Bitmask(10)
+        with pytest.raises(ValueError):
+            mask.words[0] = 1
+
+    def test_legacy_byte_buffer_constructor(self):
+        # big-endian-within-byte packbits order, as the original
+        # 8-bit-packed implementation stored it
+        mask = Bitmask(10, np.array([0b10100000, 0b01000000], dtype=np.uint8))
+        assert mask.positions().tolist() == [0, 2, 9]
+
+    def test_ior_words(self):
+        mask = Bitmask(70)
+        row = np.zeros(2, dtype=np.uint64)
+        row[1] = np.uint64(1) << np.uint64(5)  # bit 69
+        mask.ior_words(row)
+        assert mask.positions().tolist() == [69]
+        with pytest.raises(ValueError):
+            mask.ior_words(np.zeros(3, dtype=np.uint64))
+
+
+bool_matrices = st.tuples(
+    st.integers(1, 6), st.integers(1, 200), st.integers(0, 2**32 - 1)
+)
+
+
+class TestBatchKernels:
+    """Batch kernels must equal looping the scalar Bitmask ops."""
+
+    @given(bool_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_pack_round_trip(self, shape):
+        n, length, seed = shape
+        flags = np.random.default_rng(seed).random((n, length)) < 0.4
+        words = pack_bool_matrix(flags)
+        assert words.shape == (n, words_for_bits(length))
+        assert np.array_equal(unpack_word_matrix(words, length), flags)
+        for i in range(n):
+            assert np.array_equal(
+                words[i], Bitmask.from_bool(flags[i]).words
+            )
+
+    @given(bool_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_popcount_and_or(self, shape):
+        n, length, seed = shape
+        rng = np.random.default_rng(seed)
+        flags = rng.random((n, length)) < 0.4
+        words = pack_bool_matrix(flags)
+        assert np.array_equal(
+            batch_popcount(words), flags.sum(axis=1)
+        )
+        reduced = batch_or(words)
+        assert np.array_equal(
+            reduced, Bitmask.from_bool(flags.any(axis=0)).words
+        )
+
+    @given(bool_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_kernels(self, shape):
+        n, length, seed = shape
+        rng = np.random.default_rng(seed)
+        a = rng.random((n, length)) < 0.4
+        b = rng.random(length) < 0.5
+        wa, wb = pack_bool_matrix(a), pack_bool_matrix(b[None])[0]
+        inter = (a & b).sum(axis=1)
+        assert np.array_equal(batch_and_popcount(wa, wb), inter)
+        masks_a = [Bitmask.from_bool(row) for row in a]
+        mask_b = Bitmask.from_bool(b)
+        containment = batch_containment(wa, wb)
+        jaccard = batch_jaccard(wa, wb)
+        for i, mask in enumerate(masks_a):
+            ones = mask.popcount()
+            hits = mask.intersection_count(mask_b)
+            expected = hits / ones if ones else 0.0
+            assert containment[i] == expected
+            union = (mask | mask_b).popcount()
+            expected_j = hits / union if union else 1.0
+            assert jaccard[i] == expected_j
+
+    def test_segment_popcount(self):
+        rng = np.random.default_rng(0)
+        lengths = [70, 3, 129]
+        flags = [rng.random((4, size)) < 0.5 for size in lengths]
+        words = np.hstack([pack_bool_matrix(f) for f in flags])
+        offsets = np.cumsum(
+            [0] + [words_for_bits(size) for size in lengths[:-1]]
+        )
+        counts = segment_popcount(words, offsets)
+        expected = np.stack(
+            [f.sum(axis=1) for f in flags], axis=1
+        )
+        assert np.array_equal(counts, expected)
+
+    def test_empty_batch(self):
+        words = pack_bool_matrix(np.zeros((0, 10), dtype=bool))
+        assert words.shape == (0, 1)
+        assert batch_popcount(words).shape == (0,)
+        assert batch_containment(words, np.zeros(1, np.uint64)).shape == (0,)

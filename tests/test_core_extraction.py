@@ -10,7 +10,6 @@ from repro.core import (
     Direction,
     ExtractionConfig,
     PathExtractor,
-    Thresholding,
     calibrate_phi,
 )
 from repro.core.extraction import _select_absolute, _select_cumulative

@@ -1,6 +1,5 @@
 """Tests for repro.eval.plots — ASCII chart rendering."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -12,7 +12,7 @@ from repro.core import (
     path_similarity,
     profile_class_paths,
 )
-from repro.eval import FaultSpec, bitflip_fault, forward_with_fault, stuck_fault
+from repro.eval import FaultSpec, forward_with_fault, stuck_fault
 
 
 class TestFaultInjection:

@@ -3,7 +3,6 @@ footprint, full detection simulation, and the area model."""
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.compiler import apply_optimizations

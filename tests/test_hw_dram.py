@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.hw.dram import (
     Bank,
-    DoubleBufferPlan,
     DramConfig,
     DramModel,
     DramTimings,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data import make_imagenet_like
 from repro.nn import (
     Adam,
     SGD,
@@ -14,7 +13,6 @@ from repro.nn import (
     build_mini_resnet18,
     build_mini_resnet50,
     build_mini_vgg,
-    build_mlp,
     cross_entropy,
     evaluate_accuracy,
     load_model_into,

@@ -1,18 +1,15 @@
 """Serialization tests: class paths, configs, detectors."""
 
-import numpy as np
 import pytest
 
 from repro.attacks import BIM
 from repro.core import (
     ExtractionConfig,
-    PathExtractor,
     PtolemyDetector,
     config_from_dict,
     config_to_dict,
     load_class_paths,
     load_detector,
-    profile_class_paths,
     save_class_paths,
     save_detector,
 )
