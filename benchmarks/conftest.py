@@ -35,6 +35,13 @@ def pytest_addoption(parser):
         help="tiny-sizes mode: shrink scenarios, relax paper-shape "
         "assertions into skips (plumbing check only)",
     )
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker-pool ceiling for the runtime scaling benchmark "
+        "(smoke mode caps this at 2 so CI stays within time limits)",
+    )
 
 
 def pytest_configure(config):
@@ -42,12 +49,22 @@ def pytest_configure(config):
         from repro.eval import workloads
 
         workloads.shrink_for_smoke()
+        # Smoke runs exist to check plumbing, not scaling curves: cap
+        # the worker pool too, so the scaling benchmark never spawns a
+        # 4-process fleet inside a CI time budget.
+        config.option.workers = min(config.option.workers, 2)
 
 
 @pytest.fixture(scope="session")
 def smoke(request):
     """True when the suite runs in tiny-sizes smoke mode."""
     return request.config.getoption("--smoke")
+
+
+@pytest.fixture(scope="session")
+def max_workers(request):
+    """Largest worker pool the scaling benchmark may spawn."""
+    return max(1, request.config.getoption("--workers"))
 
 
 @pytest.hookimpl(wrapper=True)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Import every module under ``src/repro`` and fail on any error.
+
+Much of the package imports lazily (the CLI, the Workbench, the
+benchmarks), so a broken import in a rarely-exercised module can slip
+past the unit tests.  CI runs this as its own job: every module —
+public or internal — must import cleanly on a bare ``numpy``/``scipy``
+environment.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def iter_module_names():
+    """Dotted names of every module under src/repro, packages included."""
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        relative = path.relative_to(SRC)
+        if relative.name == "__init__.py":
+            parts = relative.parent.parts
+        else:
+            parts = relative.with_suffix("").parts
+        yield ".".join(parts)
+
+
+def main() -> int:
+    failures = []
+    modules = list(iter_module_names())
+    for name in modules:
+        try:
+            importlib.import_module(name)
+        except Exception:
+            failures.append(name)
+            print(f"FAIL {name}")
+            traceback.print_exc()
+    print(f"imported {len(modules) - len(failures)}/{len(modules)} "
+          f"modules under src/repro")
+    if failures:
+        print("broken imports: " + ", ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

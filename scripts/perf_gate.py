@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""CI performance gate for the batched detection engine.
+"""CI performance gate for the batched engine and the sharded service.
 
 Runs ``benchmarks/bench_runtime_throughput.measure_throughput`` at
 smoke sizes and compares samples/sec per micro-batch size against the
@@ -11,6 +11,14 @@ is gated the same way — it is hardware-independent, so it also
 protects the gate on CI machines slower than the one that recorded
 the baseline.
 
+The sharded service gets the same treatment: 1- and 2-worker
+wall-clock samples/sec are gated absolutely against the baseline, and
+the 2-over-1 scaling ratio is gated against the constant
+:data:`WORKER_SCALING_FLOOR` envelope (>= 1.6x).  The scaling gate is
+ratio-only by construction — it never compares absolute speed across
+machines — and is skipped outright on single-CPU hosts, where process
+parallelism cannot possibly deliver it.
+
 Usage::
 
     python scripts/perf_gate.py              # compare against baseline
@@ -21,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -34,6 +43,15 @@ BASELINE_PATH = REPO / "BENCH_baseline.json"
 #: Batch sizes whose absolute samples/sec are gated.
 GATED_BATCH_SIZES = (1, 8, 64)
 SMOKE_TRAFFIC = 192
+#: Worker-pool sizes whose absolute wall-clock samples/sec are gated.
+GATED_WORKER_COUNTS = (1, 2)
+#: Traffic/batch sizing for the scaling measurement: enough micro-
+#: batches (16) that a 2-shard split stays balanced.
+WORKER_TRAFFIC = 512
+WORKER_BATCH = 32
+#: The scaling envelope: 2 workers must reach >= 1.6x the 1-worker
+#: wall-clock rate wherever >= 2 CPUs exist.
+WORKER_SCALING_FLOOR = 1.6
 
 
 def run_bench() -> dict:
@@ -67,6 +85,44 @@ def run_bench() -> dict:
     return report
 
 
+def run_worker_bench() -> dict:
+    import numpy as np
+
+    from bench_runtime_scaling import measure_scaling
+    from repro.eval import Workbench, workloads
+
+    workloads.shrink_for_smoke()
+    workbench = Workbench.get("alexnet_imagenet")
+    results = measure_scaling(
+        workbench,
+        GATED_WORKER_COUNTS,
+        count=WORKER_TRAFFIC,
+        batch_size=WORKER_BATCH,
+        repeats=3,  # best-of-3: shared runners are noisy
+    )
+    # sharding must be invisible to decisions, even at smoke sizes
+    reference = results["engine"]["scores"]
+    for workers in GATED_WORKER_COUNTS:
+        if not np.array_equal(results[workers]["scores"], reference):
+            raise SystemExit(
+                f"FATAL: {workers}-worker service changed detection scores"
+            )
+    report = {
+        str(workers): {
+            "samples_per_sec": results[workers]["samples_per_sec"],
+            "mean_batch_latency_ms": (
+                results[workers]["mean_batch_latency_ms"]
+            ),
+        }
+        for workers in GATED_WORKER_COUNTS
+    }
+    report["scaling_2_over_1"] = (
+        results[2]["samples_per_sec"] / results[1]["samples_per_sec"]
+    )
+    report["cpu_count"] = os.cpu_count() or 1
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -79,9 +135,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--ratio-only", action="store_true",
-        help="gate only the batch-64-over-batch-1 speedup ratio "
-        "(hardware-independent; use on CI runners whose absolute "
-        "speed differs from the baseline machine)",
+        help="gate only the hardware-independent ratios — the "
+        "batch-64-over-batch-1 speedup and the 2-worker scaling "
+        "envelope — skipping absolute samples/sec comparisons (use on "
+        "CI runners whose absolute speed differs from the baseline "
+        "machine)",
     )
     args = parser.parse_args(argv)
 
@@ -95,19 +153,34 @@ def main(argv=None) -> int:
     print(f"  batch-64 speedup over batch-1: "
           f"{current['speedup_64_over_1']:.2f}x")
 
+    print(f"perf gate: measuring sharded-service scaling "
+          f"({WORKER_TRAFFIC} samples, batch {WORKER_BATCH}, workers "
+          f"{GATED_WORKER_COUNTS})...")
+    current_workers = run_worker_bench()
+    for count in GATED_WORKER_COUNTS:
+        row = current_workers[str(count)]
+        print(f"  {count} worker(s): {row['samples_per_sec']:9.1f} "
+              f"samples/s (wall clock)")
+    print(f"  2-worker scaling over 1: "
+          f"{current_workers['scaling_2_over_1']:.2f}x "
+          f"on {current_workers['cpu_count']} CPU(s)")
+
     if args.update or not BASELINE_PATH.exists():
         baseline = {
             "note": "recorded by scripts/perf_gate.py --update; "
-                    "smoke-size throughput of the batched engine",
+                    "smoke-size throughput of the batched engine and "
+                    "the sharded service",
             "machine": platform.platform(),
             "python": platform.python_version(),
             "results": current,
+            "workers": current_workers,
         }
         BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
         return 0
 
-    baseline = json.loads(BASELINE_PATH.read_text())["results"]
+    baseline_file = json.loads(BASELINE_PATH.read_text())
+    baseline = baseline_file["results"]
     failures = []
     for batch_size in GATED_BATCH_SIZES:
         old = baseline[str(batch_size)]["samples_per_sec"]
@@ -134,6 +207,43 @@ def main(argv=None) -> int:
         failures.append(
             f"batch-64 speedup {new_ratio:.2f}x < floor {ratio_floor:.2f}x"
         )
+
+    # -- sharded-service envelope ---------------------------------------
+    worker_baseline = baseline_file.get("workers")
+    if worker_baseline is None:
+        print("  (baseline has no worker section; run --update to "
+              "record one — absolute worker gates skipped)")
+    else:
+        for count in GATED_WORKER_COUNTS:
+            old = worker_baseline[str(count)]["samples_per_sec"]
+            new = current_workers[str(count)]["samples_per_sec"]
+            floor = old * (1.0 - args.tolerance)
+            if args.ratio_only:
+                print(f"  {count} worker(s): {new:9.1f} vs baseline "
+                      f"{old:9.1f} (absolute gate skipped: --ratio-only)")
+                continue
+            status = "ok" if new >= floor else "REGRESSION"
+            print(f"  {count} worker(s): {new:9.1f} vs baseline "
+                  f"{old:9.1f} (floor {floor:9.1f}) {status}")
+            if new < floor:
+                failures.append(
+                    f"{count}-worker service: {new:.1f} samples/s < "
+                    f"{floor:.1f} ({args.tolerance:.0%} below {old:.1f})"
+                )
+    scaling = current_workers["scaling_2_over_1"]
+    cpus = current_workers["cpu_count"]
+    if cpus < 2:
+        print(f"  2-worker scaling gate skipped: {cpus} CPU(s) — "
+              f"process parallelism cannot scale on this host")
+    else:
+        status = "ok" if scaling >= WORKER_SCALING_FLOOR else "REGRESSION"
+        print(f"  2-worker scaling: {scaling:.2f}x vs envelope floor "
+              f"{WORKER_SCALING_FLOOR:.2f}x {status}")
+        if scaling < WORKER_SCALING_FLOOR:
+            failures.append(
+                f"2-worker scaling {scaling:.2f}x < envelope floor "
+                f"{WORKER_SCALING_FLOOR:.2f}x on {cpus} CPUs"
+            )
 
     if failures:
         print("\nPERF GATE FAILED:")

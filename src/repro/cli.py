@@ -12,6 +12,7 @@ Commands
 ``corrupt``     sweep natural corruptions over a scenario's test set
 ``monitor``     deploy an InferenceMonitor and stream mixed traffic
 ``throughput``  measure batched detection-engine throughput
+``serve``       stream traffic through the sharded multi-worker service
 ``explain``     saliency + per-layer divergence for a benign/attacked pair
 ``defend``      adversarial retraining + re-profiled Ptolemy (Sec. VIII)
 """
@@ -179,9 +180,8 @@ def cmd_monitor(args) -> None:
 
     workbench = Workbench.get(args.scenario)
     detector = workbench.detector("FwAb" if args.fast else "BwCu")
-    calibration = workbench.dataset.x_test[-30:]
     monitor = InferenceMonitor.deploy(
-        detector, calibration, target_fpr=args.fpr
+        detector, workbench.calibration_set, target_fpr=args.fpr
     )
     print(f"deployed: threshold={monitor.threshold:.2f} "
           f"(target FPR {args.fpr})")
@@ -306,7 +306,8 @@ def cmd_defend(args) -> None:
 
 
 def cmd_throughput(args) -> None:
-    """Measure detection-engine throughput across micro-batch sizes."""
+    """Measure detection throughput across micro-batch sizes, either
+    single-process (the engine) or sharded (``--workers N``)."""
     from repro.eval import Workbench, render_table
     from repro.runtime import measure_throughput
 
@@ -315,24 +316,99 @@ def cmd_throughput(args) -> None:
     traffic = workbench.traffic(
         attack=args.attack, count=args.count, attack_rate=args.attack_rate
     )
-    results = measure_throughput(
-        detector, traffic, batch_sizes=args.batch_sizes
-    )
-    rows = []
-    for batch_size, report in results.items():
-        rows.append((
+    if args.workers > 1:
+        from repro.core import detector_to_state
+        from repro.runtime import measure_worker_scaling
+
+        state = detector_to_state(detector)  # serialize once, reuse
+        reports = [
+            (batch_size, measure_worker_scaling(
+                None,
+                workbench.model_factory,
+                traffic,
+                worker_counts=(args.workers,),
+                batch_size=batch_size,
+                state=state,
+            )[args.workers])
+            for batch_size in args.batch_sizes
+        ]
+        title = (
+            f"{args.variant} on {args.scenario}: sharded throughput "
+            f"({args.count} samples, {args.workers} workers, wall-clock)"
+        )
+    else:
+        reports = list(measure_throughput(
+            detector, traffic, batch_sizes=args.batch_sizes
+        ).items())
+        title = (
+            f"{args.variant} on {args.scenario}: engine throughput "
+            f"({args.count} mixed-traffic samples)"
+        )
+    rows = [
+        (
             batch_size,
             f"{report['samples_per_sec']:.0f}",
             f"{report['mean_batch_latency_ms']:.2f}",
             f"{report['p95_batch_latency_ms']:.2f}",
             f"{report['rejection_rate']:.2f}",
-        ))
+        )
+        for batch_size, report in reports
+    ]
     print(render_table(
-        f"{args.variant} on {args.scenario}: engine throughput "
-        f"({args.count} mixed-traffic samples)",
+        title,
         ["batch", "samples/s", "mean ms/batch", "p95 ms/batch", "reject rate"],
         rows,
     ))
+
+
+def cmd_serve(args) -> None:
+    """Stream mixed traffic through the sharded multi-worker service."""
+    from repro.eval import Workbench, render_table
+
+    workbench = Workbench.get(args.scenario)
+    threshold = workbench.calibrated_threshold(args.variant, args.fpr)
+    print(f"deploying {args.workers}-worker service: "
+          f"threshold={threshold:.2f} (target FPR {args.fpr}), "
+          f"scheduler={args.scheduler}")
+    frames, is_attack = workbench.traffic(
+        attack=args.attack, count=args.count,
+        attack_rate=args.attack_rate, return_truth=True,
+    )
+    with workbench.service(
+        args.variant, num_workers=args.workers,
+        batch_size=args.batch_size, scheduler=args.scheduler,
+        threshold=threshold,
+    ) as service:
+        result = service.run(frames)
+        shard_stats = service.shard_stats()
+        merged = service.stats()
+        restarts = service.restarts
+    rows = [
+        (f"shard {shard_id}", int(stats.samples), int(stats.batches),
+         f"{stats.samples_per_sec:.0f}",
+         f"{stats.mean_batch_latency_ms:.2f}")
+        for shard_id, stats in sorted(shard_stats.items())
+    ]
+    rows.append((
+        "merged", int(merged.samples), int(merged.batches),
+        f"{merged.samples_per_sec:.0f}",
+        f"{merged.mean_batch_latency_ms:.2f}",
+    ))
+    print(render_table(
+        f"sharded service: {args.variant} on {args.scenario} "
+        f"({args.count} samples, {args.workers} workers)",
+        ["shard", "samples", "batches", "engine samples/s", "mean ms/batch"],
+        rows,
+    ))
+    flagged = result.is_adversarial
+    attacks = int(is_attack.sum())
+    caught = int((flagged & is_attack).sum())
+    false_alarms = int((flagged & ~is_attack).sum())
+    print(f"\nwall-clock: {result.samples_per_sec:.0f} samples/s "
+          f"over {result.wall_seconds * 1e3:.0f} ms")
+    print(f"caught {caught}/{attacks} attacks, {false_alarms} false "
+          f"alarms on {len(frames) - attacks} benign frames; "
+          f"worker restarts: {restarts}")
 
 
 def cmd_scenarios(args) -> None:
@@ -440,7 +516,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attack-rate", type=float, default=0.33)
     p.add_argument("--batch-sizes", type=int, nargs="+",
                    default=[1, 8, 64, 256])
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes; >1 measures the sharded "
+                   "service at wall clock instead of the in-process "
+                   "engine")
     p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser(
+        "serve", help="stream traffic through the sharded service"
+    )
+    p.add_argument("scenario")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--count", type=int, default=256)
+    p.add_argument("--batch-size", type=int, default=32,
+                   help="micro-batch size each shard processes at once")
+    p.add_argument("--scheduler", default="round-robin",
+                   choices=["round-robin", "least-loaded"])
+    p.add_argument("--variant", default="FwAb",
+                   choices=["BwCu", "BwAb", "FwAb", "FwCu", "Hybrid"])
+    p.add_argument("--attack", choices=["bim", "fgsm", "deepfool",
+                                        "cwl2", "jsma"], default="bim")
+    p.add_argument("--attack-rate", type=float, default=0.33)
+    p.add_argument("--fpr", type=float, default=0.1)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("scenarios", help="list named scenarios")
     p.set_defaults(func=cmd_scenarios)

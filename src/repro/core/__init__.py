@@ -55,6 +55,8 @@ from repro.core.interface import DetectionProgram, fig6_program
 from repro.core.serialization import (
     config_from_dict,
     config_to_dict,
+    detector_from_state,
+    detector_to_state,
     load_class_paths,
     load_detector,
     save_class_paths,
@@ -117,4 +119,6 @@ __all__ = [
     "config_from_dict",
     "save_detector",
     "load_detector",
+    "detector_to_state",
+    "detector_from_state",
 ]

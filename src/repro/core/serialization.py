@@ -4,6 +4,13 @@ The paper's deployment stores offline-generated canary class paths and
 reuses them over time (Fig. 4); this module provides that storage:
 class-path sets serialise to ``.npz`` archives, and whole detectors
 (config + class paths + forest) to a directory.
+
+The same array representation also serves the sharded runtime:
+:func:`detector_to_state` flattens a fitted detector into one picklable
+dict of plain arrays that a worker process can rebuild with
+:func:`detector_from_state`.  The service serialises that state once at
+startup and broadcasts it to every shard — model state never travels
+per-request.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Union
+from typing import Dict, Mapping, Union
 
 import numpy as np
 
@@ -25,19 +32,30 @@ from repro.core.profiling import ClassPathSet
 __all__ = [
     "save_class_paths",
     "load_class_paths",
+    "class_paths_to_arrays",
+    "class_paths_from_arrays",
     "config_to_dict",
     "config_from_dict",
+    "forest_to_arrays",
+    "forest_from_arrays",
+    "detector_to_state",
+    "detector_from_state",
     "save_detector",
     "load_detector",
 ]
 
 _PathLike = Union[str, os.PathLike]
 
+#: Version tag of the :func:`detector_to_state` payload layout.
+DETECTOR_STATE_FORMAT = 1
+
 
 # -- class paths -----------------------------------------------------------
 
-def save_class_paths(class_paths: ClassPathSet, path: _PathLike) -> None:
-    """Write a ClassPathSet to an ``.npz`` archive."""
+def class_paths_to_arrays(class_paths: ClassPathSet) -> Dict[str, np.ndarray]:
+    """Flatten a ClassPathSet into a flat ``{name: array}`` dict — the
+    shared representation behind the ``.npz`` archive and the sharded
+    service's startup broadcast."""
     layout = class_paths.layout
     arrays = {
         "tap_names": np.array(layout.tap_names),
@@ -49,27 +67,40 @@ def save_class_paths(class_paths: ClassPathSet, path: _PathLike) -> None:
         arrays[f"class{cid}_samples"] = np.array(canary.num_samples)
         for tap_i, mask in enumerate(canary.masks):
             arrays[f"class{cid}_tap{tap_i}"] = mask.to_bool()
-    np.savez_compressed(path, **arrays)
+    return arrays
+
+
+def class_paths_from_arrays(
+    arrays: Mapping[str, np.ndarray],
+) -> ClassPathSet:
+    """Inverse of :func:`class_paths_to_arrays` (also accepts the lazy
+    mapping ``np.load`` returns)."""
+    layout = PathLayout(
+        tuple(str(n) for n in arrays["tap_names"]),
+        tuple(int(s) for s in arrays["tap_sizes"]),
+    )
+    class_paths = ClassPathSet(layout)
+    for cid in arrays["class_ids"]:
+        cid = int(cid)
+        canary = ClassPath(layout, cid)
+        canary.num_samples = int(arrays[f"class{cid}_samples"])
+        canary.masks = [
+            Bitmask.from_bool(arrays[f"class{cid}_tap{tap_i}"])
+            for tap_i in range(layout.num_taps)
+        ]
+        class_paths.paths[cid] = canary
+    return class_paths
+
+
+def save_class_paths(class_paths: ClassPathSet, path: _PathLike) -> None:
+    """Write a ClassPathSet to an ``.npz`` archive."""
+    np.savez_compressed(path, **class_paths_to_arrays(class_paths))
 
 
 def load_class_paths(path: _PathLike) -> ClassPathSet:
     """Read a ClassPathSet written by :func:`save_class_paths`."""
     with np.load(path, allow_pickle=False) as data:
-        layout = PathLayout(
-            tuple(str(n) for n in data["tap_names"]),
-            tuple(int(s) for s in data["tap_sizes"]),
-        )
-        class_paths = ClassPathSet(layout)
-        for cid in data["class_ids"]:
-            cid = int(cid)
-            canary = ClassPath(layout, cid)
-            canary.num_samples = int(data[f"class{cid}_samples"])
-            canary.masks = [
-                Bitmask.from_bool(data[f"class{cid}_tap{tap_i}"])
-                for tap_i in range(layout.num_taps)
-            ]
-            class_paths.paths[cid] = canary
-    return class_paths
+        return class_paths_from_arrays(data)
 
 
 # -- extraction configs ------------------------------------------------------
@@ -131,6 +162,110 @@ def _tree_from_lists(data: dict, meta: dict) -> DecisionTree:
     return tree
 
 
+_TREE_KEYS = ("feature", "threshold", "left", "right", "probability")
+
+
+def forest_to_arrays(forest: RandomForest) -> Dict[str, np.ndarray]:
+    """Flatten every tree of a fitted forest into one flat array dict."""
+    arrays: Dict[str, np.ndarray] = {}
+    for i, tree in enumerate(forest.trees):
+        for key, value in _tree_to_lists(tree).items():
+            arrays[f"tree{i}_{key}"] = value
+    return arrays
+
+
+def forest_from_arrays(
+    arrays: Mapping[str, np.ndarray], meta: dict
+) -> RandomForest:
+    """Rebuild a RandomForest from :func:`forest_to_arrays` output plus
+    its ``{"n_trees", "max_depth", "seed"}`` metadata."""
+    forest = RandomForest(
+        n_trees=meta["n_trees"],
+        max_depth=meta["max_depth"],
+        seed=meta["seed"],
+    )
+    forest.trees = [
+        _tree_from_lists(
+            {key: arrays[f"tree{i}_{key}"] for key in _TREE_KEYS},
+            {"max_depth": forest.max_depth},
+        )
+        for i in range(forest.n_trees)
+    ]
+    return forest
+
+
+def _forest_meta(detector) -> dict:
+    return {
+        "n_trees": detector.forest.n_trees,
+        "max_depth": detector.forest.max_depth,
+        "seed": detector.forest.seed,
+    }
+
+
+# -- in-memory detector state (sharded-service broadcast) --------------------
+
+def detector_to_state(detector, include_model: bool = True) -> dict:
+    """Flatten a profiled detector into one picklable dict.
+
+    The dict contains only plain types and numpy arrays — model weights
+    (optional), extraction config, canary class paths, and the fitted
+    forest — so it pickles compactly and deterministically.  This is
+    the payload :class:`repro.runtime.ShardedDetectionService`
+    broadcasts to its workers exactly once at startup.
+    """
+    if detector.class_paths is None:
+        raise ValueError("detector has no class paths to serialise")
+    state = {
+        "format": DETECTOR_STATE_FORMAT,
+        "model_state": (
+            detector.model.state_dict() if include_model else None
+        ),
+        "config": config_to_dict(detector.config),
+        "feature_mode": detector.feature_mode,
+        "forest_meta": _forest_meta(detector),
+        "fitted": detector._fitted,
+        "forest_arrays": (
+            forest_to_arrays(detector.forest) if detector._fitted else None
+        ),
+        "class_paths": class_paths_to_arrays(detector.class_paths),
+    }
+    return state
+
+
+def detector_from_state(model, state: dict):
+    """Rebuild the detector serialised by :func:`detector_to_state`.
+
+    ``model`` must be architecture-compatible (e.g. freshly built by the
+    scenario's model factory); when the state carries weights they are
+    loaded into it, so the rebuilt detector is bit-identical to the
+    original.
+    """
+    from repro.core.detector import PtolemyDetector
+
+    if state.get("format") != DETECTOR_STATE_FORMAT:
+        raise ValueError(
+            f"unsupported detector state format {state.get('format')!r}"
+        )
+    if state["model_state"] is not None:
+        model.load_state_dict(state["model_state"])
+    meta = state["forest_meta"]
+    detector = PtolemyDetector(
+        model,
+        config_from_dict(state["config"]),
+        feature_mode=state["feature_mode"],
+        n_trees=meta["n_trees"],
+        max_depth=meta["max_depth"],
+        seed=meta["seed"],
+    )
+    detector.class_paths = class_paths_from_arrays(state["class_paths"])
+    # fix the extractor layout without re-profiling
+    detector.extractor._layout = detector.class_paths.layout
+    if state["fitted"]:
+        detector.forest = forest_from_arrays(state["forest_arrays"], meta)
+        detector._fitted = True
+    return detector
+
+
 # -- whole detectors ------------------------------------------------------
 
 def save_detector(detector, directory: _PathLike) -> None:
@@ -148,19 +283,13 @@ def save_detector(detector, directory: _PathLike) -> None:
         "feature_mode": detector.feature_mode,
         "config": config_to_dict(detector.config),
         "fitted": detector._fitted,
-        "forest": {
-            "n_trees": detector.forest.n_trees,
-            "max_depth": detector.forest.max_depth,
-            "seed": detector.forest.seed,
-        },
+        "forest": _forest_meta(detector),
     }
     (directory / "detector.json").write_text(json.dumps(meta, indent=2))
     if detector._fitted:
-        arrays = {}
-        for i, tree in enumerate(detector.forest.trees):
-            for key, value in _tree_to_lists(tree).items():
-                arrays[f"tree{i}_{key}"] = value
-        np.savez_compressed(directory / "forest.npz", **arrays)
+        np.savez_compressed(
+            directory / "forest.npz", **forest_to_arrays(detector.forest)
+        )
 
 
 def load_detector(model, directory: _PathLike):
@@ -182,24 +311,7 @@ def load_detector(model, directory: _PathLike):
     # fix the extractor layout without re-profiling
     detector.extractor._layout = detector.class_paths.layout
     if meta["fitted"]:
-        forest = RandomForest(
-            n_trees=meta["forest"]["n_trees"],
-            max_depth=meta["forest"]["max_depth"],
-            seed=meta["forest"]["seed"],
-        )
         with np.load(directory / "forest.npz") as data:
-            trees = []
-            for i in range(forest.n_trees):
-                tree_data = {
-                    key: data[f"tree{i}_{key}"]
-                    for key in ("feature", "threshold", "left", "right",
-                                "probability")
-                }
-                trees.append(
-                    _tree_from_lists(tree_data,
-                                     {"max_depth": forest.max_depth})
-                )
-            forest.trees = trees
-        detector.forest = forest
+            detector.forest = forest_from_arrays(data, meta["forest"])
         detector._fitted = True
     return detector

@@ -218,6 +218,58 @@ class Workbench:
         return self._detectors[key]
 
     # -- runtime serving ---------------------------------------------------
+    @property
+    def calibration_set(self) -> np.ndarray:
+        """Held-out clean frames for threshold calibration (the tail of
+        the test split, unseen by profiling/fitting) — the one slice
+        both the monitor and the sharded service deploy against."""
+        return self.dataset.x_test[-30:]
+
+    def calibrated_threshold(
+        self, variant: str = "FwAb", target_fpr: float = 0.1
+    ) -> float:
+        """Decision threshold hitting ``target_fpr`` on the held-out
+        calibration set."""
+        from repro.core import calibrate_threshold
+
+        return calibrate_threshold(
+            self.detector(variant), self.calibration_set, target_fpr
+        )
+
+    @property
+    def model_factory(self):
+        """Picklable zero-arg builder of this scenario's architecture —
+        what the sharded service's workers call before loading the
+        broadcast weights."""
+        return self.scenario.build_model
+
+    def service(
+        self,
+        variant: str = "FwAb",
+        num_workers: int = 2,
+        batch_size: int = 64,
+        scheduler: str = "round-robin",
+        threshold: float = 0.5,
+        **kwargs,
+    ):
+        """A (not yet started) :class:`ShardedDetectionService` over this
+        scenario's fitted detector.  Use as a context manager::
+
+            with workbench.service(num_workers=4) as svc:
+                result = svc.run(traffic)
+        """
+        from repro.runtime import ShardedDetectionService
+
+        return ShardedDetectionService(
+            self.detector(variant),
+            model_factory=self.model_factory,
+            num_workers=num_workers,
+            batch_size=batch_size,
+            scheduler=scheduler,
+            threshold=threshold,
+            **kwargs,
+        )
+
     def traffic(self, attack: str = "bim", count: int = 256,
                 attack_rate: float = 0.33, seed: int = 0,
                 return_truth: bool = False):

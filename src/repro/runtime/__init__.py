@@ -4,9 +4,11 @@ The paper's detector must keep up with inference-rate traffic; this
 package drives streaming workloads through the vectorized detection
 pipeline in micro-batches: :class:`MicroBatcher` shapes arrival
 streams into batches, :class:`DetectionEngine` runs them through the
-packed-word detection kernels with warm canary caches, and
-:class:`ThroughputStats` keeps the samples/sec and per-stage latency
-accounting the benchmarks and the CI perf gate read.
+packed-word detection kernels with warm canary caches,
+:class:`ShardedDetectionService` fans that engine out over a pool of
+worker processes (pluggable scheduling, ordered aggregation, crash
+recovery), and :class:`ThroughputStats` keeps the samples/sec and
+per-stage latency accounting the benchmarks and the CI perf gate read.
 """
 
 from repro.runtime.batching import MicroBatcher, iter_microbatches
@@ -14,6 +16,22 @@ from repro.runtime.engine import (
     DetectionEngine,
     EngineRunResult,
     measure_throughput,
+)
+from repro.runtime.service import (
+    ServiceError,
+    ServiceFuture,
+    ServiceResult,
+    ShardedDetectionService,
+    measure_worker_scaling,
+)
+from repro.runtime.sharding import (
+    SCHEDULERS,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    ShardLoad,
+    ShardScheduler,
+    make_scheduler,
+    merge_shard_stats,
 )
 from repro.runtime.stats import StageTimer, ThroughputStats
 
@@ -23,6 +41,16 @@ __all__ = [
     "DetectionEngine",
     "EngineRunResult",
     "measure_throughput",
-    "StageTimer",
-    "ThroughputStats",
+    "ServiceError",
+    "ServiceFuture",
+    "ServiceResult",
+    "ShardedDetectionService",
+    "measure_worker_scaling",
+    "SCHEDULERS",
+    "ShardLoad",
+    "ShardScheduler",
+    "RoundRobinScheduler",
+    "LeastLoadedScheduler",
+    "make_scheduler",
+    "merge_shard_stats",
 ]

@@ -83,6 +83,8 @@ class DetectionEngine:
         self.stats = ThroughputStats()
         self._run_stats: Optional[ThroughputStats] = None
         self._batcher = MicroBatcher(batch_size)
+        self.last_batch_seconds = 0.0
+        self.last_batch_stages: dict = {}
         # Warm the canary word-matrix cache now so the first batch does
         # not pay the packing cost.
         self.detector._packed_canaries()
@@ -120,6 +122,10 @@ class DetectionEngine:
         self.stats.record(len(xs), total, stages=timer.seconds)
         if self._run_stats is not None:
             self._run_stats.record(len(xs), total, stages=timer.seconds)
+        # Shard workers forward this per-batch accounting to the parent
+        # instead of shipping whole ThroughputStats objects per result.
+        self.last_batch_seconds = total
+        self.last_batch_stages = dict(timer.seconds)
         return result
 
     # -- streaming front-end -------------------------------------------

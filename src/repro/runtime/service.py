@@ -1,0 +1,845 @@
+"""Sharded multi-worker detection service.
+
+:class:`ShardedDetectionService` scales :class:`DetectionEngine`
+beyond one process: a pool of worker processes each holds its own
+engine (with a pre-warmed packed-canary cache), fed by an async
+submission queue through a pluggable :mod:`~repro.runtime.sharding`
+scheduler.  The fitted detector is flattened once with
+:func:`repro.core.detector_to_state` and broadcast to every worker at
+startup — per-request traffic is only raw sample arrays and decision
+arrays, never model state.
+
+Guarantees:
+
+* **Ordering** — every request's decisions come back in submission
+  order regardless of which shards processed which micro-batches, so
+  results are bit-identical to a single-process
+  :meth:`DetectionEngine.run` over the same array.
+* **Fault tolerance** — a dead worker is detected, its in-flight
+  batches are requeued to the surviving shards, and a replacement is
+  spawned (up to ``max_restarts``); requests complete as long as one
+  shard survives.  Every shard owns private task/result queues, so a
+  worker dying mid-write can never wedge the survivors' plumbing.
+* **Accounting** — per-shard :class:`ThroughputStats` are merged for
+  the aggregate engine-time view, while request/service throughput is
+  reported from wall clock (shards overlap in time, so summed engine
+  seconds deliberately over-count).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.serialization import detector_from_state, detector_to_state
+from repro.runtime.batching import iter_microbatches
+from repro.runtime.sharding import (
+    ShardLoad,
+    ShardScheduler,
+    make_scheduler,
+    merge_shard_stats,
+)
+from repro.runtime.stats import ThroughputStats
+
+__all__ = [
+    "ServiceError",
+    "ServiceFuture",
+    "ServiceResult",
+    "ShardedDetectionService",
+    "measure_worker_scaling",
+]
+
+
+class ServiceError(RuntimeError):
+    """The service cannot complete a request (worker pool failure)."""
+
+
+# -- worker side -----------------------------------------------------------
+
+def _worker_main(
+    worker_id: int,
+    state: dict,
+    model_factory: Callable,
+    threshold: float,
+    batch_size: int,
+    task_queue,
+    result_queue,
+) -> None:
+    """Shard process entry point: rebuild the engine from the broadcast
+    state, then serve micro-batches until told to stop."""
+    from repro.runtime.engine import DetectionEngine
+
+    try:
+        detector = detector_from_state(model_factory(), state)
+        engine = DetectionEngine(
+            detector, threshold=threshold, batch_size=batch_size
+        )
+    except Exception as exc:  # startup failure is fatal for this shard
+        result_queue.put(("fatal", worker_id, repr(exc)))
+        return
+    result_queue.put(("ready", worker_id, None))
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "crash":
+            # Fault-injection hook (tests / chaos drills): die the way a
+            # segfaulted or OOM-killed worker would — no cleanup, no
+            # farewell message.
+            os._exit(17)
+        seq, batch = message[1], message[2]
+        try:
+            result = engine.process_batch(batch)
+        except Exception as exc:
+            result_queue.put(("error", worker_id, (seq, repr(exc))))
+            continue
+        result_queue.put((
+            "batch",
+            worker_id,
+            {
+                "seq": seq,
+                "size": len(batch),
+                "scores": result.scores,
+                "predicted_classes": result.predicted_classes,
+                "is_adversarial": result.is_adversarial,
+                "similarities": result.similarities,
+                "seconds": engine.last_batch_seconds,
+                "stages": engine.last_batch_stages,
+            },
+        ))
+
+
+# -- parent-side bookkeeping -------------------------------------------------
+
+@dataclass
+class _Task:
+    """One dispatched micro-batch."""
+
+    seq: int
+    request: "_Request"
+    chunk_index: int
+    batch: np.ndarray
+
+
+@dataclass
+class _Request:
+    """One submitted workload, split into ordered chunks."""
+
+    request_id: int
+    seqs: List[int]
+    chunks: List[Optional[dict]]
+    chunk_shards: List[int]
+    remaining: int
+    future: "ServiceFuture"
+    submitted_at: float
+    failed: bool = False
+
+
+@dataclass
+class _Shard:
+    """Parent-side handle for one worker process.
+
+    Each shard owns a private result queue: a worker that dies while
+    its queue feeder holds a put-lock can only wedge *its own* queue,
+    never the survivors' — its in-flight batches are requeued anyway.
+    """
+
+    shard_id: int
+    process: mp.process.BaseProcess
+    task_queue: "mp.queues.Queue"
+    result_queue: "mp.queues.Queue"
+    ready: threading.Event = field(default_factory=threading.Event)
+    inflight: Dict[int, _Task] = field(default_factory=dict)
+    inflight_samples: int = 0
+    dispatched_batches: int = 0
+    stopping: bool = False
+    broken: bool = False
+
+    def load(self) -> ShardLoad:
+        return ShardLoad(
+            shard_id=self.shard_id,
+            inflight_batches=len(self.inflight),
+            inflight_samples=self.inflight_samples,
+            dispatched_batches=self.dispatched_batches,
+        )
+
+
+class ServiceFuture:
+    """Completion handle for one submitted request."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result: Optional["ServiceResult"] = None
+        self._error: Optional[Exception] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> "ServiceResult":
+        """Block until the request completes; raises on service failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("service request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _set_result(self, result: "ServiceResult") -> None:
+        self._result = result
+        self._event.set()
+
+    def _set_error(self, error: Exception) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class ServiceResult:
+    """Ordered decisions of one service request plus its accounting.
+
+    ``stats`` merges the engine-side per-batch accounting of every
+    shard that worked on this request; ``samples_per_sec`` is computed
+    from wall clock (submission to last chunk), which is the number
+    that improves with more workers.
+    """
+
+    scores: np.ndarray
+    predicted_classes: np.ndarray
+    is_adversarial: np.ndarray
+    similarities: np.ndarray
+    stats: ThroughputStats
+    chunk_shards: List[int]
+    wall_seconds: float
+
+    @property
+    def num_samples(self) -> int:
+        return self.scores.shape[0]
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.num_samples == 0:
+            return 0.0
+        return float(self.is_adversarial.mean())
+
+    @property
+    def samples_per_sec(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.num_samples / self.wall_seconds
+
+
+def _empty_result() -> ServiceResult:
+    return ServiceResult(
+        scores=np.empty(0),
+        predicted_classes=np.empty(0, dtype=np.int64),
+        is_adversarial=np.empty(0, dtype=bool),
+        similarities=np.empty(0),
+        stats=ThroughputStats(),
+        chunk_shards=[],
+        wall_seconds=0.0,
+    )
+
+
+# -- the service -------------------------------------------------------------
+
+class ShardedDetectionService:
+    """Fans detection traffic out over a pool of engine workers.
+
+    Parameters
+    ----------
+    detector:
+        A profiled and fitted detector; flattened once into the
+        broadcast state.  May be omitted when ``state`` is given.
+    model_factory:
+        Zero-argument picklable callable building an
+        architecture-compatible model (e.g. ``scenario.build_model``);
+        each worker calls it once and loads the broadcast weights.
+    state:
+        Pre-built :func:`repro.core.detector_to_state` payload; lets
+        several pools share one serialisation pass.
+    num_workers / threshold / batch_size:
+        Pool size, decision threshold, and micro-batch size (the chunk
+        granularity requests are split at — identical splitting to
+        ``DetectionEngine.run``, so results stay bit-identical).
+    scheduler:
+        ``"round-robin"`` (default), ``"least-loaded"``, or a
+        :class:`ShardScheduler` instance.
+    max_restarts:
+        Total worker respawns allowed over the service lifetime
+        (default: ``num_workers``); the pool keeps serving with fewer
+        shards once exhausted, failing only when none survive.
+    start_method:
+        multiprocessing start method; default ``fork`` where available
+        (instant startup, zero-copy page sharing) else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        detector=None,
+        *,
+        model_factory: Callable,
+        state: Optional[dict] = None,
+        num_workers: int = 2,
+        threshold: float = 0.5,
+        batch_size: int = 64,
+        scheduler: Union[str, ShardScheduler] = "round-robin",
+        max_restarts: Optional[int] = None,
+        start_method: Optional[str] = None,
+        ready_timeout: float = 120.0,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if state is None:
+            if detector is None:
+                raise ValueError("provide a detector or a prebuilt state")
+            state = detector_to_state(detector)
+        if not state.get("fitted"):
+            raise ValueError("detector classifier must be fitted")
+        self._state = state
+        self._model_factory = model_factory
+        self.num_workers = num_workers
+        self.threshold = threshold
+        self.batch_size = batch_size
+        self._scheduler = make_scheduler(scheduler)
+        self.max_restarts = (
+            num_workers if max_restarts is None else max_restarts
+        )
+        self._ready_timeout = ready_timeout
+        method = start_method or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._ctx = mp.get_context(method)
+
+        self._lock = threading.RLock()
+        # Serialises start()/stop() against concurrent submit() callers
+        # (reentrant: start()'s failure path calls stop()).
+        self._lifecycle_lock = threading.RLock()
+        self._shards: Dict[int, _Shard] = {}
+        self._shard_stats: Dict[int, ThroughputStats] = {}
+        self._dispatch_queue: "queue.Queue" = queue.Queue()
+        self._open_seqs: Dict[int, Tuple[_Request, int]] = {}
+        self._seq = 0
+        self._request_counter = 0
+        self._next_shard_id = 0
+        self.restarts = 0
+        self._started = False
+        self._stop_event = threading.Event()
+        self._failure: Optional[ServiceError] = None
+        self._collector: Optional[threading.Thread] = None
+        self._dispatcher: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "ShardedDetectionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> "ShardedDetectionService":
+        """Spawn the worker pool and wait until every shard is warm.
+
+        A stopped service can be started again: the pool, queues, and
+        control threads are rebuilt from scratch (lifetime accounting
+        and the restart counter carry over).
+        """
+        with self._lifecycle_lock:
+            if self._started:
+                return self
+            self._stop_event = threading.Event()
+            self._failure = None
+            for _ in range(self.num_workers):
+                self._spawn_shard()
+            self._collector = threading.Thread(
+                target=self._collect_loop, name="service-collector",
+                daemon=True,
+            )
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="service-dispatcher",
+                daemon=True,
+            )
+            self._collector.start()
+            self._dispatcher.start()
+            self._started = True
+            deadline = time.monotonic() + self._ready_timeout
+            while time.monotonic() < deadline:
+                if self._failure is not None:
+                    self.stop()
+                    raise self._failure
+                with self._lock:
+                    shards = list(self._shards.values())
+                if shards and all(s.ready.is_set() for s in shards):
+                    return self
+                time.sleep(0.01)
+            self.stop()
+            raise ServiceError("worker pool failed to become ready in time")
+
+    def stop(self) -> None:
+        """Shut the pool down; outstanding requests fail cleanly."""
+        with self._lifecycle_lock:
+            self._stop_locked()
+
+    def _stop_locked(self) -> None:
+        if not self._started:
+            return
+        self._stop_event.set()
+        with self._lock:
+            shards = list(self._shards.values())
+            for shard in shards:
+                shard.stopping = True
+                try:
+                    shard.task_queue.put(("stop",))
+                except (ValueError, OSError):
+                    pass
+        for shard in shards:
+            shard.process.join(timeout=10)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5)
+        self._dispatch_queue.put(None)
+        for thread in (self._dispatcher, self._collector):
+            if thread is not None:
+                thread.join(timeout=10)
+        with self._lock:
+            open_requests = {
+                request for request, _ in self._open_seqs.values()
+            }
+            self._open_seqs.clear()
+            for request in open_requests:
+                request.future._set_error(
+                    ServiceError("service stopped with the request pending")
+                )
+            for shard in shards:
+                for q in (shard.task_queue, shard.result_queue):
+                    q.close()
+                    q.cancel_join_thread()
+            self._shards.clear()
+        self._started = False
+
+    @property
+    def alive_workers(self) -> int:
+        """Shards currently able to take traffic."""
+        with self._lock:
+            return sum(
+                1
+                for s in self._shards.values()
+                if s.process.is_alive() and not s.stopping
+            )
+
+    # -- submission -----------------------------------------------------
+    def submit(self, xs: np.ndarray) -> ServiceFuture:
+        """Queue a workload; returns a future resolving to the ordered
+        :class:`ServiceResult`."""
+        with self._lifecycle_lock:
+            # under the lifecycle lock a racing stop() cannot tear the
+            # pool down between the started check and task enqueueing
+            if self._failure is not None:
+                raise self._failure
+            if not self._started:
+                self.start()
+            return self._submit_started(np.asarray(xs))
+
+    def _submit_started(self, xs: np.ndarray) -> ServiceFuture:
+        future = ServiceFuture()
+        chunks = list(iter_microbatches(xs, self.batch_size))
+        if not chunks:
+            future._set_result(_empty_result())
+            return future
+        with self._lock:
+            request = _Request(
+                request_id=self._request_counter,
+                seqs=[],
+                chunks=[None] * len(chunks),
+                chunk_shards=[-1] * len(chunks),
+                remaining=len(chunks),
+                future=future,
+                submitted_at=time.perf_counter(),
+            )
+            self._request_counter += 1
+            tasks = []
+            for index, chunk in enumerate(chunks):
+                seq = self._seq
+                self._seq += 1
+                request.seqs.append(seq)
+                self._open_seqs[seq] = (request, index)
+                tasks.append(_Task(seq, request, index, chunk))
+        for task in tasks:
+            self._dispatch_queue.put(task)
+        return future
+
+    def run(self, xs: np.ndarray, timeout: Optional[float] = None) -> ServiceResult:
+        """Submit a workload and block for its ordered result."""
+        return self.submit(xs).result(timeout)
+
+    # -- accounting -----------------------------------------------------
+    def stats(self) -> ThroughputStats:
+        """Lifetime engine-side accounting merged across every shard the
+        service has ever run (dead shards included)."""
+        with self._lock:
+            return merge_shard_stats(self._shard_stats)
+
+    def shard_stats(self) -> Dict[int, ThroughputStats]:
+        """Per-shard lifetime accounting (copies, keyed by shard id)."""
+        with self._lock:
+            return {
+                shard_id: ThroughputStats().merge(stats)
+                for shard_id, stats in self._shard_stats.items()
+            }
+
+    # -- fault injection ------------------------------------------------
+    def inject_crash(self, shard_id: Optional[int] = None) -> int:
+        """Make one worker die abruptly (``os._exit``), exercising the
+        requeue-and-respawn path.  Returns the doomed shard's id."""
+        with self._lock:
+            candidates = sorted(
+                s for s in self._shards if not self._shards[s].stopping
+            )
+            if not candidates:
+                raise ServiceError("no live shard to crash")
+            target = candidates[0] if shard_id is None else shard_id
+            if target not in self._shards:
+                raise ServiceError(f"no shard {target} to crash")
+            self._shards[target].task_queue.put(("crash",))
+            return target
+
+    # -- internals ------------------------------------------------------
+    def _spawn_shard(self) -> _Shard:
+        # Respawns run on the collector thread while the dispatcher is
+        # live, so with the default "fork" method the child may inherit
+        # other threads' lock state.  That is safe for everything this
+        # child actually touches: both of its queues are created fresh
+        # below (no one else holds their locks yet), and it never
+        # touches any other shard's queues.  Deployments that still
+        # prefer full isolation can pass ``start_method="spawn"``.
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        task_queue = self._ctx.Queue()
+        result_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                shard_id,
+                self._state,
+                self._model_factory,
+                self.threshold,
+                self.batch_size,
+                task_queue,
+                result_queue,
+            ),
+            name=f"detection-shard-{shard_id}",
+            daemon=True,
+        )
+        shard = _Shard(shard_id, process, task_queue, result_queue)
+        with self._lock:
+            self._shards[shard_id] = shard
+            self._shard_stats.setdefault(shard_id, ThroughputStats())
+        process.start()
+        return shard
+
+    def _ready_shards(self) -> List[_Shard]:
+        return sorted(
+            (
+                s
+                for s in self._shards.values()
+                if s.ready.is_set()
+                and not s.stopping
+                and not s.broken
+                and s.process.is_alive()
+            ),
+            key=lambda s: s.shard_id,
+        )
+
+    def _abort(self, failure: ServiceError) -> None:
+        """Last-resort failure path: mark the service dead and fail
+        every open request, so callers blocked in ``result()`` get an
+        error instead of hanging forever."""
+        with self._lock:
+            self._failure = failure
+            open_requests = {
+                request for request, _ in self._open_seqs.values()
+            }
+            self._open_seqs.clear()
+            for request in open_requests:
+                request.failed = True
+                request.future._set_error(failure)
+
+    def _dispatch_loop(self) -> None:
+        try:
+            self._dispatch_forever()
+        except Exception as exc:  # e.g. a custom scheduler raising
+            self._abort(ServiceError(f"dispatcher crashed: {exc!r}"))
+
+    def _dispatch_forever(self) -> None:
+        while True:
+            task = self._dispatch_queue.get()
+            if task is None:
+                return
+            while not self._stop_event.is_set():
+                if task.request.failed:
+                    break
+                with self._lock:
+                    ready = self._ready_shards()
+                    if ready:
+                        target = self._scheduler.choose(
+                            [s.load() for s in ready]
+                        )
+                        shard = self._shards[target]
+                        shard.inflight[task.seq] = task
+                        shard.inflight_samples += len(task.batch)
+                        shard.dispatched_batches += 1
+                        shard.task_queue.put(
+                            ("batch", task.seq, task.batch)
+                        )
+                        break
+                # no ready shard right now (e.g. respawn in progress)
+                time.sleep(0.005)
+
+    def _collect_loop(self) -> None:
+        try:
+            self._collect_forever()
+        except Exception as exc:
+            self._abort(ServiceError(f"collector crashed: {exc!r}"))
+
+    def _collect_forever(self) -> None:
+        # Polls every shard's private result queue.  Health checks run
+        # on a clock, not only on queue idleness: under sustained
+        # traffic the queues are never all empty, and a dead shard's
+        # orphaned batches must still be requeued.
+        last_health_check = time.monotonic()
+        while not self._stop_event.is_set():
+            now = time.monotonic()
+            if now - last_health_check >= 0.1:
+                last_health_check = now
+                self._check_health()
+            with self._lock:
+                shards = list(self._shards.values())
+            progressed = False
+            for shard in shards:
+                progressed |= self._drain_shard_results(shard)
+            if not progressed:
+                time.sleep(0.002)
+
+    def _drain_shard_results(self, shard: _Shard) -> bool:
+        """Handle everything currently queued by one shard; returns
+        whether any message arrived."""
+        progressed = False
+        while True:
+            try:
+                kind, worker_id, payload = (
+                    shard.result_queue.get_nowait()
+                )
+            except queue.Empty:
+                return progressed
+            except Exception:
+                # corrupt/closed stream (EOF, truncated pickle from a
+                # worker killed mid-write, ...): only this shard is
+                # affected — mark it broken so the health check reaps
+                # it, requeues its in-flight batches, and spawns a
+                # replacement
+                shard.broken = True
+                return progressed
+            progressed = True
+            if kind == "ready":
+                shard.ready.set()
+            elif kind == "batch":
+                self._finish_chunk(worker_id, payload)
+            elif kind == "error":
+                seq, message = payload
+                self._fail_seq(worker_id, seq, message)
+            elif kind == "fatal":
+                # the worker announced its own startup failure; the
+                # health check will reap the process and respawn
+                shard.broken = True
+
+    def _finish_chunk(self, worker_id: int, payload: dict) -> None:
+        seq = payload["seq"]
+        finalize: Optional[_Request] = None
+        with self._lock:
+            shard = self._shards.get(worker_id)
+            if shard is not None:
+                task = shard.inflight.pop(seq, None)
+                if task is not None:
+                    shard.inflight_samples -= len(task.batch)
+            entry = self._open_seqs.pop(seq, None)
+            if entry is None:
+                # late duplicate from a shard whose in-flight batches
+                # were requeued after it was declared dead
+                return
+            # Record against the shard id even if the handle was already
+            # reaped — lifetime accounting includes dead shards, and the
+            # seq guard above keeps this exactly-once.
+            worker_stats = self._shard_stats.get(worker_id)
+            if worker_stats is not None:
+                worker_stats.record(
+                    payload["size"],
+                    payload["seconds"],
+                    stages=payload["stages"],
+                )
+            request, chunk_index = entry
+            request.chunks[chunk_index] = payload
+            request.chunk_shards[chunk_index] = worker_id
+            request.remaining -= 1
+            if request.remaining == 0:
+                finalize = request
+        if finalize is not None:
+            self._finalize_request(finalize)
+
+    def _finalize_request(self, request: _Request) -> None:
+        wall = time.perf_counter() - request.submitted_at
+        stats = ThroughputStats()
+        for chunk in request.chunks:
+            stats.record(
+                chunk["size"], chunk["seconds"], stages=chunk["stages"]
+            )
+        request.future._set_result(
+            ServiceResult(
+                scores=np.concatenate(
+                    [c["scores"] for c in request.chunks]
+                ),
+                predicted_classes=np.concatenate(
+                    [c["predicted_classes"] for c in request.chunks]
+                ),
+                is_adversarial=np.concatenate(
+                    [c["is_adversarial"] for c in request.chunks]
+                ),
+                similarities=np.concatenate(
+                    [c["similarities"] for c in request.chunks]
+                ),
+                stats=stats,
+                chunk_shards=list(request.chunk_shards),
+                wall_seconds=wall,
+            )
+        )
+
+    def _fail_seq(self, worker_id: int, seq: int, message: str) -> None:
+        """A worker hit a deterministic per-batch error: requeueing
+        would loop, so the whole request fails."""
+        with self._lock:
+            # the worker survives the error, so its load accounting
+            # must be released like any completed batch
+            shard = self._shards.get(worker_id)
+            if shard is not None:
+                task = shard.inflight.pop(seq, None)
+                if task is not None:
+                    shard.inflight_samples -= len(task.batch)
+            entry = self._open_seqs.pop(seq, None)
+            if entry is None:
+                return
+            request, _ = entry
+            request.failed = True
+            for other in request.seqs:
+                self._open_seqs.pop(other, None)
+        request.future._set_error(
+            ServiceError(f"worker failed processing batch: {message}")
+        )
+
+    def _check_health(self) -> None:
+        orphans: List[_Task] = []
+        with self._lock:
+            dead = [
+                s
+                for s in self._shards.values()
+                if not s.stopping
+                and (s.broken or not s.process.is_alive())
+            ]
+            for shard in dead:
+                if shard.process.is_alive():  # broken stream, live body
+                    shard.process.terminate()
+                    shard.process.join(timeout=5)
+                # salvage results the shard delivered before dying (so
+                # only genuinely lost batches get requeued), then drop
+                # it from the pool
+                self._drain_shard_results(shard)
+                del self._shards[shard.shard_id]
+                orphans.extend(shard.inflight.values())
+                for q in (shard.task_queue, shard.result_queue):
+                    q.close()
+                    q.cancel_join_thread()
+                if self.restarts < self.max_restarts:
+                    self.restarts += 1
+                    self._spawn_shard()
+            if dead:
+                # the pool membership changed; stateful schedulers may
+                # drop any per-shard cursor they keep
+                self._scheduler.reset()
+            if dead and not self._shards:
+                self._abort(ServiceError(
+                    "all workers died and the restart budget is exhausted"
+                ))
+                return
+        for task in orphans:
+            if not task.request.failed:
+                self._dispatch_queue.put(task)
+
+
+# -- measurement harness -----------------------------------------------------
+
+def measure_worker_scaling(
+    detector,
+    model_factory: Callable,
+    traffic: np.ndarray,
+    worker_counts=(1, 2, 4),
+    batch_size: int = 32,
+    repeats: int = 2,
+    threshold: float = 0.5,
+    scheduler: Union[str, ShardScheduler] = "round-robin",
+    state: Optional[dict] = None,
+) -> dict:
+    """Wall-clock samples/sec of the sharded service per pool size.
+
+    The sharded twin of :func:`repro.runtime.measure_throughput`, and
+    the one harness behind the CLI ``serve``/``throughput --workers``,
+    ``benchmarks/bench_runtime_scaling.py``, and the CI perf gate's
+    worker envelope.  Each pool size gets a warm-up pass plus
+    ``repeats`` timed passes with the best pass reported; the first
+    pass's scores are attached so callers can check bit-identical
+    decisions across pool sizes (and against the single-process
+    engine).  The detector state is serialised once and shared by every
+    pool.
+    """
+    if state is None:
+        state = detector_to_state(detector)
+    results = {}
+    for workers in worker_counts:
+        with ShardedDetectionService(
+            state=state,
+            model_factory=model_factory,
+            num_workers=workers,
+            threshold=threshold,
+            batch_size=batch_size,
+            scheduler=scheduler,
+        ) as service:
+            service.run(traffic[: min(len(traffic), 2 * batch_size)])  # warm
+            best = None
+            scores = None
+            rejection_rate = 0.0
+            for _ in range(repeats):
+                run = service.run(traffic)
+                if scores is None:
+                    scores = run.scores
+                    rejection_rate = run.rejection_rate
+                if best is None or run.samples_per_sec > best.samples_per_sec:
+                    best = run
+            report = {
+                "workers": float(workers),
+                "samples": float(best.num_samples),
+                "wall_seconds": best.wall_seconds,
+                "samples_per_sec": best.samples_per_sec,
+                "mean_batch_latency_ms": best.stats.mean_batch_latency_ms,
+                "p95_batch_latency_ms": (
+                    best.stats.latency_percentile_ms(95.0)
+                ),
+                "engine_seconds": best.stats.total_seconds,
+                "scores": scores,
+                "rejection_rate": rejection_rate,
+            }
+        results[workers] = report
+    return results

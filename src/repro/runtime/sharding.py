@@ -1,0 +1,129 @@
+"""Shard scheduling for the multi-worker detection service.
+
+The sharded service fans micro-batches out over a pool of worker
+processes; a :class:`ShardScheduler` decides which shard each batch
+goes to.  Two policies ship by default:
+
+``round-robin``
+    Deterministic rotation over the live shards — equal batches get
+    equal shares, and the dispatch order is reproducible, which is what
+    the scaling benchmarks and the CI perf gate want.
+
+``least-loaded``
+    Route to the shard with the fewest in-flight samples (ties break
+    to the lowest shard id).  Better when batch costs are skewed or a
+    shard is temporarily slow (e.g. right after a respawn).
+
+Schedulers only ever see :class:`ShardLoad` snapshots, never the
+worker processes themselves, so policies stay trivially testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Union
+
+from repro.runtime.stats import ThroughputStats
+
+__all__ = [
+    "ShardLoad",
+    "ShardScheduler",
+    "RoundRobinScheduler",
+    "LeastLoadedScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+    "merge_shard_stats",
+]
+
+
+@dataclass(frozen=True)
+class ShardLoad:
+    """One shard's load snapshot at scheduling time."""
+
+    shard_id: int
+    inflight_batches: int
+    inflight_samples: int
+    dispatched_batches: int
+
+
+class ShardScheduler:
+    """Chooses the destination shard for one micro-batch."""
+
+    name = "base"
+
+    def choose(self, shards: Sequence[ShardLoad]) -> int:
+        """Return the ``shard_id`` the next batch should go to.
+
+        ``shards`` is never empty and contains only live, ready shards.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any internal cursor (called when the pool changes)."""
+
+
+class RoundRobinScheduler(ShardScheduler):
+    """Deterministic rotation over the live shards."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def choose(self, shards: Sequence[ShardLoad]) -> int:
+        shard = shards[self._cursor % len(shards)]
+        self._cursor += 1
+        return shard.shard_id
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class LeastLoadedScheduler(ShardScheduler):
+    """Route to the shard with the fewest in-flight samples."""
+
+    name = "least-loaded"
+
+    def choose(self, shards: Sequence[ShardLoad]) -> int:
+        best = min(
+            shards, key=lambda s: (s.inflight_samples, s.shard_id)
+        )
+        return best.shard_id
+
+
+#: Name -> scheduler class, the registry behind ``--scheduler``.
+SCHEDULERS = {
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    LeastLoadedScheduler.name: LeastLoadedScheduler,
+}
+
+
+def make_scheduler(
+    scheduler: Union[str, ShardScheduler],
+) -> ShardScheduler:
+    """Resolve a scheduler name (or pass an instance through)."""
+    if isinstance(scheduler, ShardScheduler):
+        return scheduler
+    try:
+        return SCHEDULERS[scheduler]()
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; known: {known}"
+        ) from None
+
+
+def merge_shard_stats(
+    shard_stats: Dict[int, ThroughputStats],
+) -> ThroughputStats:
+    """Fold per-shard accounting into one aggregate ThroughputStats.
+
+    Counters and stage seconds add exactly; ``total_seconds`` sums
+    engine time across shards (more than wall clock when shards run in
+    parallel), so wall-clock throughput lives on the service result,
+    not here.
+    """
+    merged = ThroughputStats()
+    for shard_id in sorted(shard_stats):
+        merged.merge(shard_stats[shard_id])
+    return merged

@@ -100,6 +100,27 @@ class ThroughputStats:
                     self.stage_seconds.get(name, 0.0) + stage_seconds
                 )
 
+    def merge(self, other: "ThroughputStats") -> "ThroughputStats":
+        """Fold another stats object into this one (in place).
+
+        Used by the sharded service to aggregate per-shard accounting:
+        counters and stage seconds add exactly; the latency windows
+        concatenate (still bounded by :data:`LATENCY_WINDOW`).  Note
+        that ``total_seconds`` sums *engine* time across shards — for
+        shards running in parallel that is more than wall-clock time,
+        so service-level throughput is reported from wall clock, not
+        from a merged stats object.
+        """
+        self.samples += other.samples
+        self.batches += other.batches
+        self.total_seconds += other.total_seconds
+        self.batch_latencies.extend(other.batch_latencies)
+        for name, seconds in other.stage_seconds.items():
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + seconds
+            )
+        return self
+
     @property
     def samples_per_sec(self) -> float:
         if self.total_seconds <= 0.0:

@@ -1,0 +1,367 @@
+"""Sharded-service tests: scheduling, ordered aggregation, stats
+merging, state broadcast, and worker-crash recovery.
+
+The service's contract is that sharding is invisible: any pool size,
+any scheduler, and any number of mid-run worker deaths must produce
+decisions bit-identical to a single-process
+:class:`~repro.runtime.DetectionEngine` over the same array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM
+from repro.core import (
+    ExtractionConfig,
+    PtolemyDetector,
+    calibrate_phi,
+    detector_from_state,
+    detector_to_state,
+)
+from repro.nn import build_mini_alexnet
+from repro.runtime import (
+    DetectionEngine,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    ServiceError,
+    ShardedDetectionService,
+    ShardLoad,
+    ThroughputStats,
+    make_scheduler,
+    measure_worker_scaling,
+    merge_shard_stats,
+)
+
+
+def _build_service_model():
+    """Worker-side model factory: must be a picklable module-level
+    callable and match the architecture of ``trained_alexnet``."""
+    return build_mini_alexnet(num_classes=5, seed=3)
+
+
+@pytest.fixture(scope="module")
+def service_detector(small_dataset, trained_alexnet):
+    """A fitted FwAb detector (the serving variant) for the pool."""
+    model = trained_alexnet
+    config = calibrate_phi(
+        model,
+        ExtractionConfig.fwab(model.num_extraction_units()),
+        small_dataset.x_train[:4],
+        quantile=0.95,
+    )
+    detector = PtolemyDetector(model, config, n_trees=20, seed=0)
+    detector.profile(
+        small_dataset.x_train, small_dataset.y_train, max_per_class=8
+    )
+    adv = FGSM(eps=0.1).generate(
+        model, small_dataset.x_train[:20], small_dataset.y_train[:20]
+    ).x_adv
+    detector.fit_classifier(small_dataset.x_train[20:40], adv)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def engine_reference(service_detector, small_dataset):
+    """Single-process decisions over the shared test workload."""
+    xs = small_dataset.x_test[:30]
+    return xs, DetectionEngine(service_detector, batch_size=4).run(xs)
+
+
+class TestSchedulers:
+    def _loads(self, *inflight_samples):
+        return [
+            ShardLoad(shard_id=i, inflight_batches=n // 4,
+                      inflight_samples=n, dispatched_batches=0)
+            for i, n in enumerate(inflight_samples)
+        ]
+
+    def test_round_robin_rotates(self):
+        scheduler = RoundRobinScheduler()
+        loads = self._loads(0, 0, 0)
+        picks = [scheduler.choose(loads) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        scheduler.reset()
+        assert scheduler.choose(loads) == 0
+
+    def test_least_loaded_picks_minimum(self):
+        scheduler = LeastLoadedScheduler()
+        assert scheduler.choose(self._loads(8, 0, 4)) == 1
+        # ties break to the lowest shard id
+        assert scheduler.choose(self._loads(4, 4)) == 0
+
+    def test_make_scheduler(self):
+        assert isinstance(
+            make_scheduler("least-loaded"), LeastLoadedScheduler
+        )
+        instance = RoundRobinScheduler()
+        assert make_scheduler(instance) is instance
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("fifo")
+
+
+class TestStatsMerging:
+    def test_merge_adds_exactly(self):
+        a = ThroughputStats()
+        a.record(8, 0.5, stages={"extract": 0.3})
+        b = ThroughputStats()
+        b.record(4, 0.25, stages={"extract": 0.1, "classify": 0.05})
+        merged = merge_shard_stats({0: a, 1: b})
+        assert merged.samples == 12
+        assert merged.batches == 2
+        assert merged.total_seconds == pytest.approx(0.75)
+        assert merged.stage_seconds["extract"] == pytest.approx(0.4)
+        assert merged.stage_seconds["classify"] == pytest.approx(0.05)
+        assert len(merged.batch_latencies) == 2
+        # inputs are untouched
+        assert a.samples == 8 and b.samples == 4
+
+    def test_merge_returns_self_for_chaining(self):
+        stats = ThroughputStats()
+        assert stats.merge(ThroughputStats()) is stats
+
+
+class TestDetectorState:
+    def test_state_roundtrip_is_bit_identical(
+        self, service_detector, small_dataset
+    ):
+        state = detector_to_state(service_detector)
+        rebuilt = detector_from_state(_build_service_model(), state)
+        xs = small_dataset.x_test[:12]
+        assert np.array_equal(
+            rebuilt.scores_batch(xs), service_detector.scores_batch(xs)
+        )
+
+    def test_state_requires_profile(self, trained_alexnet):
+        config = ExtractionConfig.fwab(
+            trained_alexnet.num_extraction_units()
+        )
+        unprofiled = PtolemyDetector(trained_alexnet, config, n_trees=4)
+        with pytest.raises(ValueError, match="class paths"):
+            detector_to_state(unprofiled)
+
+    def test_state_format_is_versioned(self, service_detector):
+        state = detector_to_state(service_detector)
+        state["format"] = 999
+        with pytest.raises(ValueError, match="format"):
+            detector_from_state(_build_service_model(), state)
+
+
+class TestShardedDetectionService:
+    def test_validation(self, service_detector):
+        with pytest.raises(ValueError):
+            ShardedDetectionService(
+                service_detector,
+                model_factory=_build_service_model,
+                num_workers=0,
+            )
+        with pytest.raises(ValueError, match="detector or a prebuilt"):
+            ShardedDetectionService(model_factory=_build_service_model)
+
+    def test_bit_identical_and_ordered(
+        self, service_detector, engine_reference
+    ):
+        """2 shards, interleaved chunks — results must come back in
+        submission order, bit-identical to the single process."""
+        xs, reference = engine_reference
+        with ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=2,
+            batch_size=4,
+        ) as service:
+            result = service.run(xs)
+            assert np.array_equal(result.scores, reference.scores)
+            assert np.array_equal(
+                result.predicted_classes, reference.predicted_classes
+            )
+            assert np.array_equal(
+                result.is_adversarial, reference.is_adversarial
+            )
+            assert np.array_equal(
+                result.similarities, reference.similarities
+            )
+            # round-robin really spread the chunks over both shards
+            assert set(result.chunk_shards) == {0, 1}
+
+    def test_stats_merge_across_shards(
+        self, service_detector, engine_reference
+    ):
+        xs, _ = engine_reference
+        with ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=2,
+            batch_size=4,
+        ) as service:
+            result = service.run(xs)
+            shard_stats = service.shard_stats()
+            merged = service.stats()
+        # request-level and service-level accounting both see every sample
+        assert result.stats.samples == len(xs)
+        assert result.stats.batches == 8  # ceil(30 / 4)
+        assert merged.samples == len(xs)
+        assert sum(s.samples for s in shard_stats.values()) == len(xs)
+        assert merged.total_seconds == pytest.approx(
+            sum(s.total_seconds for s in shard_stats.values())
+        )
+        assert result.wall_seconds > 0
+        assert result.samples_per_sec > 0
+
+    def test_least_loaded_scheduler_serves_everything(
+        self, service_detector, engine_reference
+    ):
+        xs, reference = engine_reference
+        with ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=2,
+            batch_size=4,
+            scheduler="least-loaded",
+        ) as service:
+            result = service.run(xs)
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_submit_is_async_and_multi_request(
+        self, service_detector, engine_reference
+    ):
+        """Several queued requests resolve independently, each in its
+        own submission order."""
+        xs, reference = engine_reference
+        with ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=2,
+            batch_size=4,
+        ) as service:
+            futures = [service.submit(xs[:12]), service.submit(xs[12:])]
+            second = futures[1].result(timeout=120)
+            first = futures[0].result(timeout=120)
+        assert np.array_equal(
+            np.concatenate([first.scores, second.scores]),
+            reference.scores,
+        )
+
+    def test_empty_request(self, service_detector, small_dataset):
+        with ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=1,
+            batch_size=4,
+        ) as service:
+            result = service.run(small_dataset.x_test[:0])
+        assert result.num_samples == 0
+        assert result.rejection_rate == 0.0
+
+    def test_worker_crash_recovery(
+        self, service_detector, engine_reference
+    ):
+        """A shard dying mid-service must not lose or reorder work:
+        in-flight batches are requeued and a replacement is spawned."""
+        import time
+
+        xs, reference = engine_reference
+        with ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=2,
+            batch_size=4,
+        ) as service:
+            service.run(xs)  # warm, both shards known-good
+            doomed = service.inject_crash()
+            result = service.run(xs)
+            assert np.array_equal(result.scores, reference.scores)
+            assert np.array_equal(
+                result.predicted_classes, reference.predicted_classes
+            )
+            # Recovery is asynchronous: the run above may finish on the
+            # survivor before the health check reaps the corpse, so
+            # poll for the respawn instead of asserting instantly.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and (
+                service.restarts < 1 or service.alive_workers < 2
+            ):
+                time.sleep(0.05)
+            assert service.restarts >= 1
+            # the dead shard's accounting is retained for the lifetime
+            # view, and the pool healed back to full strength
+            assert doomed in service.shard_stats()
+            assert service.alive_workers == 2
+            # the healed pool still serves correctly
+            assert np.array_equal(service.run(xs).scores, reference.scores)
+
+    def test_state_broadcast_shares_one_payload(
+        self, service_detector, engine_reference
+    ):
+        """A pre-serialised state payload can feed a pool without the
+        detector object (the serialize-once path)."""
+        xs, reference = engine_reference
+        state = detector_to_state(service_detector)
+        with ShardedDetectionService(
+            state=state,
+            model_factory=_build_service_model,
+            num_workers=1,
+            batch_size=8,
+        ) as service:
+            result = service.run(xs)
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_measure_worker_scaling_harness(
+        self, service_detector, small_dataset
+    ):
+        traffic = small_dataset.x_test[:16]
+        results = measure_worker_scaling(
+            service_detector,
+            _build_service_model,
+            traffic,
+            worker_counts=(1, 2),
+            batch_size=4,
+            repeats=1,
+        )
+        assert set(results) == {1, 2}
+        for report in results.values():
+            assert report["samples"] == 16
+            assert report["samples_per_sec"] > 0
+        assert np.array_equal(results[1]["scores"], results[2]["scores"])
+
+    def test_stop_is_idempotent_and_restartable(
+        self, service_detector, small_dataset, engine_reference
+    ):
+        xs, reference = engine_reference
+        service = ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=1,
+            batch_size=4,
+        )
+        service.start()
+        service.run(small_dataset.x_test[:4])
+        service.stop()
+        service.stop()
+        # a stopped pool can be brought back up (submit auto-starts)
+        try:
+            result = service.run(xs, timeout=120)
+        finally:
+            service.stop()
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_unfitted_detector_rejected(
+        self, small_dataset, trained_alexnet
+    ):
+        config = ExtractionConfig.fwab(
+            trained_alexnet.num_extraction_units()
+        )
+        unfitted = PtolemyDetector(trained_alexnet, config, n_trees=4)
+        unfitted.profile(
+            small_dataset.x_train, small_dataset.y_train, max_per_class=4
+        )
+        with pytest.raises(ValueError, match="fitted"):
+            ShardedDetectionService(
+                unfitted, model_factory=_build_service_model
+            )
+
+
+class TestServiceErrors:
+    def test_error_type_is_runtime_error(self):
+        assert issubclass(ServiceError, RuntimeError)
