@@ -12,7 +12,9 @@ Commands
 ``corrupt``     sweep natural corruptions over a scenario's test set
 ``monitor``     deploy an InferenceMonitor and stream mixed traffic
 ``throughput``  measure batched detection-engine throughput
-``serve``       stream traffic through the sharded multi-worker service
+``serve``       stream traffic through the sharded multi-worker service,
+                or expose it over HTTP (``--http PORT``) with optional
+                SLO-adaptive batching (``--slo-ms N``)
 ``explain``     saliency + per-layer divergence for a benign/attacked pair
 ``defend``      adversarial retraining + re-profiled Ptolemy (Sec. VIII)
 """
@@ -361,12 +363,62 @@ def cmd_throughput(args) -> None:
     ))
 
 
+def _serve_http(args, workbench, threshold) -> None:
+    """Run the HTTP front-end until interrupted, then drain cleanly."""
+    import signal
+    import threading
+
+    from repro.runtime.server import DetectionHTTPServer
+
+    service = workbench.service(
+        args.variant, num_workers=args.workers,
+        batch_size=args.batch_size, scheduler=args.scheduler,
+        threshold=threshold, slo_ms=args.slo_ms,
+    )
+    service.start()
+    server = DetectionHTTPServer(
+        service, host=args.host, port=args.http,
+        max_inflight=args.max_inflight,
+    )
+    server.start()
+    slo = (f"adaptive batching, SLO {args.slo_ms:.0f} ms/batch"
+           if args.slo_ms else f"fixed batch {args.batch_size}")
+    print(f"serving {args.scenario}/{args.variant} on {server.url} "
+          f"({args.workers} workers, {slo})")
+    print(f"  POST {server.url}/v1/detect   (JSON or .npy body)")
+    print(f"  GET  {server.url}/v1/stats")
+    print(f"  GET  {server.url}/healthz")
+    print("Ctrl-C (SIGINT/SIGTERM) to drain and stop.", flush=True)
+    # Install explicit handlers: a background child of a non-interactive
+    # shell inherits SIGINT=SIG_IGN (so Python would never raise
+    # KeyboardInterrupt), and SIGTERM would otherwise skip the drain.
+    shutdown = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: shutdown.set())
+    try:
+        while not shutdown.is_set():  # serve until signalled
+            shutdown.wait(0.5)
+        print("\ndraining in-flight requests...", flush=True)
+    finally:
+        server.close()
+        service.stop()
+    print("stopped cleanly")
+
+
 def cmd_serve(args) -> None:
-    """Stream mixed traffic through the sharded multi-worker service."""
+    """Stream mixed traffic through the sharded multi-worker service,
+    or expose it over HTTP with ``--http PORT``."""
     from repro.eval import Workbench, render_table
 
+    if args.smoke:
+        from repro.eval import workloads
+
+        workloads.shrink_for_smoke()
     workbench = Workbench.get(args.scenario)
     threshold = workbench.calibrated_threshold(args.variant, args.fpr)
+    if args.http is not None:
+        _serve_http(args, workbench, threshold)
+        return
     print(f"deploying {args.workers}-worker service: "
           f"threshold={threshold:.2f} (target FPR {args.fpr}), "
           f"scheduler={args.scheduler}")
@@ -377,7 +429,7 @@ def cmd_serve(args) -> None:
     with workbench.service(
         args.variant, num_workers=args.workers,
         batch_size=args.batch_size, scheduler=args.scheduler,
-        threshold=threshold,
+        threshold=threshold, slo_ms=args.slo_ms,
     ) as service:
         result = service.run(frames)
         shard_stats = service.shard_stats()
@@ -523,13 +575,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_throughput)
 
     p = sub.add_parser(
-        "serve", help="stream traffic through the sharded service"
+        "serve", help="stream traffic through the sharded service, or "
+        "expose it over HTTP with --http PORT"
     )
     p.add_argument("scenario")
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--count", type=int, default=256)
     p.add_argument("--batch-size", type=int, default=32,
-                   help="micro-batch size each shard processes at once")
+                   help="micro-batch size each shard processes at once "
+                   "(the adaptive ceiling when --slo-ms is set)")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="serve over HTTP on this port instead of "
+                   "streaming canned traffic (0 = ephemeral port)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --http (default 127.0.0.1)")
+    p.add_argument("--slo-ms", type=float, default=None,
+                   help="per-batch latency SLO in ms; enables the "
+                   "adaptive batcher instead of fixed batch sizing")
+    p.add_argument("--max-inflight", type=int, default=16,
+                   help="HTTP backpressure bound: requests beyond this "
+                   "many in flight get 429 (default 16)")
+    p.add_argument("--smoke", action="store_true",
+                   help="shrink scenario sizes to CI-smoke scale "
+                   "before building the workbench")
     p.add_argument("--scheduler", default="round-robin",
                    choices=["round-robin", "least-loaded"])
     p.add_argument("--variant", default="FwAb",

@@ -3,14 +3,19 @@
 The paper's detector must keep up with inference-rate traffic; this
 package drives streaming workloads through the vectorized detection
 pipeline in micro-batches: :class:`MicroBatcher` shapes arrival
-streams into batches, :class:`DetectionEngine` runs them through the
-packed-word detection kernels with warm canary caches,
-:class:`ShardedDetectionService` fans that engine out over a pool of
-worker processes (pluggable scheduling, ordered aggregation, crash
-recovery), and :class:`ThroughputStats` keeps the samples/sec and
-per-stage latency accounting the benchmarks and the CI perf gate read.
+streams into batches (:class:`AdaptiveBatcher` is its SLO-aware
+replacement, sizing batches from observed latencies),
+:class:`DetectionEngine` runs them through the packed-word detection
+kernels with warm canary caches, :class:`ShardedDetectionService` fans
+that engine out over a pool of worker processes (pluggable scheduling,
+ordered aggregation, crash recovery),
+:class:`DetectionHTTPServer` puts the stdlib HTTP network boundary on
+that service (validation, bounded 429 backpressure, graceful drain),
+and :class:`ThroughputStats` keeps the samples/sec and per-stage
+latency accounting the benchmarks and the CI perf gate read.
 """
 
+from repro.runtime.adaptive import AdaptiveBatcher
 from repro.runtime.batching import MicroBatcher, iter_microbatches
 from repro.runtime.engine import (
     DetectionEngine,
@@ -33,9 +38,12 @@ from repro.runtime.sharding import (
     make_scheduler,
     merge_shard_stats,
 )
+from repro.runtime.server import DetectionHTTPServer
 from repro.runtime.stats import StageTimer, ThroughputStats
 
 __all__ = [
+    "AdaptiveBatcher",
+    "DetectionHTTPServer",
     "MicroBatcher",
     "iter_microbatches",
     "DetectionEngine",

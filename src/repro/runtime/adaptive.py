@@ -1,0 +1,252 @@
+"""Adaptive, SLO-aware micro-batch sizing.
+
+The fixed :class:`~repro.runtime.batching.MicroBatcher` trades latency
+for throughput at a size chosen offline; under real traffic the right
+size moves with load, model, and machine.  :class:`AdaptiveBatcher` is
+the online replacement: it watches per-batch wall-clock latencies (the
+same numbers :class:`~repro.runtime.stats.ThroughputStats` records) and
+steers the micro-batch size so the p95 batch latency stays under a
+configured service-level objective while packing batches as large as
+the budget allows — larger batches amortise per-call overhead, so
+"largest size that still meets the SLO" is also the throughput
+optimum.
+
+Control law (deterministic, O(1) per observation):
+
+* Fit a per-sample latency estimate as the median of
+  ``seconds / batch_size`` over a sliding window (median, so one
+  scheduler hiccup cannot poison the model).
+* Aim for ``headroom * slo`` (default 80% of budget) and derive the
+  candidate size ``target_seconds / per_sample_seconds``.
+* Move toward the candidate multiplicatively — at most ``growth`` (x)
+  up per step, and on an observed SLO violation cut by ``shrink``
+  immediately (AIMD-style: cautious up, fast down).
+* Clamp to ``[min_batch, max_batch]``.
+
+Batch size never changes *decisions*: the packed-word kernels are
+bit-identical across batch sizes (``tests/test_batch_equivalence.py``),
+so adaptivity is purely a latency/throughput decision, exactly like
+fixed batching.
+
+The class also implements the MicroBatcher surface (``add`` /
+``flush`` / ``pending``) with a *dynamic* fill threshold, so it drops
+into :class:`~repro.runtime.engine.DetectionEngine`'s streaming
+front-end unchanged.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["AdaptiveBatcher"]
+
+
+class AdaptiveBatcher:
+    """Latency-SLO-driven micro-batch sizing with a MicroBatcher surface.
+
+    Parameters
+    ----------
+    slo_ms:
+        Per-batch latency objective in milliseconds.  The controller
+        keeps observed batch latencies (and therefore their p95) under
+        this budget while growing batches as large as it allows.
+    min_batch / max_batch:
+        Hard clamp on the chosen size.  ``max_batch`` doubles as the
+        throughput ceiling — the controller converges to it when the
+        SLO is loose.
+    initial_batch:
+        Starting size before any observation (default: 8, clamped).
+        Starting small keeps the first batches comfortably inside the
+        budget on unknown hardware.
+    window:
+        Observations kept for the per-sample latency model and the
+        violation statistics.
+    headroom:
+        Fraction of the SLO actually targeted (default 0.8), so p95
+        noise around the operating point stays inside the budget.
+    growth / shrink:
+        Multiplicative step limits: at most ``growth``x up per
+        observation; cut to ``shrink``x immediately on a violation.
+
+    Thread safety: ``observe`` and the size read are lock-protected —
+    the sharded service observes from its collector thread while its
+    submit path reads the size.
+    """
+
+    def __init__(
+        self,
+        slo_ms: float,
+        *,
+        min_batch: int = 1,
+        max_batch: int = 512,
+        initial_batch: Optional[int] = None,
+        window: int = 32,
+        headroom: float = 0.8,
+        growth: float = 1.3,
+        shrink: float = 0.5,
+    ):
+        if slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if min_batch < 1:
+            raise ValueError("min_batch must be positive")
+        if max_batch < min_batch:
+            raise ValueError("max_batch must be >= min_batch")
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        if not 0.0 < shrink < 1.0:
+            raise ValueError("shrink must be in (0, 1)")
+        self.slo_ms = float(slo_ms)
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.window = int(window)
+        self.headroom = float(headroom)
+        self.growth = float(growth)
+        self.shrink = float(shrink)
+        if initial_batch is None:
+            initial_batch = 8
+        self._batch_size = int(np.clip(initial_batch, min_batch, max_batch))
+        self._observed: Deque[Tuple[int, float]] = deque(maxlen=self.window)
+        self.observations = 0
+        self.violations = 0
+        self._lock = threading.Lock()
+        self._pending: List[np.ndarray] = []
+
+    # -- controller -----------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """The size the next micro-batch should use."""
+        with self._lock:
+            return self._batch_size
+
+    def observe(self, batch_size: int, seconds: float) -> int:
+        """Account one processed batch; returns the updated size.
+
+        Call with the same ``(len(batch), seconds)`` the stats layer
+        records.  Non-positive sizes are ignored (nothing to learn
+        from); negative durations are clamped to zero.
+        """
+        if batch_size < 1:
+            return self.batch_size
+        seconds = max(0.0, float(seconds))
+        slo_seconds = self.slo_ms / 1e3
+        with self._lock:
+            self.observations += 1
+            self._observed.append((int(batch_size), seconds))
+            if seconds > slo_seconds:
+                self.violations += 1
+            per_sample = statistics.median(
+                s / n for n, s in self._observed
+            )
+            target_seconds = slo_seconds * self.headroom
+            if per_sample <= 0.0:
+                candidate = float(self.max_batch)
+            else:
+                candidate = target_seconds / per_sample
+            current = float(self._batch_size)
+            if seconds > slo_seconds:
+                stepped = int(round(min(candidate, current * self.shrink)))
+            else:
+                # Ceil the growth step so small sizes always make
+                # progress — round(1 * 1.3) would pin the floor forever
+                # — but never past the candidate's integer floor, the
+                # largest size the latency budget actually supports.
+                budget_cap = max(int(candidate), self.min_batch)
+                stepped = min(
+                    int(np.ceil(current * self.growth)), budget_cap
+                )
+            self._batch_size = int(
+                np.clip(stepped, self.min_batch, self.max_batch)
+            )
+            return self._batch_size
+
+    def p95_ms(self) -> float:
+        """Windowed p95 of observed batch latencies, in milliseconds."""
+        with self._lock:
+            if not self._observed:
+                return 0.0
+            lat = np.asarray([s for _, s in self._observed])
+        return float(np.percentile(lat, 95.0)) * 1e3
+
+    def per_sample_ms(self) -> float:
+        """Current per-sample latency estimate, in milliseconds."""
+        with self._lock:
+            if not self._observed:
+                return 0.0
+            return statistics.median(
+                s / n for n, s in self._observed
+            ) * 1e3
+
+    def snapshot(self) -> dict:
+        """JSON-safe controller state (what ``/v1/stats`` reports)."""
+        with self._lock:
+            batch_size = self._batch_size
+            observations = self.observations
+            violations = self.violations
+        return {
+            "slo_ms": self.slo_ms,
+            "batch_size": batch_size,
+            "min_batch": self.min_batch,
+            "max_batch": self.max_batch,
+            "observations": observations,
+            "violations": violations,
+            "p95_ms": self.p95_ms(),
+            "per_sample_ms": self.per_sample_ms(),
+        }
+
+    # -- MicroBatcher surface -------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def add(self, sample: np.ndarray) -> Optional[np.ndarray]:
+        """Buffer one sample; return a batch when the *current* target
+        size fills (the threshold moves with the controller)."""
+        sample = np.asarray(sample)
+        if self._pending and sample.shape != self._pending[0].shape:
+            raise ValueError(
+                f"sample shape {sample.shape} does not match pending "
+                f"batch shape {self._pending[0].shape}"
+            )
+        self._pending.append(sample)
+        if len(self._pending) >= self.batch_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[np.ndarray]:
+        """Drain the buffer as one (possibly short) batch.
+
+        The buffer is reset even if stacking fails, so a downstream
+        rejection can never leave stale samples behind (the same
+        contract as :meth:`MicroBatcher.flush`).
+        """
+        if not self._pending:
+            return None
+        try:
+            return np.stack(self._pending)
+        finally:
+            self._pending = []
+
+    def iter_chunks(self, xs: np.ndarray):
+        """Yield slices of an ``(N, ...)`` array at the adaptive size.
+
+        The size is re-read per chunk, so observations arriving while a
+        workload drains (e.g. from the engine processing the previous
+        chunk) steer the remaining splits.  Slices are views.
+        """
+        start = 0
+        while start < len(xs):
+            size = self.batch_size
+            yield xs[start : start + size]
+            start += size

@@ -65,9 +65,15 @@ class MicroBatcher:
         return None
 
     def flush(self) -> Optional[np.ndarray]:
-        """Drain the buffer as one (possibly short) batch."""
+        """Drain the buffer as one (possibly short) batch.
+
+        The buffer is reset unconditionally — even when stacking the
+        pending samples fails — so a rejected final partial batch can
+        never leave stale samples behind to corrupt the next stream.
+        """
         if not self._pending:
             return None
-        batch = np.stack(self._pending)
-        self._pending = []
-        return batch
+        try:
+            return np.stack(self._pending)
+        finally:
+            self._pending = []

@@ -1,0 +1,477 @@
+"""HTTP serving front-end for the sharded detection service.
+
+:class:`DetectionHTTPServer` puts a network boundary on
+:meth:`ShardedDetectionService.submit` using only the stdlib
+(``http.server.ThreadingHTTPServer`` — no new dependencies), so real
+multi-user traffic can reach the engine:
+
+* ``POST /v1/detect`` — one detection request.  The body is either
+  JSON (``{"samples": [[...], ...]}`` or a bare nested list) or a raw
+  ``.npy`` array (``Content-Type: application/octet-stream``).  The
+  response carries the ordered decision arrays, bit-identical to
+  :meth:`DetectionEngine.run` over the same samples at any worker
+  count.
+* ``GET /v1/stats`` — service throughput/latency accounting, server
+  counters, and the adaptive batcher's controller state.
+* ``GET /healthz`` — 200 while at least one worker is alive and the
+  server is accepting traffic; 503 during worker-pool outage or drain.
+
+Backpressure is bounded and explicit: at most ``max_inflight``
+requests may be in flight; the next one is refused immediately with
+``429 Too Many Requests`` (plus ``Retry-After``) instead of queueing
+without bound.  Shutdown is a graceful drain — new requests get 503
+while in-flight ones finish (up to ``drain_timeout``), then the
+listener closes.
+
+Error mapping: malformed body/shape → 400, oversized body → 413,
+request deadline → 504, worker-pool failure or drain → 503.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "DetectionHTTPServer",
+    "encode_npy",
+    "post_detect",
+    "get_json",
+    "wait_for_health",
+]
+
+#: Default cap on request bodies (64 MiB) — far above any sane
+#: micro-batch, small enough that one rogue client cannot OOM the box.
+MAX_BODY_BYTES = 64 << 20
+
+
+# -- client helpers ----------------------------------------------------------
+
+def encode_npy(xs: np.ndarray) -> bytes:
+    """Serialize an array as ``.npy`` bytes (the binary request body)."""
+    buf = io.BytesIO()
+    np.save(buf, np.asarray(xs), allow_pickle=False)
+    return buf.getvalue()
+
+
+def post_detect(
+    base_url: str,
+    xs: np.ndarray,
+    *,
+    binary: bool = True,
+    timeout: float = 120.0,
+) -> dict:
+    """POST one detection request; returns the decoded JSON response.
+
+    Raises :class:`urllib.error.HTTPError` on non-2xx (the bench and
+    the tests read ``exc.code`` off it).
+    """
+    if binary:
+        body = encode_npy(xs)
+        content_type = "application/octet-stream"
+    else:
+        body = json.dumps(
+            {"samples": np.asarray(xs).tolist()}
+        ).encode("utf-8")
+        content_type = "application/json"
+    request = urllib.request.Request(
+        base_url.rstrip("/") + "/v1/detect",
+        data=body,
+        headers={"Content-Type": content_type},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def get_json(base_url: str, path: str, timeout: float = 10.0) -> dict:
+    """GET a JSON endpoint (``/healthz``, ``/v1/stats``)."""
+    with urllib.request.urlopen(
+        base_url.rstrip("/") + path, timeout=timeout
+    ) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def wait_for_health(
+    base_url: str, timeout: float = 60.0, interval: float = 0.1
+) -> bool:
+    """Poll ``/healthz`` until it reports healthy or ``timeout``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if get_json(base_url, "/healthz")["status"] == "ok":
+                return True
+        except (urllib.error.URLError, OSError, ValueError, KeyError):
+            pass
+        time.sleep(interval)
+    return False
+
+
+# -- server ------------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-connection handler; all state lives on ``server.front``."""
+
+    server_version = "repro-detect/1.0"
+    protocol_version = "HTTP/1.1"
+    # Per-connection socket timeout so a stalled client cannot pin a
+    # handler thread forever (StreamRequestHandler applies this).
+    timeout = 120.0
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the caller's concern, not stderr's
+
+    def _send_json(
+        self, code: int, payload: dict, extra_headers: Optional[dict] = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        front: "DetectionHTTPServer" = self.server.front
+        if self.path == "/healthz":
+            payload, code = front.health()
+            self._send_json(code, payload)
+        elif self.path == "/v1/stats":
+            self._send_json(200, front.stats_payload())
+        else:
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    def do_POST(self) -> None:
+        front: "DetectionHTTPServer" = self.server.front
+        if self.path != "/v1/detect":
+            # the body was never read; a keep-alive reuse would misparse
+            self.close_connection = True
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+            return
+        front.handle_detect(self)
+
+
+class _Httpd(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, handler, front: "DetectionHTTPServer"):
+        self.front = front
+        super().__init__(address, handler)
+
+
+class DetectionHTTPServer:
+    """The HTTP boundary over one :class:`ShardedDetectionService`.
+
+    Parameters
+    ----------
+    service:
+        Anything with the service surface (``submit`` returning a
+        future, ``stats()``, ``alive_workers``, ``restarts``, and
+        optionally ``adaptive``/``failure``) — in production the
+        sharded service, in tests a stub.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (read it back
+        from :attr:`port` / :attr:`url`).
+    max_inflight:
+        Bounded backpressure: requests beyond this many in flight are
+        refused with 429 instead of queueing.
+    request_timeout:
+        Per-request deadline waiting on the service future (504 on
+        expiry).
+    max_body_bytes:
+        Reject larger request bodies with 413.
+    drain_timeout:
+        How long :meth:`close` waits for in-flight requests.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = 8,
+        request_timeout: float = 120.0,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        drain_timeout: float = 30.0,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        self.service = service
+        self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
+        self.drain_timeout = drain_timeout
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._draining = False
+        self._counters = {
+            "requests_total": 0,
+            "responses_200": 0,
+            "responses_429": 0,
+            "client_errors": 0,
+            "server_errors": 0,
+        }
+        self._httpd = _Httpd((host, port), _Handler, front=self)
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def start(self) -> "DetectionHTTPServer":
+        """Serve in a background thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="detection-http-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work, drain in-flight requests, shut down.
+
+        New ``POST /v1/detect`` requests are refused with 503 the
+        moment this is called; in-flight ones get up to
+        ``drain_timeout`` to finish before the listener closes.  The
+        underlying detection service is *not* stopped — it belongs to
+        the caller.
+        """
+        with self._lock:
+            self._draining = True
+        if drain:
+            deadline = time.monotonic() + self.drain_timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if self._inflight == 0:
+                        break
+                time.sleep(0.01)
+        if self._thread is not None:
+            # shutdown() waits on an event only serve_forever() sets —
+            # calling it on a never-started server would hang forever
+            self._httpd.shutdown()
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "DetectionHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- endpoint logic -------------------------------------------------
+    def health(self) -> tuple:
+        """(payload, status_code) for ``/healthz``."""
+        alive = getattr(self.service, "alive_workers", 0)
+        failure = getattr(self.service, "failure", None)
+        with self._lock:
+            draining = self._draining
+            inflight = self._inflight
+        healthy = alive > 0 and failure is None and not draining
+        payload = {
+            "status": "ok" if healthy else "unhealthy",
+            "alive_workers": int(alive),
+            "inflight": inflight,
+            "draining": draining,
+            "failure": repr(failure) if failure is not None else None,
+            "uptime_seconds": time.monotonic() - self._started_at,
+        }
+        return payload, (200 if healthy else 503)
+
+    def stats_payload(self) -> dict:
+        with self._lock:
+            server = dict(self._counters)
+            server["inflight"] = self._inflight
+            server["max_inflight"] = self.max_inflight
+            server["draining"] = self._draining
+        adaptive = getattr(self.service, "adaptive", None)
+        return {
+            "service": self.service.stats().report(),
+            "server": server,
+            "adaptive": (
+                adaptive.snapshot() if adaptive is not None else None
+            ),
+            "alive_workers": int(
+                getattr(self.service, "alive_workers", 0)
+            ),
+            "restarts": int(getattr(self.service, "restarts", 0)),
+        }
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self._counters[key] += 1
+
+    def _parse_body(self, body: bytes, content_type: str) -> np.ndarray:
+        """Decode a request body into a sample array; ValueError on any
+        malformed input (mapped to 400 by the caller)."""
+        kind = content_type.split(";")[0].strip().lower()
+        if kind in ("application/octet-stream", "application/x-npy"):
+            try:
+                return np.load(io.BytesIO(body), allow_pickle=False)
+            except Exception as exc:
+                raise ValueError(f"invalid .npy body: {exc}") from exc
+        # default: JSON
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from exc
+        if isinstance(payload, dict):
+            if "samples" not in payload:
+                raise ValueError('JSON body must carry a "samples" key')
+            payload = payload["samples"]
+        try:
+            return np.asarray(payload, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"samples are not a numeric array: {exc}"
+            ) from exc
+
+    def handle_detect(self, handler: _Handler) -> None:
+        from repro.runtime.service import ServiceError
+
+        self._count("requests_total")
+        try:
+            length = int(handler.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length <= 0:
+            self._count("client_errors")
+            handler.close_connection = True  # body (if any) never read
+            handler._send_json(
+                400, {"error": "request body required (Content-Length)"}
+            )
+            return
+        if length > self.max_body_bytes:
+            self._count("client_errors")
+            handler.close_connection = True  # body never read
+            handler._send_json(
+                413,
+                {"error": f"body exceeds {self.max_body_bytes} bytes"},
+            )
+            return
+        # bounded backpressure: admit or refuse *before* reading work
+        with self._lock:
+            if self._draining:
+                admitted = False
+                draining = True
+            elif self._inflight >= self.max_inflight:
+                admitted = False
+                draining = False
+            else:
+                self._inflight += 1
+                admitted = True
+                draining = False
+        if not admitted:
+            handler.close_connection = True  # refused before body read
+            if draining:
+                self._count("server_errors")
+                handler._send_json(
+                    503,
+                    {"error": "server is draining"},
+                    {"Retry-After": "1"},
+                )
+            else:
+                self._count("responses_429")
+                handler._send_json(
+                    429,
+                    {"error": "too many in-flight requests"},
+                    {"Retry-After": "1"},
+                )
+            return
+        try:
+            self._handle_admitted(handler, length)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to answer
+        except ServiceError as exc:
+            self._count("server_errors")
+            try:
+                handler._send_json(503, {"error": str(exc)})
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+        except Exception as exc:  # never let a bug wedge the slot
+            self._count("server_errors")
+            try:
+                handler._send_json(
+                    500, {"error": f"internal error: {exc!r}"}
+                )
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def _handle_admitted(self, handler: _Handler, length: int) -> None:
+        started = time.perf_counter()
+        body = handler.rfile.read(length)
+        try:
+            xs = self._parse_body(
+                body, handler.headers.get("Content-Type", "")
+            )
+            future = self.service.submit(xs)
+        except ValueError as exc:
+            self._count("client_errors")
+            handler._send_json(400, {"error": str(exc)})
+            return
+        try:
+            result = future.result(timeout=self.request_timeout)
+        except TimeoutError:
+            # abandon the request in the service too, or its queued
+            # chunks would pile up behind every future deadline
+            cancel = getattr(future, "cancel", None)
+            if callable(cancel):
+                cancel()
+            self._count("server_errors")
+            handler._send_json(
+                504,
+                {
+                    "error": (
+                        f"request deadline exceeded "
+                        f"({self.request_timeout:.1f}s)"
+                    )
+                },
+            )
+            return
+        wall_ms = (time.perf_counter() - started) * 1e3
+        self._count("responses_200")
+        handler._send_json(
+            200,
+            {
+                "num_samples": int(result.num_samples),
+                "scores": result.scores.tolist(),
+                "predicted_classes": result.predicted_classes.tolist(),
+                "is_adversarial": result.is_adversarial.tolist(),
+                "similarities": result.similarities.tolist(),
+                "rejection_rate": float(result.rejection_rate),
+                "wall_ms": wall_ms,
+            },
+        )

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.serialization import detector_from_state, detector_to_state
+from repro.runtime.adaptive import AdaptiveBatcher
 from repro.runtime.batching import iter_microbatches
 from repro.runtime.sharding import (
     ShardLoad,
@@ -179,9 +180,24 @@ class ServiceFuture:
         self._event = threading.Event()
         self._result: Optional["ServiceResult"] = None
         self._error: Optional[Exception] = None
+        # wired by the service once the request exists (the hook closes
+        # over the request object, which itself holds this future)
+        self._cancel_hook: Optional[Callable[[], bool]] = None
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def cancel(self) -> bool:
+        """Best-effort cancel: drop the request's not-yet-dispatched
+        chunks and discard any still in flight, so an abandoned caller
+        (e.g. an HTTP deadline) cannot leave work piling up in the
+        service.  Returns True if the request was cancelled before it
+        completed; False if it had already resolved."""
+        if self._event.is_set():
+            return False
+        if self._cancel_hook is None:
+            return False
+        return self._cancel_hook()
 
     def result(self, timeout: Optional[float] = None) -> "ServiceResult":
         """Block until the request completes; raises on service failure."""
@@ -235,18 +251,6 @@ class ServiceResult:
         return self.num_samples / self.wall_seconds
 
 
-def _empty_result() -> ServiceResult:
-    return ServiceResult(
-        scores=np.empty(0),
-        predicted_classes=np.empty(0, dtype=np.int64),
-        is_adversarial=np.empty(0, dtype=bool),
-        similarities=np.empty(0),
-        stats=ThroughputStats(),
-        chunk_shards=[],
-        wall_seconds=0.0,
-    )
-
-
 # -- the service -------------------------------------------------------------
 
 class ShardedDetectionService:
@@ -271,6 +275,13 @@ class ShardedDetectionService:
     scheduler:
         ``"round-robin"`` (default), ``"least-loaded"``, or a
         :class:`ShardScheduler` instance.
+    slo_ms:
+        Optional per-batch latency objective.  When set, requests are
+        chunked by an :class:`~repro.runtime.adaptive.AdaptiveBatcher`
+        (fed from every shard's per-batch latencies) instead of at the
+        fixed ``batch_size``; ``batch_size`` becomes the adaptive
+        ceiling.  Chunk sizing never changes decisions — the kernels
+        are bit-identical across batch sizes.
     max_restarts:
         Total worker respawns allowed over the service lifetime
         (default: ``num_workers``); the pool keeps serving with fewer
@@ -290,6 +301,7 @@ class ShardedDetectionService:
         threshold: float = 0.5,
         batch_size: int = 64,
         scheduler: Union[str, ShardScheduler] = "round-robin",
+        slo_ms: Optional[float] = None,
         max_restarts: Optional[int] = None,
         start_method: Optional[str] = None,
         ready_timeout: float = 120.0,
@@ -309,6 +321,13 @@ class ShardedDetectionService:
         self.num_workers = num_workers
         self.threshold = threshold
         self.batch_size = batch_size
+        self.adaptive: Optional[AdaptiveBatcher] = None
+        if slo_ms is not None:
+            self.adaptive = AdaptiveBatcher(
+                slo_ms,
+                max_batch=batch_size,
+                initial_batch=min(8, batch_size),
+            )
         self._scheduler = make_scheduler(scheduler)
         self.max_restarts = (
             num_workers if max_restarts is None else max_restarts
@@ -332,6 +351,7 @@ class ShardedDetectionService:
         self._next_shard_id = 0
         self.restarts = 0
         self._started = False
+        self._stopped = False  # True only after an explicit stop()
         self._stop_event = threading.Event()
         self._failure: Optional[ServiceError] = None
         self._collector: Optional[threading.Thread] = None
@@ -354,6 +374,7 @@ class ShardedDetectionService:
         with self._lifecycle_lock:
             if self._started:
                 return self
+            self._stopped = False
             self._stop_event = threading.Event()
             self._failure = None
             for _ in range(self.num_workers):
@@ -423,6 +444,7 @@ class ShardedDetectionService:
                     q.cancel_join_thread()
             self._shards.clear()
         self._started = False
+        self._stopped = True
 
     @property
     def alive_workers(self) -> int:
@@ -434,25 +456,87 @@ class ShardedDetectionService:
                 if s.process.is_alive() and not s.stopping
             )
 
+    @property
+    def failure(self) -> Optional["ServiceError"]:
+        """The terminal failure that killed the service, if any (what
+        the HTTP front-end's ``/healthz`` reports)."""
+        return self._failure
+
     # -- submission -----------------------------------------------------
+    @staticmethod
+    def _validate_workload(xs) -> np.ndarray:
+        """Reject malformed/empty inputs *before* anything enqueues, so
+        bad requests fail loudly at the boundary instead of poisoning a
+        worker (or silently producing empty accounting)."""
+        try:
+            xs = np.asarray(xs)
+        except Exception as exc:
+            raise ValueError(f"workload is not array-like: {exc}") from exc
+        if not np.issubdtype(xs.dtype, np.number):
+            raise ValueError(
+                f"workload must be a numeric array, got dtype={xs.dtype} "
+                "(ragged or non-numeric input)"
+            )
+        if xs.ndim == 0:
+            raise ValueError(
+                "workload must be an (N, ...) sample array, got a scalar"
+            )
+        if xs.ndim < 2:
+            raise ValueError(
+                "workload must be an (N, ...) sample array with at "
+                f"least one feature axis, got shape {xs.shape}"
+            )
+        if len(xs) == 0:
+            raise ValueError(
+                "workload is empty: submit at least one sample"
+            )
+        return xs
+
     def submit(self, xs: np.ndarray) -> ServiceFuture:
         """Queue a workload; returns a future resolving to the ordered
-        :class:`ServiceResult`."""
+        :class:`ServiceResult`.
+
+        Raises :class:`ValueError` on malformed/empty input and
+        :class:`ServiceError` when called after :meth:`stop` (an
+        explicitly stopped pool must be restarted with :meth:`start`;
+        it never auto-resurrects, and never hangs on dead queues).
+        """
+        xs = self._validate_workload(xs)
         with self._lifecycle_lock:
             # under the lifecycle lock a racing stop() cannot tear the
             # pool down between the started check and task enqueueing
             if self._failure is not None:
                 raise self._failure
+            if self._stopped and not self._started:
+                raise ServiceError(
+                    "service is stopped; call start() before submitting"
+                )
             if not self._started:
                 self.start()
-            return self._submit_started(np.asarray(xs))
+            return self._submit_started(xs)
+
+    def _cancel_request(self, request: "_Request") -> bool:
+        """Abandon a request: unregister its chunks so queued ones are
+        skipped by the dispatcher and in-flight results are dropped as
+        late duplicates (worker-side load accounting still releases
+        normally in ``_finish_chunk``/``_fail_seq``)."""
+        with self._lock:
+            if request.future.done():
+                return False
+            request.failed = True
+            for seq in request.seqs:
+                self._open_seqs.pop(seq, None)
+        request.future._set_error(
+            ServiceError("request cancelled by the caller")
+        )
+        return True
 
     def _submit_started(self, xs: np.ndarray) -> ServiceFuture:
         future = ServiceFuture()
-        chunks = list(iter_microbatches(xs, self.batch_size))
-        if not chunks:
-            future._set_result(_empty_result())
-            return future
+        if self.adaptive is not None:
+            chunks = list(self.adaptive.iter_chunks(xs))
+        else:
+            chunks = list(iter_microbatches(xs, self.batch_size))
         with self._lock:
             request = _Request(
                 request_id=self._request_counter,
@@ -463,6 +547,7 @@ class ShardedDetectionService:
                 future=future,
                 submitted_at=time.perf_counter(),
             )
+            future._cancel_hook = lambda: self._cancel_request(request)
             self._request_counter += 1
             tasks = []
             for index, chunk in enumerate(chunks):
@@ -683,6 +768,10 @@ class ShardedDetectionService:
                     payload["seconds"],
                     stages=payload["stages"],
                 )
+            if self.adaptive is not None:
+                # the controller learns from every shard's engine-side
+                # latency, steering how future requests are chunked
+                self.adaptive.observe(payload["size"], payload["seconds"])
             request, chunk_index = entry
             request.chunks[chunk_index] = payload
             request.chunk_shards[chunk_index] = worker_id

@@ -50,6 +50,37 @@ def trained_alexnet(small_dataset):
     return model
 
 
+def build_serving_model():
+    """Worker-side model factory matching :func:`trained_alexnet` —
+    module-level so the sharded service's workers can pickle it."""
+    return build_mini_alexnet(num_classes=5, seed=3)
+
+
+@pytest.fixture(scope="session")
+def serving_detector(small_dataset, trained_alexnet):
+    """A fitted FwAb detector (the serving variant), shared by the
+    runtime server/adaptive test modules so each does not re-profile."""
+    from repro.attacks import FGSM
+    from repro.core import ExtractionConfig, PtolemyDetector, calibrate_phi
+
+    model = trained_alexnet
+    config = calibrate_phi(
+        model,
+        ExtractionConfig.fwab(model.num_extraction_units()),
+        small_dataset.x_train[:4],
+        quantile=0.95,
+    )
+    detector = PtolemyDetector(model, config, n_trees=20, seed=0)
+    detector.profile(
+        small_dataset.x_train, small_dataset.y_train, max_per_class=8
+    )
+    adv = FGSM(eps=0.1).generate(
+        model, small_dataset.x_train[:20], small_dataset.y_train[:20]
+    ).x_adv
+    detector.fit_classifier(small_dataset.x_train[20:40], adv)
+    return detector
+
+
 @pytest.fixture(scope="session")
 def flat_dataset(small_dataset):
     """The same dataset flattened for MLP consumption."""

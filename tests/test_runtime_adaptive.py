@@ -1,0 +1,226 @@
+"""Adaptive SLO-aware batching tests: the control law (convergence,
+violation backoff, clamping), the MicroBatcher-compatible buffer
+surface, and the engine integration (adaptivity never changes
+decisions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import AdaptiveBatcher, DetectionEngine, MicroBatcher
+
+
+class TestControllerValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="slo_ms"):
+            AdaptiveBatcher(0.0)
+        with pytest.raises(ValueError, match="min_batch"):
+            AdaptiveBatcher(10.0, min_batch=0)
+        with pytest.raises(ValueError, match="max_batch"):
+            AdaptiveBatcher(10.0, min_batch=8, max_batch=4)
+        with pytest.raises(ValueError, match="headroom"):
+            AdaptiveBatcher(10.0, headroom=1.5)
+        with pytest.raises(ValueError, match="growth"):
+            AdaptiveBatcher(10.0, growth=1.0)
+        with pytest.raises(ValueError, match="shrink"):
+            AdaptiveBatcher(10.0, shrink=1.0)
+        with pytest.raises(ValueError, match="window"):
+            AdaptiveBatcher(10.0, window=0)
+
+    def test_initial_batch_is_clamped(self):
+        assert AdaptiveBatcher(10.0, min_batch=16).batch_size == 16
+        assert AdaptiveBatcher(10.0, max_batch=4).batch_size == 4
+
+
+class TestControlLaw:
+    def test_converges_to_slo_budget(self):
+        """Constant per-sample cost: the size must converge to
+        ~headroom * slo / per_sample and hold p95 under the SLO."""
+        per_sample = 0.0005  # 0.5 ms/sample
+        batcher = AdaptiveBatcher(20.0, max_batch=256, headroom=0.8)
+        for _ in range(50):
+            size = batcher.batch_size
+            batcher.observe(size, per_sample * size)
+        expected = int(0.8 * 0.020 / per_sample)  # 32
+        assert abs(batcher.batch_size - expected) <= 2
+        assert batcher.p95_ms() <= 20.0
+        assert batcher.violations == 0
+
+    def test_converges_to_ceiling_under_loose_slo(self):
+        batcher = AdaptiveBatcher(10_000.0, max_batch=64)
+        for _ in range(50):
+            size = batcher.batch_size
+            batcher.observe(size, 1e-4 * size)
+        assert batcher.batch_size == 64
+
+    def test_violation_triggers_fast_backoff(self):
+        batcher = AdaptiveBatcher(
+            20.0, max_batch=256, initial_batch=64, shrink=0.5
+        )
+        before = batcher.batch_size
+        # one batch blows way past the SLO (e.g. a load spike)
+        batcher.observe(before, 0.200)
+        assert batcher.batch_size < before
+        assert batcher.violations == 1
+
+    def test_floor_holds_when_slo_is_impossible(self):
+        """Per-sample cost above the whole budget: the controller pins
+        the floor rather than oscillating or dying."""
+        batcher = AdaptiveBatcher(1.0, min_batch=1, max_batch=64)
+        for _ in range(20):
+            size = batcher.batch_size
+            batcher.observe(size, 0.010 * size)  # 10 ms/sample, SLO 1 ms
+        assert batcher.batch_size == 1
+
+    def test_growth_is_rate_limited(self):
+        batcher = AdaptiveBatcher(
+            10_000.0, max_batch=1024, initial_batch=8, growth=1.3
+        )
+        batcher.observe(8, 1e-5)
+        # one observation may only step up by the growth factor (ceil)
+        assert batcher.batch_size <= int(np.ceil(8 * 1.3))
+
+    def test_recovers_from_the_floor_after_spike(self):
+        """Regression: after violations shrink the size to 1, healthy
+        observations must grow it back (round(1 * growth) == 1 would
+        pin the floor forever)."""
+        per_sample = 0.0005  # healthy cost: optimum is ~32
+        batcher = AdaptiveBatcher(
+            20.0, max_batch=256, initial_batch=8, headroom=0.8
+        )
+        for _ in range(4):  # load spike: every batch blows the SLO
+            batcher.observe(batcher.batch_size, 0.500)
+        assert batcher.batch_size == 1
+        for _ in range(40):  # load returns to normal
+            size = batcher.batch_size
+            batcher.observe(size, per_sample * size)
+        assert batcher.batch_size >= 16, "controller stuck at the floor"
+        assert batcher.p95_ms() <= 20.0
+
+    def test_observe_ignores_degenerate_inputs(self):
+        batcher = AdaptiveBatcher(10.0)
+        before = batcher.batch_size
+        assert batcher.observe(0, 1.0) == before
+        assert batcher.observations == 0
+        batcher.observe(4, -5.0)  # negative duration clamps to zero
+        assert batcher.observations == 1
+
+    def test_empty_window_reports_zero(self):
+        batcher = AdaptiveBatcher(10.0)
+        assert batcher.p95_ms() == 0.0
+        assert batcher.per_sample_ms() == 0.0
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        batcher = AdaptiveBatcher(25.0, max_batch=128)
+        batcher.observe(8, 0.004)
+        snapshot = batcher.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["slo_ms"] == 25.0
+        assert snapshot["observations"] == 1
+        assert snapshot["batch_size"] >= 1
+        assert snapshot["per_sample_ms"] == pytest.approx(0.5)
+
+
+class TestBufferSurface:
+    def test_add_flushes_at_dynamic_threshold(self):
+        batcher = AdaptiveBatcher(10.0, initial_batch=2, max_batch=64)
+        assert batcher.add(np.zeros(3)) is None
+        batch = batcher.add(np.ones(3))
+        assert batch is not None and batch.shape == (2, 3)
+        assert batcher.pending == 0
+        # loosen the target: the threshold moves with the controller
+        for _ in range(10):
+            batcher.observe(batcher.batch_size, 1e-5)
+        assert batcher.batch_size > 2
+        assert batcher.add(np.zeros(3)) is None
+        assert batcher.add(np.zeros(3)) is None
+        assert batcher.pending == 2
+
+    def test_shape_mismatch_rejected(self):
+        batcher = AdaptiveBatcher(10.0)
+        batcher.add(np.zeros(3))
+        with pytest.raises(ValueError, match="shape"):
+            batcher.add(np.zeros(5))
+
+    def test_flush_resets_even_on_failure(self):
+        batcher = AdaptiveBatcher(10.0)
+        batcher.add(np.zeros(3))
+        batcher._pending.append(np.zeros(5))  # corrupt behind the guard
+        with pytest.raises(ValueError):
+            batcher.flush()
+        assert batcher.pending == 0
+        assert batcher.flush() is None
+
+    def test_iter_chunks_covers_input(self):
+        batcher = AdaptiveBatcher(10.0, initial_batch=4, max_batch=4)
+        xs = np.arange(10).reshape(10, 1)
+        chunks = list(batcher.iter_chunks(xs))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert np.array_equal(np.concatenate(chunks), xs)
+        assert list(batcher.iter_chunks(xs[:0])) == []
+
+
+class TestMicroBatcherFlushReset:
+    def test_flush_resets_even_on_failure(self):
+        """Regression: a failing flush (e.g. the final partial batch
+        rejected downstream) must still reset the buffer, or the next
+        stream inherits stale samples."""
+        batcher = MicroBatcher(8)
+        batcher.add(np.zeros(3))
+        batcher._pending.append(np.zeros(5))  # corrupt behind the guard
+        with pytest.raises(ValueError):
+            batcher.flush()
+        assert batcher.pending == 0
+        assert batcher.flush() is None
+        # the batcher is fully usable again
+        batcher.add(np.ones(4))
+        tail = batcher.flush()
+        assert tail.shape == (1, 4)
+
+
+class TestEngineAdaptive:
+    def test_adaptive_run_is_bit_identical(
+        self, serving_detector, small_dataset
+    ):
+        xs = small_dataset.x_test[:20]
+        fixed = DetectionEngine(serving_detector, batch_size=8).run(xs)
+        engine = DetectionEngine(
+            serving_detector, batch_size=8, slo_ms=500.0
+        )
+        adaptive = engine.run(xs)
+        assert np.array_equal(adaptive.scores, fixed.scores)
+        assert np.array_equal(
+            adaptive.predicted_classes, fixed.predicted_classes
+        )
+        assert np.array_equal(
+            adaptive.is_adversarial, fixed.is_adversarial
+        )
+        # every processed batch fed the controller
+        assert engine.adaptive.observations == adaptive.stats.batches
+
+    def test_adaptive_streaming_front_end(
+        self, serving_detector, small_dataset
+    ):
+        """submit/flush runs through the adaptive buffer and still
+        matches the fixed-batch engine decision for decision."""
+        xs = small_dataset.x_test[:10]
+        reference = DetectionEngine(serving_detector, batch_size=4).run(xs)
+        engine = DetectionEngine(
+            serving_detector, batch_size=4, slo_ms=500.0
+        )
+        streamed = engine.run_stream(iter(xs))
+        assert np.array_equal(streamed.scores, reference.scores)
+
+    def test_tight_slo_shrinks_batches(self, serving_detector, small_dataset):
+        """An SLO below one batch's cost must push the size toward the
+        floor (and count violations) rather than stay at the ceiling."""
+        xs = small_dataset.x_test[:20]
+        engine = DetectionEngine(
+            serving_detector, batch_size=16, slo_ms=1e-3
+        )
+        engine.run(xs)
+        assert engine.adaptive.batch_size == 1
+        assert engine.adaptive.violations > 0

@@ -12,20 +12,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.attacks import FGSM
+from conftest import build_serving_model
 from repro.core import (
     ExtractionConfig,
     PtolemyDetector,
-    calibrate_phi,
     detector_from_state,
     detector_to_state,
 )
-from repro.nn import build_mini_alexnet
 from repro.runtime import (
     DetectionEngine,
     LeastLoadedScheduler,
     RoundRobinScheduler,
     ServiceError,
+    ServiceFuture,
+    ServiceResult,
     ShardedDetectionService,
     ShardLoad,
     ThroughputStats,
@@ -35,31 +35,16 @@ from repro.runtime import (
 )
 
 
-def _build_service_model():
-    """Worker-side model factory: must be a picklable module-level
-    callable and match the architecture of ``trained_alexnet``."""
-    return build_mini_alexnet(num_classes=5, seed=3)
+# Worker-side model factory: a picklable module-level callable shared
+# with the server/adaptive test modules via conftest.
+_build_service_model = build_serving_model
 
 
 @pytest.fixture(scope="module")
-def service_detector(small_dataset, trained_alexnet):
-    """A fitted FwAb detector (the serving variant) for the pool."""
-    model = trained_alexnet
-    config = calibrate_phi(
-        model,
-        ExtractionConfig.fwab(model.num_extraction_units()),
-        small_dataset.x_train[:4],
-        quantile=0.95,
-    )
-    detector = PtolemyDetector(model, config, n_trees=20, seed=0)
-    detector.profile(
-        small_dataset.x_train, small_dataset.y_train, max_per_class=8
-    )
-    adv = FGSM(eps=0.1).generate(
-        model, small_dataset.x_train[:20], small_dataset.y_train[:20]
-    ).x_adv
-    detector.fit_classifier(small_dataset.x_train[20:40], adv)
-    return detector
+def service_detector(serving_detector):
+    """The shared session-scoped serving detector (one profiling pass
+    feeds this module and the server/adaptive test modules)."""
+    return serving_detector
 
 
 @pytest.fixture(scope="module")
@@ -243,16 +228,45 @@ class TestShardedDetectionService:
             reference.scores,
         )
 
-    def test_empty_request(self, service_detector, small_dataset):
-        with ShardedDetectionService(
+    def test_empty_and_malformed_requests_rejected(
+        self, service_detector, small_dataset
+    ):
+        """Malformed/empty workloads fail loudly at the boundary, before
+        anything enqueues — never a zero-division downstream."""
+        service = ShardedDetectionService(
             service_detector,
             model_factory=_build_service_model,
             num_workers=1,
             batch_size=4,
-        ) as service:
-            result = service.run(small_dataset.x_test[:0])
+        )
+        with pytest.raises(ValueError, match="empty"):
+            service.submit(small_dataset.x_test[:0])
+        with pytest.raises(ValueError, match="scalar"):
+            service.submit(np.float64(3.0))
+        with pytest.raises(ValueError, match="object"):
+            service.submit(np.array([None, {"x": 1}], dtype=object))
+        with pytest.raises(ValueError, match="numeric"):
+            service.submit(np.array([["a", "b"], ["c", "d"]]))
+        with pytest.raises(ValueError, match="feature axis"):
+            service.submit(np.array([1.0, 2.0, 3.0]))
+        # validation happens before start: no worker pool was spawned
+        assert service.alive_workers == 0
+
+    def test_zero_sample_result_rates_are_zero(self):
+        """A zero-sample ServiceResult reports 0.0 rates instead of
+        dividing by zero (rejection_rate, samples_per_sec)."""
+        result = ServiceResult(
+            scores=np.empty(0),
+            predicted_classes=np.empty(0, dtype=np.int64),
+            is_adversarial=np.empty(0, dtype=bool),
+            similarities=np.empty(0),
+            stats=ThroughputStats(),
+            chunk_shards=[],
+            wall_seconds=0.0,
+        )
         assert result.num_samples == 0
         assert result.rejection_rate == 0.0
+        assert result.samples_per_sec == 0.0
 
     def test_worker_crash_recovery(
         self, service_detector, engine_reference
@@ -339,8 +353,14 @@ class TestShardedDetectionService:
         service.run(small_dataset.x_test[:4])
         service.stop()
         service.stop()
-        # a stopped pool can be brought back up (submit auto-starts)
+        # submitting to an explicitly stopped pool fails fast and
+        # deterministically — it never hangs on dead queues and never
+        # silently resurrects the pool
+        with pytest.raises(ServiceError, match="stopped"):
+            service.submit(xs)
+        # an explicit start() brings the pool back up
         try:
+            service.start()
             result = service.run(xs, timeout=120)
         finally:
             service.stop()
@@ -362,6 +382,78 @@ class TestShardedDetectionService:
             )
 
 
+    def test_cancel_abandons_request_without_wedging_pool(
+        self, service_detector, engine_reference
+    ):
+        """A cancelled future resolves to ServiceError, its queued
+        chunks are dropped, and the pool keeps serving (the HTTP 504
+        path relies on this to avoid unbounded backlog)."""
+        xs, reference = engine_reference
+        with ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=1,
+            batch_size=4,
+        ) as service:
+            future = service.submit(np.concatenate([xs] * 4))
+            cancelled = future.cancel()
+            if cancelled:
+                assert future.done()
+                with pytest.raises(ServiceError, match="cancelled"):
+                    future.result(timeout=30)
+                assert future.cancel() is False  # already resolved
+            else:
+                # lost the race: the request completed first — fine
+                future.result(timeout=120)
+            # the pool is unaffected either way
+            result = service.run(xs, timeout=120)
+            assert np.array_equal(result.scores, reference.scores)
+
+    def test_adaptive_slo_service_is_bit_identical(
+        self, service_detector, engine_reference
+    ):
+        """SLO-adaptive chunking changes batch shapes, never decisions;
+        the controller must have learned from shard latencies."""
+        xs, reference = engine_reference
+        with ShardedDetectionService(
+            service_detector,
+            model_factory=_build_service_model,
+            num_workers=2,
+            batch_size=8,
+            slo_ms=500.0,
+        ) as service:
+            result = service.run(xs)
+            assert np.array_equal(result.scores, reference.scores)
+            assert np.array_equal(
+                result.is_adversarial, reference.is_adversarial
+            )
+            assert service.adaptive is not None
+            assert service.adaptive.observations > 0
+            snapshot = service.adaptive.snapshot()
+        assert snapshot["slo_ms"] == 500.0
+        assert 1 <= snapshot["batch_size"] <= 8
+
+
 class TestServiceErrors:
     def test_error_type_is_runtime_error(self):
         assert issubclass(ServiceError, RuntimeError)
+
+    def test_future_timeout_raises_not_partial(self):
+        """An unresolved future raises TimeoutError on timeout — it
+        never hands back a partially-populated result."""
+        future = ServiceFuture()
+        with pytest.raises(TimeoutError):
+            future.result(timeout=0.01)
+        assert not future.done()
+        # and it still resolves normally afterwards
+        sentinel = ServiceResult(
+            scores=np.ones(1),
+            predicted_classes=np.zeros(1, dtype=np.int64),
+            is_adversarial=np.zeros(1, dtype=bool),
+            similarities=np.ones(1),
+            stats=ThroughputStats(),
+            chunk_shards=[0],
+            wall_seconds=0.1,
+        )
+        future._set_result(sentinel)
+        assert future.result(timeout=1.0) is sentinel
