@@ -374,6 +374,7 @@ def _serve_http(args, workbench, threshold) -> None:
         args.variant, num_workers=args.workers,
         batch_size=args.batch_size, scheduler=args.scheduler,
         threshold=threshold, slo_ms=args.slo_ms,
+        transport=args.transport, pin_workers=args.pin,
     )
     service.start()
     server = DetectionHTTPServer(
@@ -421,7 +422,8 @@ def cmd_serve(args) -> None:
         return
     print(f"deploying {args.workers}-worker service: "
           f"threshold={threshold:.2f} (target FPR {args.fpr}), "
-          f"scheduler={args.scheduler}")
+          f"scheduler={args.scheduler}, transport={args.transport}"
+          f"{', pinned' if args.pin else ''}")
     frames, is_attack = workbench.traffic(
         attack=args.attack, count=args.count,
         attack_rate=args.attack_rate, return_truth=True,
@@ -430,11 +432,13 @@ def cmd_serve(args) -> None:
         args.variant, num_workers=args.workers,
         batch_size=args.batch_size, scheduler=args.scheduler,
         threshold=threshold, slo_ms=args.slo_ms,
+        transport=args.transport, pin_workers=args.pin,
     ) as service:
         result = service.run(frames)
         shard_stats = service.shard_stats()
         merged = service.stats()
         restarts = service.restarts
+        transport_stats = service.transport_stats()
     rows = [
         (f"shard {shard_id}", int(stats.samples), int(stats.batches),
          f"{stats.samples_per_sec:.0f}",
@@ -461,6 +465,12 @@ def cmd_serve(args) -> None:
     print(f"caught {caught}/{attacks} attacks, {false_alarms} false "
           f"alarms on {len(frames) - attacks} benign frames; "
           f"worker restarts: {restarts}")
+    print(f"transport: {transport_stats['transport']} "
+          f"({transport_stats['shm_batches']} shm batches, "
+          f"{transport_stats['queue_batches']} queue batches, "
+          f"{transport_stats['slot_fallbacks']} slot fallbacks, "
+          f"{transport_stats['shm_bytes_in'] / 1e6:.1f} MB in / "
+          f"{transport_stats['shm_bytes_out'] / 1e6:.1f} MB out over shm)")
 
 
 def cmd_scenarios(args) -> None:
@@ -598,6 +608,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="shrink scenario sizes to CI-smoke scale "
                    "before building the workbench")
+    p.add_argument("--transport", default="shm",
+                   choices=["shm", "queue"],
+                   help="batch payload channel: shared-memory slab "
+                   "rings (default; falls back per-batch to the queue "
+                   "when unavailable) or the pickle queue")
+    p.add_argument("--pin", action="store_true",
+                   help="pin each worker to a disjoint CPU set "
+                   "(os.sched_setaffinity; no-op where unsupported)")
     p.add_argument("--scheduler", default="round-robin",
                    choices=["round-robin", "least-loaded"])
     p.add_argument("--variant", default="FwAb",

@@ -12,7 +12,11 @@ ordered aggregation, crash recovery),
 :class:`DetectionHTTPServer` puts the stdlib HTTP network boundary on
 that service (validation, bounded 429 backpressure, graceful drain),
 and :class:`ThroughputStats` keeps the samples/sec and per-stage
-latency accounting the benchmarks and the CI perf gate read.
+latency accounting the benchmarks and the CI perf gate read.  Batch
+payloads move between the service and its shards over per-shard
+shared-memory slab rings (:class:`SlabRing` in
+:mod:`repro.runtime.transport`) so the hot path never pickles a batch;
+the pickle queue remains as the transparent per-batch fallback.
 """
 
 from repro.runtime.adaptive import AdaptiveBatcher
@@ -37,9 +41,18 @@ from repro.runtime.sharding import (
     ShardScheduler,
     make_scheduler,
     merge_shard_stats,
+    plan_worker_affinity,
 )
 from repro.runtime.server import DetectionHTTPServer
 from repro.runtime.stats import StageTimer, ThroughputStats
+from repro.runtime.transport import (
+    DEFAULT_SLAB_SLOTS,
+    SlabRing,
+    TransportError,
+    WorkerSlabs,
+    measure_ipc,
+    shm_available,
+)
 
 __all__ = [
     "AdaptiveBatcher",
@@ -61,4 +74,11 @@ __all__ = [
     "LeastLoadedScheduler",
     "make_scheduler",
     "merge_shard_stats",
+    "plan_worker_affinity",
+    "DEFAULT_SLAB_SLOTS",
+    "SlabRing",
+    "TransportError",
+    "WorkerSlabs",
+    "measure_ipc",
+    "shm_available",
 ]

@@ -24,12 +24,21 @@ Guarantees:
   the aggregate engine-time view, while request/service throughput is
   reported from wall clock (shards overlap in time, so summed engine
   seconds deliberately over-count).
+* **Transport** — batch payloads travel through per-shard
+  shared-memory slab rings (:mod:`repro.runtime.transport`) by
+  default: the queues carry only ``(seq, slot, shape, dtype)``
+  descriptors, so no batch or result is ever pickled on the hot path.
+  Anything the slabs cannot carry — shared memory unavailable, ring
+  exhausted, oversized batch — falls back per-batch to the original
+  pickle queue with bit-identical results (``transport="queue"``
+  forces that path everywhere).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import queue
 import threading
 import time
@@ -46,8 +55,16 @@ from repro.runtime.sharding import (
     ShardScheduler,
     make_scheduler,
     merge_shard_stats,
+    plan_worker_affinity,
 )
 from repro.runtime.stats import ThroughputStats
+from repro.runtime.transport import (
+    DEFAULT_SLAB_SLOTS,
+    OUT_BYTES_PER_SAMPLE,
+    SlabRing,
+    WorkerSlabs,
+    shm_available,
+)
 
 __all__ = [
     "ServiceError",
@@ -66,18 +83,32 @@ class ServiceError(RuntimeError):
 
 def _worker_main(
     worker_id: int,
-    state: dict,
+    state_payload,  # dict under fork (COW pages), pickled bytes under spawn
     model_factory: Callable,
     threshold: float,
     batch_size: int,
     task_queue,
     result_queue,
+    pin_cpus: Optional[Tuple[int, ...]] = None,
 ) -> None:
     """Shard process entry point: rebuild the engine from the broadcast
     state, then serve micro-batches until told to stop."""
     from repro.runtime.engine import DetectionEngine
 
+    if pin_cpus:
+        # Pin before warming caches so they live on the pinned core;
+        # best-effort — a shrunken cgroup mask must not kill the shard.
+        try:
+            os.sched_setaffinity(0, set(pin_cpus))
+        except (AttributeError, OSError):
+            pass
+    slabs: Optional[WorkerSlabs] = None
     try:
+        state = (
+            pickle.loads(state_payload)
+            if isinstance(state_payload, (bytes, bytearray))
+            else state_payload
+        )
         detector = detector_from_state(model_factory(), state)
         engine = DetectionEngine(
             detector, threshold=threshold, batch_size=batch_size
@@ -90,44 +121,84 @@ def _worker_main(
         message = task_queue.get()
         kind = message[0]
         if kind == "stop":
+            if slabs is not None:
+                # the model's layer caches still reference the last
+                # batch's slot view; drop them so the mmap can close
+                # without "exported pointers exist" noise
+                engine = detector = None
+                import gc
+
+                gc.collect()
+                slabs.close()
             return
         if kind == "crash":
             # Fault-injection hook (tests / chaos drills): die the way a
             # segfaulted or OOM-killed worker would — no cleanup, no
             # farewell message.
             os._exit(17)
-        seq, batch = message[1], message[2]
+        if kind == "attach":
+            try:
+                slabs = WorkerSlabs(*message[1])
+            except Exception:
+                # Attach failures surface per-batch as "reject" below,
+                # which flips the parent back to the queue transport.
+                slabs = None
+            continue
+        if kind == "shm_batch":
+            seq, slot, shape, dtype_str = message[1:]
+            if slabs is None:
+                result_queue.put(("reject", worker_id, (seq, slot)))
+                continue
+            batch = slabs.input_view(slot, shape, dtype_str)
+        else:
+            seq, batch = message[1], message[2]
+            slot = None
         try:
             result = engine.process_batch(batch)
         except Exception as exc:
-            result_queue.put(("error", worker_id, (seq, repr(exc))))
+            result_queue.put(("error", worker_id, (seq, repr(exc), slot)))
             continue
-        result_queue.put((
-            "batch",
-            worker_id,
-            {
-                "seq": seq,
-                "size": len(batch),
-                "scores": result.scores,
-                "predicted_classes": result.predicted_classes,
-                "is_adversarial": result.is_adversarial,
-                "similarities": result.similarities,
-                "seconds": engine.last_batch_seconds,
-                "stages": engine.last_batch_stages,
-            },
-        ))
+        arrays = {
+            "scores": result.scores,
+            "predicted_classes": result.predicted_classes,
+            "is_adversarial": result.is_adversarial,
+            "similarities": result.similarities,
+        }
+        payload = {
+            "seq": seq,
+            "size": len(batch),
+            "slot": slot,
+            "seconds": engine.last_batch_seconds,
+            "stages": engine.last_batch_stages,
+        }
+        batch = result = None  # drop the slot view before it can be reused
+        spec = slabs.pack_output(slot, arrays) if slot is not None else None
+        if spec is not None:
+            payload["spec"] = spec
+            result_queue.put(("shm_batch", worker_id, payload))
+        else:
+            # queue path, or a result too large for its output slot
+            payload.update(arrays)
+            result_queue.put(("batch", worker_id, payload))
 
 
 # -- parent-side bookkeeping -------------------------------------------------
 
 @dataclass
 class _Task:
-    """One dispatched micro-batch."""
+    """One dispatched micro-batch.
+
+    ``slot`` is the shard-local slab slot the batch currently occupies
+    when it went out over shared memory (``None`` on the queue path);
+    the parent keeps the batch array regardless so a crashed shard's
+    work can be requeued to a different shard's slabs.
+    """
 
     seq: int
     request: "_Request"
     chunk_index: int
     batch: np.ndarray
+    slot: Optional[int] = None
 
 
 @dataclass
@@ -163,6 +234,12 @@ class _Shard:
     dispatched_batches: int = 0
     stopping: bool = False
     broken: bool = False
+    # shared-memory data plane: created lazily at first dispatch (the
+    # slabs are sized from the first batch's sample shape); slab_failed
+    # pins this shard to the queue transport after a create/attach
+    # failure instead of retrying every batch
+    slabs: Optional[SlabRing] = None
+    slab_failed: bool = False
 
     def load(self) -> ShardLoad:
         return ShardLoad(
@@ -289,6 +366,23 @@ class ShardedDetectionService:
     start_method:
         multiprocessing start method; default ``fork`` where available
         (instant startup, zero-copy page sharing) else ``spawn``.
+    transport:
+        ``"shm"`` (default) moves batch and result payloads through
+        per-shard shared-memory slab rings, with the queues carrying
+        only small descriptors; it degrades per-batch to the pickle
+        queue whenever shared memory is unavailable or a slab slot
+        cannot be acquired.  ``"queue"`` forces the pickle path
+        everywhere.  Decisions are bit-identical on both.
+    pin_workers:
+        Pin each worker to a disjoint CPU set
+        (:func:`~repro.runtime.sharding.plan_worker_affinity` +
+        ``os.sched_setaffinity`` at worker startup) so the OS cannot
+        migrate shards — and their warm caches — across cores.
+        Best-effort no-op on platforms without affinity support.
+    slab_slots:
+        Slots per shard slab ring (default 16); once a shard's ring is
+        exhausted further batches for it fall back to the queue until
+        results free slots.
     """
 
     def __init__(
@@ -305,22 +399,64 @@ class ShardedDetectionService:
         max_restarts: Optional[int] = None,
         start_method: Optional[str] = None,
         ready_timeout: float = 120.0,
+        transport: str = "shm",
+        pin_workers: bool = False,
+        slab_slots: int = DEFAULT_SLAB_SLOTS,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if transport not in ("shm", "queue"):
+            raise ValueError(
+                f"unknown transport {transport!r}; choose 'shm' or 'queue'"
+            )
+        if slab_slots < 1:
+            raise ValueError("slab_slots must be positive")
         if state is None:
             if detector is None:
                 raise ValueError("provide a detector or a prebuilt state")
             state = detector_to_state(detector)
         if not state.get("fitted"):
             raise ValueError("detector classifier must be fitted")
-        self._state = state
+        method = start_method or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._ctx = mp.get_context(method)
+        if method == "fork":
+            # fork inherits the dict as copy-on-write pages — zero
+            # serialization per spawn, so keep it as-is
+            self._state_payload: Union[dict, bytes] = state
+        else:
+            # spawn pickles Process args per worker: serialize the deep
+            # array dict exactly once and reuse the buffer for every
+            # spawn — the initial pool and respawned replacements alike
+            self._state_payload = pickle.dumps(
+                state, pickle.HIGHEST_PROTOCOL
+            )
         self._model_factory = model_factory
         self.num_workers = num_workers
         self.threshold = threshold
         self.batch_size = batch_size
+        self.transport_requested = transport
+        self._shm_ok = transport == "shm" and shm_available()
+        self.slab_slots = slab_slots
+        self.pin_workers = bool(pin_workers)
+        self._affinity_plan = (
+            plan_worker_affinity(num_workers) if self.pin_workers else None
+        )
+        # shard_id -> plan slot, so a replacement takes over the CPU
+        # share of the shard it replaces (never a live shard's)
+        self._affinity_slots: Dict[int, int] = {}
+        self._transport_counts = {
+            "shm_batches": 0,
+            "queue_batches": 0,
+            "slot_fallbacks": 0,
+            "size_fallbacks": 0,
+            "shm_bytes_in": 0,
+            "shm_bytes_out": 0,
+            "slots_reclaimed": 0,
+        }
         self.adaptive: Optional[AdaptiveBatcher] = None
         if slo_ms is not None:
             self.adaptive = AdaptiveBatcher(
@@ -333,10 +469,6 @@ class ShardedDetectionService:
             num_workers if max_restarts is None else max_restarts
         )
         self._ready_timeout = ready_timeout
-        method = start_method or (
-            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        )
-        self._ctx = mp.get_context(method)
 
         self._lock = threading.RLock()
         # Serialises start()/stop() against concurrent submit() callers
@@ -439,6 +571,10 @@ class ShardedDetectionService:
                     ServiceError("service stopped with the request pending")
                 )
             for shard in shards:
+                # workers already joined (or were terminated): unlink
+                # every shared-memory segment so nothing outlives the
+                # pool in /dev/shm
+                self._destroy_shard_slabs(shard)
                 for q in (shard.task_queue, shard.result_queue):
                     q.close()
                     q.cancel_join_thread()
@@ -608,16 +744,34 @@ class ShardedDetectionService:
         self._next_shard_id += 1
         task_queue = self._ctx.Queue()
         result_queue = self._ctx.Queue()
+        pin_cpus = None
+        if self._affinity_plan:
+            # claim the lowest plan slot no live shard holds, so a
+            # replacement inherits the dead shard's CPU share and the
+            # partition stays disjoint across respawns
+            with self._lock:
+                held = {
+                    self._affinity_slots[sid]
+                    for sid in self._shards
+                    if sid in self._affinity_slots
+                }
+                slot = next(
+                    (s for s in range(self.num_workers) if s not in held),
+                    shard_id % self.num_workers,
+                )
+                self._affinity_slots[shard_id] = slot
+            pin_cpus = self._affinity_plan[slot]
         process = self._ctx.Process(
             target=_worker_main,
             args=(
                 shard_id,
-                self._state,
+                self._state_payload,
                 self._model_factory,
                 self.threshold,
                 self.batch_size,
                 task_queue,
                 result_queue,
+                pin_cpus,
             ),
             name=f"detection-shard-{shard_id}",
             daemon=True,
@@ -677,15 +831,111 @@ class ShardedDetectionService:
                             [s.load() for s in ready]
                         )
                         shard = self._shards[target]
+                        message = self._transport_message(shard, task)
                         shard.inflight[task.seq] = task
                         shard.inflight_samples += len(task.batch)
                         shard.dispatched_batches += 1
-                        shard.task_queue.put(
-                            ("batch", task.seq, task.batch)
-                        )
+                        shard.task_queue.put(message)
                         break
                 # no ready shard right now (e.g. respawn in progress)
                 time.sleep(0.005)
+
+    # -- transport (data plane) -----------------------------------------
+    def _transport_message(self, shard: _Shard, task: _Task) -> tuple:
+        """Build the control message for one batch, writing the payload
+        into a slab slot when the shm path can take it (called under
+        ``self._lock``)."""
+        task.slot = None
+        if self._shm_ok:
+            batch = np.ascontiguousarray(task.batch)
+            task.batch = batch  # a requeue reuses the contiguous form
+            if shard.slabs is None and not shard.slab_failed:
+                self._create_shard_slabs(shard, batch)
+            if shard.slabs is not None and not shard.slab_failed:
+                if not shard.slabs.fits(batch.nbytes):
+                    self._transport_counts["size_fallbacks"] += 1
+                else:
+                    slot = shard.slabs.acquire()
+                    if slot is None:
+                        self._transport_counts["slot_fallbacks"] += 1
+                    else:
+                        shard.slabs.write_input(slot, batch)
+                        task.slot = slot
+                        self._transport_counts["shm_batches"] += 1
+                        self._transport_counts["shm_bytes_in"] += batch.nbytes
+                        return (
+                            "shm_batch", task.seq, slot,
+                            batch.shape, batch.dtype.str,
+                        )
+        self._transport_counts["queue_batches"] += 1
+        return ("batch", task.seq, task.batch)
+
+    def _create_shard_slabs(self, shard: _Shard, batch: np.ndarray) -> None:
+        """Lazily build this shard's slab ring, sized from the first
+        batch's sample shape and the service's max batch size, and tell
+        the worker to attach (the attach message is queued ahead of any
+        descriptor, so the worker is always ready for it)."""
+        sample_nbytes = (
+            int(np.prod(batch.shape[1:], dtype=np.int64)) * batch.itemsize
+            if batch.ndim > 1 else batch.itemsize
+        )
+        in_slot = max(1, sample_nbytes) * self.batch_size
+        out_slot = OUT_BYTES_PER_SAMPLE * self.batch_size + 1024
+        try:
+            shard.slabs = SlabRing(
+                shard.shard_id, self.slab_slots, in_slot, out_slot
+            )
+        except Exception:
+            # /dev/shm full, read-only, too small, ... — this shard
+            # serves over the queue for the rest of its life
+            shard.slab_failed = True
+            return
+        shard.task_queue.put(("attach", shard.slabs.attach_message()))
+
+    def _release_slot(self, shard: _Shard, slot: Optional[int]) -> None:
+        if slot is None or shard.slabs is None:
+            return
+        try:
+            shard.slabs.release(slot)
+        except Exception:
+            pass  # slab ring already torn down by a racing reap
+
+    def _destroy_shard_slabs(self, shard: _Shard) -> int:
+        """Reclaim every slab slot the shard still holds and unlink its
+        segments; returns how many in-flight slots were reclaimed."""
+        reclaimed = 0
+        for task in shard.inflight.values():
+            if task.slot is not None:
+                task.slot = None  # the slot dies with the slab
+                reclaimed += 1
+        if shard.slabs is not None:
+            shard.slabs.destroy()
+            shard.slabs = None
+        return reclaimed
+
+    @property
+    def transport(self) -> str:
+        """The effective payload channel: ``"shm"`` when slab rings are
+        in play, ``"queue"`` when forced or unavailable."""
+        return "shm" if self._shm_ok else "queue"
+
+    def transport_stats(self) -> dict:
+        """Lifetime transport accounting: batches per channel, fallback
+        causes, and shared-memory bytes moved each way."""
+        with self._lock:
+            stats = dict(self._transport_counts)
+            stats["shards_with_slabs"] = sum(
+                1 for s in self._shards.values() if s.slabs is not None
+            )
+            stats["slots_in_use"] = sum(
+                s.slabs.in_use
+                for s in self._shards.values()
+                if s.slabs is not None
+            )
+        stats["transport"] = self.transport
+        stats["requested"] = self.transport_requested
+        stats["slab_slots"] = self.slab_slots
+        return stats
 
     def _collect_loop(self) -> None:
         try:
@@ -735,9 +985,33 @@ class ShardedDetectionService:
             if kind == "ready":
                 shard.ready.set()
             elif kind == "batch":
+                # a queue-path result — or a shm-dispatched batch whose
+                # result overflowed its output slot; either way any
+                # held slot is done with
+                self._release_slot(shard, payload.pop("slot", None))
                 self._finish_chunk(worker_id, payload)
+            elif kind == "shm_batch":
+                slot = payload.pop("slot")
+                spec = payload.pop("spec")
+                if shard.slabs is not None:
+                    arrays = shard.slabs.read_output(slot, spec)
+                    payload.update(arrays)
+                    with self._lock:
+                        self._transport_counts["shm_bytes_out"] += sum(
+                            a.nbytes for a in arrays.values()
+                        )
+                    self._release_slot(shard, slot)
+                    self._finish_chunk(worker_id, payload)
+                # else: the slabs were already torn down (reap race) —
+                # the seq stays open and the batch requeues as an orphan
+            elif kind == "reject":
+                # the worker could not attach its slabs: requeue the
+                # batch and stop offering this shard the shm path
+                seq, slot = payload
+                self._requeue_rejected(shard, seq, slot)
             elif kind == "error":
-                seq, message = payload
+                seq, message, slot = payload
+                self._release_slot(shard, slot)
                 self._fail_seq(worker_id, seq, message)
             elif kind == "fatal":
                 # the worker announced its own startup failure; the
@@ -808,6 +1082,27 @@ class ShardedDetectionService:
             )
         )
 
+    def _requeue_rejected(self, shard: _Shard, seq: int, slot) -> None:
+        """A worker bounced a shm descriptor it cannot read (attach
+        failed on its side): release the slot, pin the shard to the
+        queue transport, and redispatch the batch — the parent still
+        holds it."""
+        with self._lock:
+            shard.slab_failed = True
+            task = shard.inflight.pop(seq, None)
+            if task is not None:
+                shard.inflight_samples -= len(task.batch)
+                task.slot = None  # the slot dies with the slabs below
+            # an unattached worker can never produce shm results, so
+            # the slabs are dead weight: reclaim every slot its pending
+            # shm batches hold (they will all be rejected and land
+            # here) and unlink the segments now rather than at stop
+            self._transport_counts["slots_reclaimed"] += (
+                self._destroy_shard_slabs(shard)
+            )
+        if task is not None and not task.request.failed:
+            self._dispatch_queue.put(task)
+
     def _fail_seq(self, worker_id: int, seq: int, message: str) -> None:
         """A worker hit a deterministic per-batch error: requeueing
         would loop, so the whole request fails."""
@@ -849,6 +1144,13 @@ class ShardedDetectionService:
                 self._drain_shard_results(shard)
                 del self._shards[shard.shard_id]
                 orphans.extend(shard.inflight.values())
+                # reclaim the dead worker's slab slots *before* the
+                # orphans requeue: their payloads redispatch through a
+                # surviving shard's own slabs (or the queue), and the
+                # dead slabs unlink so nothing leaks in /dev/shm
+                self._transport_counts["slots_reclaimed"] += (
+                    self._destroy_shard_slabs(shard)
+                )
                 for q in (shard.task_queue, shard.result_queue):
                     q.close()
                     q.cancel_join_thread()
@@ -881,6 +1183,8 @@ def measure_worker_scaling(
     threshold: float = 0.5,
     scheduler: Union[str, ShardScheduler] = "round-robin",
     state: Optional[dict] = None,
+    transport: str = "shm",
+    pin_workers: bool = False,
 ) -> dict:
     """Wall-clock samples/sec of the sharded service per pool size.
 
@@ -905,6 +1209,8 @@ def measure_worker_scaling(
             threshold=threshold,
             batch_size=batch_size,
             scheduler=scheduler,
+            transport=transport,
+            pin_workers=pin_workers,
         ) as service:
             service.run(traffic[: min(len(traffic), 2 * batch_size)])  # warm
             best = None
@@ -929,6 +1235,7 @@ def measure_worker_scaling(
                 "engine_seconds": best.stats.total_seconds,
                 "scores": scores,
                 "rejection_rate": rejection_rate,
+                "transport": service.transport,
             }
         results[workers] = report
     return results

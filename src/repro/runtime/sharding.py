@@ -20,8 +20,9 @@ worker processes themselves, so policies stay trivially testable.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.stats import ThroughputStats
 
@@ -33,6 +34,7 @@ __all__ = [
     "SCHEDULERS",
     "make_scheduler",
     "merge_shard_stats",
+    "plan_worker_affinity",
 ]
 
 
@@ -111,6 +113,41 @@ def make_scheduler(
         raise ValueError(
             f"unknown scheduler {scheduler!r}; known: {known}"
         ) from None
+
+
+def plan_worker_affinity(
+    num_workers: int,
+    available: Optional[Sequence[int]] = None,
+) -> Optional[List[Tuple[int, ...]]]:
+    """One CPU-affinity set per worker slot, or ``None`` when the
+    platform cannot pin (no ``sched_setaffinity``, e.g. macOS).
+
+    The CPUs this process may use are partitioned round-robin so every
+    worker gets a disjoint, near-equal share; with more workers than
+    CPUs the sets wrap to single CPUs instead.  Workers apply their set
+    with ``os.sched_setaffinity`` at startup, which stops the scheduler
+    migrating a shard (and its warm caches) across cores mid-run.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be positive")
+    if not hasattr(os, "sched_getaffinity") or not hasattr(
+        os, "sched_setaffinity"
+    ):
+        return None
+    if available is None:
+        available = sorted(os.sched_getaffinity(0))
+    else:
+        available = sorted(available)
+    if not available:
+        return None
+    plan: List[Tuple[int, ...]] = []
+    for slot in range(num_workers):
+        if num_workers <= len(available):
+            cpus = tuple(available[slot::num_workers])
+        else:
+            cpus = (available[slot % len(available)],)
+        plan.append(cpus)
+    return plan
 
 
 def merge_shard_stats(

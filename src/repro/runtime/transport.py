@@ -1,0 +1,476 @@
+"""Zero-copy shared-memory transport for the sharded service.
+
+The pickle-queue transport copies every batch twice (serialize into the
+queue's pipe, deserialize out of it) on the hottest path in the system.
+This module replaces the *payload* channel with preallocated
+``multiprocessing.shared_memory`` slabs while the existing queues carry
+only small control descriptors — ``(seq, slot, shape, dtype)`` — so a
+dispatched batch costs one ``memcpy`` into a slab slot and the worker
+reads it as a zero-copy NumPy view.
+
+Layout per shard (the parent owns both slabs, created lazily at the
+first dispatch once the sample shape is known):
+
+* **input slab** — ``slots`` fixed-size slots, each large enough for
+  one max-size micro-batch (``batch_size * sample_nbytes``).  The
+  dispatcher acquires a free slot, writes the batch, and sends the
+  descriptor; the worker maps the slot back into an ndarray view.
+* **output slab** — the paired result slot: the worker packs the
+  decision arrays (scores / predicted classes / flags / similarities)
+  contiguously into slot ``i`` of the output slab and sends back a
+  segment spec; the parent copies them out and releases the slot.
+
+Slot accounting lives entirely on the parent (:class:`SlabRing`): one
+acquire covers both directions and the slot is released when the result
+message (or error) for that batch arrives.  A worker crash therefore
+can never leak a slot — the parent reclaims the dead shard's slots and
+unlinks its slabs before requeueing the orphaned batches.
+
+Every path degrades transparently to the pickle queue: shared memory
+unavailable (platform or permission), a slab ring exhausted under
+burst load, or a batch larger than a slot all fall back per-batch with
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _resource_tracker = None
+    _shared_memory = None
+
+__all__ = [
+    "DEFAULT_SLAB_SLOTS",
+    "SlabRing",
+    "TransportError",
+    "WorkerSlabs",
+    "measure_ipc",
+    "pack_arrays",
+    "shm_available",
+    "unpack_arrays",
+]
+
+#: Slots per shard slab ring: deep enough that a 16-chunk request split
+#: over two shards stays entirely on the shm path, small enough that a
+#: 4-shard pool stays in the tens of megabytes.
+DEFAULT_SLAB_SLOTS = 16
+#: Segment alignment inside a slot (cache-line sized).
+_ALIGN = 64
+#: Conservative output bytes per sample (scores f8 + classes i8 +
+#: flags b1 + similarities f8 = 25 B; 64 leaves headroom for growth —
+#: a result that still overflows falls back to the queue).
+OUT_BYTES_PER_SAMPLE = 64
+
+#: Array spec entry: ``(key, shape, dtype_str, byte_offset)``.
+SegmentSpec = List[Tuple[str, Tuple[int, ...], str, int]]
+
+
+class TransportError(RuntimeError):
+    """Shared-memory transport misuse (bad slot, exhausted ring)."""
+
+
+def _align(nbytes: int) -> int:
+    return -(-int(nbytes) // _ALIGN) * _ALIGN
+
+
+_SHM_PROBED: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory can actually be created here.
+
+    Probes once per process: some platforms lack the module, some
+    containers mount ``/dev/shm`` read-only or not at all.
+    """
+    global _SHM_PROBED
+    if _SHM_PROBED is None:
+        if _shared_memory is None:
+            _SHM_PROBED = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(create=True, size=64)
+                probe.close()
+                probe.unlink()
+                _SHM_PROBED = True
+            except Exception:
+                _SHM_PROBED = False
+    return _SHM_PROBED
+
+
+def pack_arrays(buf: memoryview, arrays: Dict[str, np.ndarray]) -> Optional[SegmentSpec]:
+    """Write ``arrays`` contiguously (aligned) into ``buf``.
+
+    Returns the segment spec needed by :func:`unpack_arrays`, or
+    ``None`` when the arrays do not fit — the caller falls back to the
+    pickle queue rather than corrupting the slab.
+    """
+    spec: SegmentSpec = []
+    offset = 0
+    for key, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        offset = _align(offset)
+        end = offset + arr.nbytes
+        if end > len(buf):
+            return None
+        if arr.nbytes:
+            dst = np.frombuffer(buf, dtype=np.uint8, count=arr.nbytes,
+                                offset=offset)
+            dst[:] = arr.reshape(-1).view(np.uint8)
+        spec.append((key, tuple(arr.shape), arr.dtype.str, offset))
+        offset = end
+    return spec
+
+
+def unpack_arrays(buf: memoryview, spec: SegmentSpec) -> Dict[str, np.ndarray]:
+    """Copy the arrays described by ``spec`` back out of ``buf``.
+
+    Always copies: the returned arrays must outlive the slot, which is
+    released (and rewritten) as soon as this returns.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for key, shape, dtype_str, offset in spec:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
+        out[key] = view.reshape(shape).copy()
+    return out
+
+
+def _attach(name: str) -> "_shared_memory.SharedMemory":
+    """Attach to an existing segment without handing its lifetime to
+    this process's resource tracker.
+
+    Python < 3.13 registers *attachments* with the resource tracker
+    too, with two failure modes for a segment the parent owns: a
+    spawn-method worker's private tracker unlinks it when the worker
+    exits, and a fork-method worker (shared tracker) double-books the
+    name so the parent's own unlink-time unregister raises.  Attaching
+    with registration suppressed (the documented pre-3.13 workaround —
+    3.13+ has ``track=False``) sidesteps both; the parent stays the
+    sole owner.
+    """
+    original = _resource_tracker.register
+    _resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        _resource_tracker.register = original
+
+
+class SlabRing:
+    """Parent-side owner of one shard's paired input/output slabs.
+
+    ``slots`` fixed-size slots; ``acquire`` hands out a free slot index
+    covering both directions, ``release`` returns it once the result
+    has been copied out.  Thread-safe: the dispatcher acquires while
+    the collector releases.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        slots: int,
+        in_slot_bytes: int,
+        out_slot_bytes: int,
+        name_prefix: str = "psd",
+    ):
+        if _shared_memory is None:
+            raise TransportError("shared memory is unavailable here")
+        if slots < 1:
+            raise ValueError("slots must be positive")
+        if in_slot_bytes < 1 or out_slot_bytes < 1:
+            raise ValueError("slot sizes must be positive")
+        self.slots = int(slots)
+        self.in_slot_bytes = _align(in_slot_bytes)
+        self.out_slot_bytes = _align(out_slot_bytes)
+        token = secrets.token_hex(4)
+        self.input_name = f"{name_prefix}-{os.getpid()}-{shard_id}-{token}-in"
+        self.output_name = f"{name_prefix}-{os.getpid()}-{shard_id}-{token}-out"
+        self._input = _shared_memory.SharedMemory(
+            name=self.input_name, create=True,
+            size=self.slots * self.in_slot_bytes,
+        )
+        try:
+            self._output = _shared_memory.SharedMemory(
+                name=self.output_name, create=True,
+                size=self.slots * self.out_slot_bytes,
+            )
+        except Exception:
+            self._input.close()
+            self._input.unlink()
+            raise
+        self._lock = threading.Lock()
+        self._free = list(range(self.slots - 1, -1, -1))
+        self._destroyed = False
+
+    # -- slot accounting ------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self.slots - len(self._free)
+
+    def acquire(self) -> Optional[int]:
+        """A free slot index, or ``None`` when the ring is exhausted
+        (the caller falls back to the queue — never blocks)."""
+        with self._lock:
+            if self._destroyed or not self._free:
+                return None
+            return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        with self._lock:
+            if self._destroyed:
+                return
+            if not 0 <= slot < self.slots:
+                raise TransportError(f"slot {slot} out of range")
+            if slot in self._free:
+                raise TransportError(f"slot {slot} released twice")
+            self._free.append(slot)
+
+    # -- data plane -----------------------------------------------------
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.in_slot_bytes
+
+    def write_input(self, slot: int, batch: np.ndarray) -> None:
+        """One memcpy of the batch into its slot (the only copy on the
+        dispatch side — the worker reads the slot zero-copy)."""
+        batch = np.ascontiguousarray(batch)
+        if batch.nbytes > self.in_slot_bytes:
+            raise TransportError(
+                f"batch of {batch.nbytes} B exceeds the "
+                f"{self.in_slot_bytes} B slot"
+            )
+        if batch.nbytes:
+            dst = np.frombuffer(
+                self._input.buf, dtype=np.uint8, count=batch.nbytes,
+                offset=slot * self.in_slot_bytes,
+            )
+            dst[:] = batch.reshape(-1).view(np.uint8)
+
+    def read_output(self, slot: int, spec: SegmentSpec) -> Dict[str, np.ndarray]:
+        """Copy the worker's packed result arrays out of the slot."""
+        offset = slot * self.out_slot_bytes
+        shifted = [
+            (key, shape, dtype_str, offset + seg_offset)
+            for key, shape, dtype_str, seg_offset in spec
+        ]
+        return unpack_arrays(self._output.buf, shifted)
+
+    # -- lifecycle ------------------------------------------------------
+    def attach_message(self) -> tuple:
+        """The control-queue payload a worker needs to attach."""
+        return (
+            self.input_name, self.output_name, self.slots,
+            self.in_slot_bytes, self.out_slot_bytes,
+        )
+
+    def destroy(self) -> None:
+        """Close and unlink both segments (idempotent); pending views
+        on the worker side die with the worker's own close."""
+        with self._lock:
+            if self._destroyed:
+                return
+            self._destroyed = True
+            self._free = []
+        for segment in (self._input, self._output):
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - lingering view
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+class WorkerSlabs:
+    """Worker-side attachment to a shard's slab pair.
+
+    Built from :meth:`SlabRing.attach_message`; provides zero-copy
+    input views and packs result arrays into the paired output slot.
+    """
+
+    def __init__(
+        self,
+        input_name: str,
+        output_name: str,
+        slots: int,
+        in_slot_bytes: int,
+        out_slot_bytes: int,
+    ):
+        if _shared_memory is None:
+            raise TransportError("shared memory is unavailable here")
+        self.slots = slots
+        self.in_slot_bytes = in_slot_bytes
+        self.out_slot_bytes = out_slot_bytes
+        self._input = _attach(input_name)
+        try:
+            self._output = _attach(output_name)
+        except Exception:
+            self._input.close()
+            raise
+
+    def input_view(
+        self, slot: int, shape: Sequence[int], dtype_str: str
+    ) -> np.ndarray:
+        """Zero-copy ndarray over the batch the parent wrote."""
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        view = np.frombuffer(
+            self._input.buf, dtype=dtype, count=count,
+            offset=slot * self.in_slot_bytes,
+        )
+        return view.reshape(tuple(shape))
+
+    def pack_output(
+        self, slot: int, arrays: Dict[str, np.ndarray]
+    ) -> Optional[SegmentSpec]:
+        """Pack result arrays into the paired output slot; ``None`` on
+        overflow (caller falls back to the queue for this batch)."""
+        offset = slot * self.out_slot_bytes
+        window = self._output.buf[offset:offset + self.out_slot_bytes]
+        try:
+            return pack_arrays(window, arrays)
+        finally:
+            window.release()
+
+    def close(self) -> None:
+        for segment in (self._input, self._output):
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - lingering view
+                pass
+
+
+# -- IPC microbenchmark ------------------------------------------------------
+
+def _echo_main(task_queue, result_queue, slab_args) -> None:
+    """Echo worker for :func:`measure_ipc`: bounce every payload back
+    over the same transport it arrived on."""
+    slabs = WorkerSlabs(*slab_args) if slab_args is not None else None
+    result_queue.put(("ready",))
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            if slabs is not None:
+                slabs.close()
+            return
+        if kind == "shm":
+            _, slot, shape, dtype_str = message
+            view = slabs.input_view(slot, shape, dtype_str)
+            spec = slabs.pack_output(slot, {"echo": view})
+            view = None  # release the slot view before the next get
+            result_queue.put(("shm", slot, spec))
+        else:
+            result_queue.put(("arr", message[1]))
+
+
+def _roundtrip(
+    transport: str, payload: np.ndarray, ring, task_queue, result_queue
+) -> np.ndarray:
+    """One echo round trip over the given channel."""
+    if transport == "shm":
+        slot = ring.acquire()
+        ring.write_input(slot, payload)
+        task_queue.put(("shm", slot, payload.shape, payload.dtype.str))
+        _, out_slot, spec = result_queue.get(timeout=60)
+        echoed = ring.read_output(out_slot, spec)["echo"]
+        ring.release(out_slot)
+        return echoed
+    task_queue.put(("arr", payload))
+    return result_queue.get(timeout=60)[1]
+
+
+def measure_ipc(
+    payload_shape: Tuple[int, ...] = (32, 3, 32, 32),
+    dtype: str = "float64",
+    batches: int = 64,
+    transports: Sequence[str] = ("queue", "shm"),
+    start_method: Optional[str] = None,
+    slots: int = 4,
+) -> dict:
+    """Raw transport round-trip cost: pickle queue vs shared memory.
+
+    Pushes ``batches`` identical payloads through an echo worker over
+    each transport and reports one-way payload bandwidth (MB/s over
+    ``payload_bytes``) and per-batch round-trip overhead (ms).  The
+    echo is verified bit-identical on the first and last round trip.
+    """
+    import multiprocessing as mp
+
+    method = start_method or (
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+    ctx = mp.get_context(method)
+    rng = np.random.default_rng(0)
+    payload = rng.standard_normal(payload_shape).astype(dtype)
+    report: dict = {
+        "payload_bytes": int(payload.nbytes),
+        "batches": int(batches),
+        "shm_available": shm_available(),
+    }
+    for transport in transports:
+        if transport == "shm" and not shm_available():
+            continue
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        ring = None
+        slab_args = None
+        if transport == "shm":
+            ring = SlabRing(
+                0, slots, payload.nbytes, payload.nbytes + 8 * _ALIGN
+            )
+            slab_args = ring.attach_message()
+        process = ctx.Process(
+            target=_echo_main, args=(task_queue, result_queue, slab_args),
+            daemon=True,
+        )
+        process.start()
+        try:
+            assert result_queue.get(timeout=60)[0] == "ready"
+            # warm pass (queue feeder threads, page faults)
+            first = _roundtrip(
+                transport, payload, ring, task_queue, result_queue
+            )
+            if not np.array_equal(first, payload):
+                raise TransportError(f"{transport} echo corrupted the payload")
+            start = time.perf_counter()
+            for _ in range(batches):
+                echoed = _roundtrip(
+                    transport, payload, ring, task_queue, result_queue
+                )
+            elapsed = time.perf_counter() - start
+            if not np.array_equal(echoed, payload):
+                raise TransportError(f"{transport} echo corrupted the payload")
+            report[transport] = {
+                "seconds": elapsed,
+                "per_batch_ms": elapsed / batches * 1e3,
+                "mb_per_s": payload.nbytes * batches / max(elapsed, 1e-9) / 1e6,
+            }
+        finally:
+            task_queue.put(("stop",))
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover
+                process.terminate()
+                process.join(timeout=5)
+            for q in (task_queue, result_queue):
+                q.close()
+                q.cancel_join_thread()
+            if ring is not None:
+                ring.destroy()
+    if "queue" in report and "shm" in report:
+        report["shm_speedup"] = (
+            report["queue"]["per_batch_ms"] / report["shm"]["per_batch_ms"]
+        )
+    return report
