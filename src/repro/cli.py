@@ -331,6 +331,7 @@ def cmd_throughput(args) -> None:
                 worker_counts=(args.workers,),
                 batch_size=batch_size,
                 state=state,
+                backend=args.backend,
             )[args.workers])
             for batch_size in args.batch_sizes
         ]
@@ -340,7 +341,8 @@ def cmd_throughput(args) -> None:
         )
     else:
         reports = list(measure_throughput(
-            detector, traffic, batch_sizes=args.batch_sizes
+            detector, traffic, batch_sizes=args.batch_sizes,
+            backend=args.backend,
         ).items())
         title = (
             f"{args.variant} on {args.scenario}: engine throughput "
@@ -375,6 +377,7 @@ def _serve_http(args, workbench, threshold) -> None:
         batch_size=args.batch_size, scheduler=args.scheduler,
         threshold=threshold, slo_ms=args.slo_ms,
         transport=args.transport, pin_workers=args.pin,
+        backend=args.backend,
     )
     service.start()
     server = DetectionHTTPServer(
@@ -433,6 +436,7 @@ def cmd_serve(args) -> None:
         batch_size=args.batch_size, scheduler=args.scheduler,
         threshold=threshold, slo_ms=args.slo_ms,
         transport=args.transport, pin_workers=args.pin,
+        backend=args.backend,
     ) as service:
         result = service.run(frames)
         shard_stats = service.shard_stats()
@@ -582,6 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes; >1 measures the sharded "
                    "service at wall clock instead of the in-process "
                    "engine")
+    p.add_argument("--backend", default=None,
+                   choices=["numpy", "tiled", "numba"],
+                   help="kernel backend for the hot detection "
+                   "primitives (default: REPRO_KERNEL_BACKEND env, "
+                   "then the detector config, then numpy)")
     p.set_defaults(func=cmd_throughput)
 
     p = sub.add_parser(
@@ -618,6 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "(os.sched_setaffinity; no-op where unsupported)")
     p.add_argument("--scheduler", default="round-robin",
                    choices=["round-robin", "least-loaded"])
+    p.add_argument("--backend", default=None,
+                   choices=["numpy", "tiled", "numba"],
+                   help="kernel backend each shard's engine computes "
+                   "on (default: REPRO_KERNEL_BACKEND env, then the "
+                   "detector config, then numpy)")
     p.add_argument("--variant", default="FwAb",
                    choices=["BwCu", "BwAb", "FwAb", "FwCu", "Hybrid"])
     p.add_argument("--attack", choices=["bim", "fgsm", "deepfool",

@@ -2,7 +2,15 @@
 builds the optimised block schedules the hardware model executes."""
 
 from repro.compiler.memory_map import MemoryMap
-from repro.compiler.codegen import compile_bwcu, compile_inference, theta_to_fixed
+from repro.compiler.codegen import (
+    BatchKernelSchedule,
+    KernelMicroOp,
+    compile_batch_containment,
+    compile_batch_per_tap,
+    compile_bwcu,
+    compile_inference,
+    theta_to_fixed,
+)
 from repro.compiler.passes import (
     Block,
     Schedule,
@@ -15,6 +23,10 @@ __all__ = [
     "compile_bwcu",
     "compile_inference",
     "theta_to_fixed",
+    "BatchKernelSchedule",
+    "KernelMicroOp",
+    "compile_batch_containment",
+    "compile_batch_per_tap",
     "Block",
     "Schedule",
     "apply_optimizations",

@@ -1,0 +1,125 @@
+"""repro.core.backends — pluggable compute backends for the hot
+packed-word detection kernels.
+
+The batched score path of :class:`~repro.core.detector.PtolemyDetector`
+spends essentially all of its kernel time in six primitives
+(``batch_or``, ``batch_popcount``, ``batch_and_popcount``,
+``batch_containment``, ``batch_jaccard``, ``segment_popcount``).  This
+registry makes the implementation of those primitives selectable:
+
+* ``numpy`` — the reference kernels in :mod:`repro.core.bitmask`; the
+  bit-identity baseline every other backend is tested against.
+* ``tiled`` — cache-sized row tiles on a shared thread pool
+  (:mod:`repro.core.backends.tiled`); the multi-core throughput
+  backend.
+* ``numba`` — optional JIT loop kernels behind a lazy import
+  (:mod:`repro.core.backends.numba_backend`); degrades to ``numpy``
+  when numba is absent or fails to compile.
+
+Selection precedence (highest wins): an explicit argument (CLI
+``--backend`` / ``DetectionEngine(backend=)``), the
+``REPRO_KERNEL_BACKEND`` environment variable, then
+``ExtractionConfig.backend``, then the ``numpy`` default.  All
+backends are bit-identical on scores and decisions — selection is
+purely a throughput knob, which is why an env override is safe.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable, Dict, Optional
+
+from repro.core.backends.base import KernelBackend
+from repro.core.backends.numba_backend import NumbaBackend, numba_available
+from repro.core.backends.tiled import (
+    DEFAULT_TILE_BYTES,
+    TiledBackend,
+    plan_row_tiles,
+    tile_rows_for,
+    worker_budget,
+)
+
+__all__ = [
+    "KERNEL_BACKEND_ENV",
+    "KernelBackend",
+    "NumbaBackend",
+    "TiledBackend",
+    "DEFAULT_TILE_BYTES",
+    "available_backends",
+    "get_backend",
+    "numba_available",
+    "plan_row_tiles",
+    "register_backend",
+    "resolve_backend",
+    "tile_rows_for",
+    "worker_budget",
+]
+
+#: Environment override, between explicit arguments and config values
+#: in precedence.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {
+    "numpy": KernelBackend,
+    "tiled": TiledBackend,
+    "numba": NumbaBackend,
+}
+
+# Instances are shared per name: the tiled backend owns thread-pool
+# state and the numba backend owns compiled kernels, neither of which
+# should be rebuilt per detector.
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend]
+) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> Dict[str, bool]:
+    """Registered names mapped to whether they can run natively here
+    (``numba`` is registered but unavailable when the JIT is absent)."""
+    return {
+        name: (name != "numba" or numba_available())
+        for name in sorted(_FACTORIES)
+    }
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The shared instance for ``name``; raises on unknown names."""
+    if name not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown kernel backend {name!r} (known: {known})")
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def resolve_backend(
+    name: Optional[str] = None,
+    config_backend: Optional[str] = None,
+) -> KernelBackend:
+    """Resolve the active backend: explicit ``name`` beats the
+    ``REPRO_KERNEL_BACKEND`` environment variable beats
+    ``config_backend`` beats the ``numpy`` default.
+
+    Requesting ``numba`` on a host without numba resolves to the numpy
+    reference (with a warning) instead of failing — backend choice may
+    never change results, so it may never break startup either.
+    """
+    choice = name or os.environ.get(KERNEL_BACKEND_ENV) or config_backend
+    if not choice:
+        choice = "numpy"
+    if choice == "numba" and not numba_available():
+        warnings.warn(
+            "kernel backend 'numba' requested but numba is not "
+            "importable; falling back to the numpy reference backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return get_backend("numpy")
+    return get_backend(choice)

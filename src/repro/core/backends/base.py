@@ -1,0 +1,77 @@
+"""Reference kernel backend: the numpy implementations in
+:mod:`repro.core.bitmask`, wrapped behind the dispatch interface.
+
+Every other backend must be bit-identical to this one on every
+primitive — scores and decisions downstream may never depend on which
+backend computed them.  The numpy functions stay the single source of
+truth; this class only gives them the shape the registry dispatches
+through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitmask import (
+    batch_and_popcount,
+    batch_containment,
+    batch_jaccard,
+    batch_or,
+    batch_popcount,
+    segment_popcount,
+)
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """Dispatch surface for the hot packed-word primitives.
+
+    Subclasses override any subset of the methods; whatever they leave
+    alone falls through to the numpy reference, so a partial backend is
+    automatically correct (if not automatically faster).
+    """
+
+    #: Registry name; also what introspection (``/v1/stats``,
+    #: ``transport_stats()``) reports as the active backend.
+    name = "numpy"
+
+    def batch_or(self, words: np.ndarray) -> np.ndarray:
+        """OR-reduce an ``(N, words)`` matrix into one row."""
+        return batch_or(words)
+
+    def batch_popcount(self, words: np.ndarray) -> np.ndarray:
+        """Per-row popcount -> ``(N,)`` int64."""
+        return batch_popcount(words)
+
+    def batch_and_popcount(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-row ``||A_i & B_i||_1`` -> ``(N,)`` int64."""
+        return batch_and_popcount(a, b)
+
+    def batch_containment(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-row ``||A & B||_1 / ||A||_1`` (0.0 where A is empty)."""
+        return batch_containment(a, b)
+
+    def batch_jaccard(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-row ``||A & B||_1 / ||A | B||_1`` (1.0 where the union
+        is empty)."""
+        return batch_jaccard(a, b)
+
+    def segment_popcount(
+        self, words: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Popcount per word-segment -> ``(N, num_segments)`` int64."""
+        return segment_popcount(words, offsets)
+
+    def segment_and_popcount(
+        self, a: np.ndarray, b: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Per-segment ``||A & B||_1`` — the per-tap hits of the score
+        path.  The reference materialises the AND; tiled/numba backends
+        fuse it per tile so the intermediate never leaves cache."""
+        a = np.atleast_2d(np.asarray(a, dtype=np.uint64))
+        b = np.asarray(b, dtype=np.uint64)
+        return self.segment_popcount(a & b, offsets)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

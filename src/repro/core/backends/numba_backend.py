@@ -1,0 +1,285 @@
+"""Optional numba JIT backend, entirely behind a lazy import.
+
+The container image may or may not ship numba; this backend must never
+make the import decision for the caller.  Three degradation layers:
+
+* numba absent → :func:`numba_available` is False, the registry
+  resolves ``"numba"`` to the numpy reference (with a warning) and
+  reports the effective backend.
+* numba present but JIT compilation fails (unsupported platform,
+  threading layer missing) → the backend flips to ``degraded`` on
+  first use and every primitive falls through to the numpy reference.
+* an individual call hits an unsupported operand shape → that call
+  falls through; the backend stays live for the shapes it handles.
+
+All kernels are plain loops over ``(N, words)`` uint64 matrices with a
+SWAR popcount, so their integer counts — and therefore every float
+score derived from them — are bit-identical to numpy's
+``bitwise_count`` path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+
+from repro.core.backends.base import KernelBackend
+from repro.core.bitmask import validate_segment_offsets
+
+__all__ = ["NumbaBackend", "numba_available"]
+
+
+def numba_available() -> bool:
+    """True when numba imports cleanly (no compilation attempted)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+# SWAR popcount constants (Hacker's Delight 5-1), kept as uint64
+# scalars so the JIT sees fixed-width unsigned arithmetic.
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+_S1 = np.uint64(1)
+_S2 = np.uint64(2)
+_S4 = np.uint64(4)
+_S56 = np.uint64(56)
+
+
+def _compile_kernels():
+    """Build and warm the JIT kernels; raises on any compile failure so
+    the caller can degrade."""
+    from numba import njit, prange
+
+    @njit(inline="always")
+    def popcount64(x):
+        x = x - ((x >> _S1) & _M1)
+        x = (x & _M2) + ((x >> _S2) & _M2)
+        x = (x + (x >> _S4)) & _M4
+        return np.int64((x * _H01) >> _S56)
+
+    @njit(parallel=True, cache=False)
+    def pop_rows(a):
+        n, w = a.shape
+        out = np.zeros(n, dtype=np.int64)
+        for i in prange(n):
+            acc = np.int64(0)
+            for j in range(w):
+                acc += popcount64(a[i, j])
+            out[i] = acc
+        return out
+
+    @njit(cache=False)
+    def or_reduce(a):
+        n, w = a.shape
+        out = np.zeros(w, dtype=np.uint64)
+        for i in range(n):
+            for j in range(w):
+                out[j] |= a[i, j]
+        return out
+
+    @njit(parallel=True, cache=False)
+    def and_pop(a, b):
+        n, w = a.shape
+        bn = b.shape[0]
+        out = np.zeros(n, dtype=np.int64)
+        for i in prange(n):
+            bi = i if bn == n else 0
+            acc = np.int64(0)
+            for j in range(w):
+                acc += popcount64(a[i, j] & b[bi, j])
+            out[i] = acc
+        return out
+
+    @njit(parallel=True, cache=False)
+    def and_or_pop(a, b):
+        n, w = a.shape
+        bn = b.shape[0]
+        inter = np.zeros(n, dtype=np.int64)
+        union = np.zeros(n, dtype=np.int64)
+        for i in prange(n):
+            bi = i if bn == n else 0
+            acc_i = np.int64(0)
+            acc_u = np.int64(0)
+            for j in range(w):
+                acc_i += popcount64(a[i, j] & b[bi, j])
+                acc_u += popcount64(a[i, j] | b[bi, j])
+            inter[i] = acc_i
+            union[i] = acc_u
+        return inter, union
+
+    @njit(parallel=True, cache=False)
+    def seg_pop(a, starts, ends):
+        n = a.shape[0]
+        s = starts.shape[0]
+        out = np.zeros((n, s), dtype=np.int64)
+        for i in prange(n):
+            for k in range(s):
+                acc = np.int64(0)
+                for j in range(starts[k], ends[k]):
+                    acc += popcount64(a[i, j])
+                out[i, k] = acc
+        return out
+
+    @njit(parallel=True, cache=False)
+    def seg_and_pop(a, b, starts, ends):
+        n = a.shape[0]
+        bn = b.shape[0]
+        s = starts.shape[0]
+        out = np.zeros((n, s), dtype=np.int64)
+        for i in prange(n):
+            bi = i if bn == n else 0
+            for k in range(s):
+                acc = np.int64(0)
+                for j in range(starts[k], ends[k]):
+                    acc += popcount64(a[i, j] & b[bi, j])
+                out[i, k] = acc
+        return out
+
+    kernels = {
+        "pop_rows": pop_rows,
+        "or_reduce": or_reduce,
+        "and_pop": and_pop,
+        "and_or_pop": and_or_pop,
+        "seg_pop": seg_pop,
+        "seg_and_pop": seg_and_pop,
+    }
+    # Warm every signature now so compile failures surface here, inside
+    # the caller's try block, instead of mid-batch.
+    tiny = np.ones((2, 2), dtype=np.uint64)
+    seg = np.zeros(1, dtype=np.intp)
+    end = np.full(1, 2, dtype=np.intp)
+    kernels["pop_rows"](tiny)
+    kernels["or_reduce"](tiny)
+    kernels["and_pop"](tiny, tiny)
+    kernels["and_or_pop"](tiny, tiny)
+    kernels["seg_pop"](tiny, seg, end)
+    kernels["seg_and_pop"](tiny, tiny, seg, end)
+    return kernels
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled loop kernels with per-call numpy fallback."""
+
+    name = "numba"
+
+    def __init__(self):
+        self._kernels: Optional[dict] = None
+        self.degraded = not numba_available()
+        self.fallback_reason: Optional[str] = (
+            "numba is not importable" if self.degraded else None
+        )
+
+    # -- compilation ----------------------------------------------------
+    def _ensure(self) -> Optional[dict]:
+        if self._kernels is None and not self.degraded:
+            try:
+                self._kernels = _compile_kernels()
+            except Exception as exc:  # degrade, never break the batch
+                self._degrade(f"JIT compilation failed: {exc!r}")
+        return self._kernels
+
+    def _degrade(self, reason: str) -> None:
+        self.degraded = True
+        self.fallback_reason = reason
+        self._kernels = None
+        warnings.warn(
+            f"numba backend degraded to numpy: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    @property
+    def effective_name(self) -> str:
+        """What actually computes: ``"numba"``, or the fallback."""
+        return "numpy" if self.degraded else "numba"
+
+    # -- operand normalisation ------------------------------------------
+    @staticmethod
+    def _matrix(words: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(
+            np.atleast_2d(np.asarray(words, dtype=np.uint64))
+        )
+
+    @staticmethod
+    def _jit_compatible(a: np.ndarray, b: np.ndarray) -> bool:
+        """The loop kernels handle broadcast-row or matching-rows
+        canaries; anything else falls through to numpy (which raises
+        the same errors the reference would)."""
+        return b.shape[1] == a.shape[1] and b.shape[0] in (1, a.shape[0])
+
+    # -- primitives -----------------------------------------------------
+    def batch_or(self, words: np.ndarray) -> np.ndarray:
+        kernels = self._ensure()
+        if kernels is None:
+            return super().batch_or(words)
+        a = self._matrix(words)
+        if a.shape[0] == 0:
+            return super().batch_or(words)
+        return kernels["or_reduce"](a)
+
+    def batch_popcount(self, words: np.ndarray) -> np.ndarray:
+        kernels = self._ensure()
+        if kernels is None:
+            return super().batch_popcount(words)
+        return kernels["pop_rows"](self._matrix(words))
+
+    def batch_and_popcount(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        kernels = self._ensure()
+        am = self._matrix(a)
+        bm = self._matrix(b)
+        if kernels is None or not self._jit_compatible(am, bm):
+            return super().batch_and_popcount(a, b)
+        return kernels["and_pop"](am, bm)
+
+    def batch_containment(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        kernels = self._ensure()
+        am = self._matrix(a)
+        bm = self._matrix(b)
+        if kernels is None or not self._jit_compatible(am, bm):
+            return super().batch_containment(a, b)
+        ones = kernels["pop_rows"](am)
+        hits = kernels["and_pop"](am, bm)
+        out = np.zeros(ones.shape[0], dtype=np.float64)
+        nz = ones > 0
+        out[nz] = hits[nz] / ones[nz]
+        return out
+
+    def batch_jaccard(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        kernels = self._ensure()
+        am = self._matrix(a)
+        bm = self._matrix(b)
+        if kernels is None or not self._jit_compatible(am, bm):
+            return super().batch_jaccard(a, b)
+        inter, union = kernels["and_or_pop"](am, bm)
+        out = np.ones(am.shape[0], dtype=np.float64)
+        nz = union > 0
+        out[nz] = inter[nz] / union[nz]
+        return out
+
+    def segment_popcount(
+        self, words: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        kernels = self._ensure()
+        if kernels is None:
+            return super().segment_popcount(words, offsets)
+        a = self._matrix(words)
+        starts, ends = validate_segment_offsets(offsets, a.shape[1])
+        return kernels["seg_pop"](a, starts, ends)
+
+    def segment_and_popcount(
+        self, a: np.ndarray, b: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        kernels = self._ensure()
+        am = self._matrix(a)
+        bm = self._matrix(b)
+        if kernels is None or not self._jit_compatible(am, bm):
+            return super().segment_and_popcount(a, b, offsets)
+        starts, ends = validate_segment_offsets(offsets, am.shape[1])
+        return kernels["seg_and_pop"](am, bm, starts, ends)

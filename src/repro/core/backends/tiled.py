@@ -1,0 +1,263 @@
+"""Thread-pool backend: cache-sized row tiles on shared threads.
+
+Every hot primitive is row-independent (per-row popcounts, per-row
+containment) or an exact associative reduction (OR), so splitting an
+``(N, words)`` matrix into row tiles and computing each tile with the
+numpy reference kernels is bit-identical by construction — the tiles
+are literally the same numpy calls on row slices.  The win is
+parallelism on multi-core hosts plus tiles small enough that the AND
+intermediates of the fused segment kernels never leave cache.
+
+Tiles run on one shared :class:`~concurrent.futures.ThreadPoolExecutor`
+per process, sized from the scheduler affinity mask — a shard worker
+pinned to two CPUs therefore gets a two-thread pool, which is exactly
+the "``os.cpu_count()`` minus pinned-away CPUs" budget the sharded
+service needs without any cross-process coordination.  numpy releases
+the GIL inside the bitwise/popcount ufuncs, so threads genuinely
+overlap.
+
+:func:`plan_row_tiles` is deliberately a standalone pure function: the
+compiler (:func:`repro.compiler.codegen.compile_batch_containment`)
+emits its kernel schedules from the *same* plan, so the ISS executes —
+and the tests verify — the traversal order this backend actually uses.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.backends.base import KernelBackend
+
+__all__ = [
+    "DEFAULT_TILE_BYTES",
+    "DEFAULT_MIN_ROWS",
+    "TiledBackend",
+    "plan_row_tiles",
+    "tile_rows_for",
+    "worker_budget",
+]
+
+#: Packed-word bytes per row tile (~half an L2 slice, leaving room for
+#: the AND intermediate of the fused kernels).
+DEFAULT_TILE_BYTES = 1 << 20
+
+#: Below this many rows the per-tile dispatch overhead outweighs any
+#: parallelism; the backend falls through to plain numpy.
+DEFAULT_MIN_ROWS = 256
+
+
+def worker_budget() -> int:
+    """CPUs this process may schedule on: the affinity mask when the
+    platform exposes one (so CPU-pinned shard workers automatically get
+    their pinned share, not the whole machine), else ``os.cpu_count()``."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def tile_rows_for(
+    n_rows: int,
+    row_bytes: int,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+    parts: Optional[int] = None,
+) -> int:
+    """Rows per tile: the cache budget, tightened so at least ``parts``
+    tiles exist when the batch is large enough to feed that many
+    threads."""
+    cache_rows = max(1, tile_bytes // max(1, row_bytes))
+    if parts and parts > 1:
+        balanced = -(-n_rows // parts)
+        return max(1, min(cache_rows, balanced))
+    return cache_rows
+
+
+def plan_row_tiles(n_rows: int, tile_rows: int) -> List[Tuple[int, int]]:
+    """Half-open ``(row0, row1)`` tile bounds covering ``n_rows`` rows.
+
+    This is *the* traversal order of the tiled backend; the compiler's
+    batch kernel schedules are emitted from the same plan so the ISS
+    can validate it.
+    """
+    if n_rows < 0:
+        raise ValueError("n_rows must be non-negative")
+    if tile_rows < 1:
+        raise ValueError("tile_rows must be positive")
+    return [
+        (start, min(start + tile_rows, n_rows))
+        for start in range(0, n_rows, tile_rows)
+    ]
+
+
+# One pool per process, created on first use and recreated after a
+# fork so a child never inherits the parent's (dead) worker threads.
+_pool_lock = threading.Lock()
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_pid: Optional[int] = None
+_pool_size: int = 0
+
+
+def _shared_pool() -> Tuple[ThreadPoolExecutor, int]:
+    global _pool, _pool_pid, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_pid != os.getpid():
+            size = worker_budget()
+            _pool = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="repro-kernel"
+            )
+            _pool_pid = os.getpid()
+            _pool_size = size
+        return _pool, _pool_size
+
+
+class TiledBackend(KernelBackend):
+    """Row-tiled thread-pool execution of the numpy reference kernels."""
+
+    name = "tiled"
+
+    def __init__(
+        self,
+        tile_bytes: int = DEFAULT_TILE_BYTES,
+        min_rows: int = DEFAULT_MIN_ROWS,
+        workers: Optional[int] = None,
+    ):
+        if tile_bytes < 1:
+            raise ValueError("tile_bytes must be positive")
+        self.tile_bytes = tile_bytes
+        self.min_rows = min_rows
+        self.workers = workers
+
+    # -- tiling ---------------------------------------------------------
+    def _plan(self, a: np.ndarray) -> Optional[List[Tuple[int, int]]]:
+        """Tile plan for a matrix, or ``None`` when tiling cannot help
+        (small batch, single-CPU budget, or a single-tile plan)."""
+        n_rows = a.shape[0]
+        if n_rows < self.min_rows:
+            return None
+        parts = self.workers if self.workers is not None else worker_budget()
+        if parts < 2:
+            return None
+        tiles = plan_row_tiles(
+            n_rows,
+            tile_rows_for(n_rows, a.shape[1] * 8, self.tile_bytes, parts),
+        )
+        if len(tiles) < 2:
+            return None
+        return tiles
+
+    def _map_tiles(
+        self, a: np.ndarray, fn: Callable[[int, int], np.ndarray]
+    ) -> Optional[List[np.ndarray]]:
+        """Run ``fn(row0, row1)`` per tile on the shared pool, results
+        in tile order; ``None`` when the plan says numpy should run."""
+        tiles = self._plan(a)
+        if tiles is None:
+            return None
+        pool, _ = _shared_pool()
+        futures = [pool.submit(fn, row0, row1) for row0, row1 in tiles]
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _rows(b: np.ndarray, a: np.ndarray, row0: int, row1: int) -> np.ndarray:
+        """The slice of a canary operand matching rows ``[row0, row1)``
+        of ``a`` — per-row canaries are sliced alongside, broadcast
+        rows pass through untouched."""
+        if b.ndim == 2 and b.shape[0] == a.shape[0]:
+            return b[row0:row1]
+        return b
+
+    # -- primitives -----------------------------------------------------
+    def batch_or(self, words: np.ndarray) -> np.ndarray:
+        words = np.atleast_2d(np.asarray(words, dtype=np.uint64))
+        parts = self._map_tiles(
+            words, lambda row0, row1: super(TiledBackend, self).batch_or(
+                words[row0:row1]
+            )
+        )
+        if parts is None:
+            return super().batch_or(words)
+        # OR of the per-tile ORs: exact, order-independent.
+        return super().batch_or(np.vstack(parts))
+
+    def batch_popcount(self, words: np.ndarray) -> np.ndarray:
+        words = np.atleast_2d(np.asarray(words, dtype=np.uint64))
+        parts = self._map_tiles(
+            words, lambda row0, row1: super(TiledBackend, self).batch_popcount(
+                words[row0:row1]
+            )
+        )
+        if parts is None:
+            return super().batch_popcount(words)
+        return np.concatenate(parts)
+
+    def batch_and_popcount(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.uint64))
+        b = np.asarray(b, dtype=np.uint64)
+        parts = self._map_tiles(
+            a, lambda row0, row1: super(TiledBackend, self).batch_and_popcount(
+                a[row0:row1], self._rows(b, a, row0, row1)
+            )
+        )
+        if parts is None:
+            return super().batch_and_popcount(a, b)
+        return np.concatenate(parts)
+
+    def batch_containment(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.uint64))
+        b = np.asarray(b, dtype=np.uint64)
+        parts = self._map_tiles(
+            a, lambda row0, row1: super(TiledBackend, self).batch_containment(
+                a[row0:row1], self._rows(b, a, row0, row1)
+            )
+        )
+        if parts is None:
+            return super().batch_containment(a, b)
+        return np.concatenate(parts)
+
+    def batch_jaccard(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.uint64))
+        b = np.asarray(b, dtype=np.uint64)
+        parts = self._map_tiles(
+            a, lambda row0, row1: super(TiledBackend, self).batch_jaccard(
+                a[row0:row1], self._rows(b, a, row0, row1)
+            )
+        )
+        if parts is None:
+            return super().batch_jaccard(a, b)
+        return np.concatenate(parts)
+
+    def segment_popcount(
+        self, words: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        words = np.atleast_2d(np.asarray(words, dtype=np.uint64))
+        parts = self._map_tiles(
+            words,
+            lambda row0, row1: super(TiledBackend, self).segment_popcount(
+                words[row0:row1], offsets
+            ),
+        )
+        if parts is None:
+            return super().segment_popcount(words, offsets)
+        return np.vstack(parts)
+
+    def segment_and_popcount(
+        self, a: np.ndarray, b: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.uint64))
+        b = np.asarray(b, dtype=np.uint64)
+        # Fused per tile: the AND intermediate is tile-sized, not
+        # batch-sized, so it stays in cache.
+        parts = self._map_tiles(
+            a,
+            lambda row0, row1: super(TiledBackend, self).segment_popcount(
+                a[row0:row1] & self._rows(b, a, row0, row1), offsets
+            ),
+        )
+        if parts is None:
+            return super().segment_and_popcount(a, b, offsets)
+        return np.vstack(parts)

@@ -35,6 +35,7 @@ __all__ = [
     "batch_containment",
     "batch_jaccard",
     "segment_popcount",
+    "validate_segment_offsets",
 ]
 
 #: Bits per storage word.
@@ -301,11 +302,63 @@ def batch_jaccard(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
+def validate_segment_offsets(
+    offsets: np.ndarray, n_words: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validated ``(starts, ends)`` word-column bounds for per-segment
+    kernels: segment ``k`` covers columns ``[starts[k], ends[k])``.
+
+    Offsets must be 1-D, non-decreasing and within ``[0, n_words]``
+    (mirroring the operand checks of :func:`batch_and_popcount`'s
+    callers); equal consecutive offsets — and a final offset at the
+    matrix edge — describe legitimate zero-length segments.  Shared by
+    every backend so they agree on what a malformed layout is.
+    """
+    offsets = np.asarray(offsets, dtype=np.intp)
+    if offsets.ndim != 1:
+        raise ValueError(
+            f"segment offsets must be 1-D, got shape {offsets.shape}"
+        )
+    if offsets.size == 0:
+        empty = np.zeros(0, dtype=np.intp)
+        return empty, empty
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("segment offsets must be non-decreasing")
+    if offsets[0] < 0 or offsets[-1] > n_words:
+        raise ValueError(
+            f"segment offsets must lie in [0, {n_words}], "
+            f"got [{offsets[0]}, {offsets[-1]}]"
+        )
+    ends = np.empty_like(offsets)
+    ends[:-1] = offsets[1:]
+    ends[-1] = n_words
+    return offsets, ends
+
+
 def segment_popcount(words: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     """Popcount per word-segment: ``offsets`` are the starting word
     columns of each segment (e.g. one per path tap).  Returns
     ``(N, num_segments)`` int64.  Used for per-tap similarity features
-    without slicing the matrix per tap."""
-    words = np.atleast_2d(np.asarray(words, dtype=np.uint64))
+    without slicing the matrix per tap.
+
+    Edge cases are well-defined: empty ``offsets`` yields ``(N, 0)``,
+    zero-length segments (equal consecutive offsets, or a final offset
+    at the matrix edge) count 0, and non-contiguous word views are
+    handled (copied to contiguous storage first).
+    """
+    words = np.atleast_2d(np.ascontiguousarray(words, dtype=np.uint64))
+    starts, ends = validate_segment_offsets(offsets, words.shape[1])
+    if starts.size == 0:
+        return np.zeros((words.shape[0], 0), dtype=np.int64)
     counts = np.bitwise_count(words).astype(np.int64)
-    return np.add.reduceat(counts, np.asarray(offsets, dtype=np.intp), axis=1)
+    if bool(np.all(starts < ends)):
+        # Strictly increasing offsets with none at the matrix edge —
+        # the common tap layout — where reduceat's semantics are
+        # exactly the segment sums, one pass cheaper than the prefix
+        # scan below.
+        return np.add.reduceat(counts, starts, axis=1)
+    # General path: prefix sums make zero-length segments naturally 0
+    # instead of relying on reduceat's backwards-segment accident.
+    csum = np.zeros((words.shape[0], words.shape[1] + 1), dtype=np.int64)
+    np.cumsum(counts, axis=1, out=csum[:, 1:])
+    return csum[:, ends] - csum[:, starts]

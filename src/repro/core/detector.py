@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.backends import resolve_backend
 from repro.core.classifier import RandomForest
 from repro.core.config import Direction, ExtractionConfig
 from repro.core.extraction import (
@@ -106,6 +107,13 @@ class PtolemyDetector:
         classifier; ``"per_layer"`` (default) additionally feeds the
         per-tap similarity vector, which is strictly richer and equally
         cheap to compute in hardware (one popcount per tap).
+    backend:
+        Kernel backend for the batched score path (see
+        :mod:`repro.core.backends`).  ``None`` resolves through the
+        ``REPRO_KERNEL_BACKEND`` environment variable, then
+        ``config.backend``, then the numpy reference.  Backends are
+        bit-identical on scores and decisions; this is a throughput
+        knob only.
     """
 
     def __init__(
@@ -116,6 +124,7 @@ class PtolemyDetector:
         n_trees: int = 100,
         max_depth: int = 12,
         seed: int = 0,
+        backend: Optional[str] = None,
     ):
         if feature_mode not in ("scalar", "per_layer"):
             raise ValueError("feature_mode must be 'scalar' or 'per_layer'")
@@ -129,6 +138,21 @@ class PtolemyDetector:
         self.last_trace = None
         self._canary_cache = None
         self._canary_cache_key = None
+        self.kernels = resolve_backend(backend, config_backend=config.backend)
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the active kernel backend (what introspection
+        surfaces report)."""
+        return self.kernels.name
+
+    def set_backend(self, backend: Optional[str]) -> "PtolemyDetector":
+        """Re-resolve the kernel backend (deployment-time override:
+        engines and shard workers call this with their own knob)."""
+        self.kernels = resolve_backend(
+            backend, config_backend=self.config.backend
+        )
+        return self
 
     # -- offline ----------------------------------------------------------
     def profile(
@@ -235,9 +259,11 @@ class PtolemyDetector:
         result = self.extractor.extract_batch(x, reuse_forward=reuse_forward)
         canaries = self._packed_canaries()
         rows, _known = canaries.rows_for(result.predicted_classes)
-        sims = batch_path_similarity(result.packed, rows)
+        sims = batch_path_similarity(result.packed, rows, kernels=self.kernels)
         if self.feature_mode == "per_layer":
-            per_tap = batch_per_tap_similarity(result.packed, rows)
+            per_tap = batch_per_tap_similarity(
+                result.packed, rows, kernels=self.kernels
+            )
             features = np.concatenate([sims[:, None], per_tap], axis=1)
         else:
             features = sims[:, None]

@@ -254,8 +254,11 @@ class PackedPathBatch:
 
         return batch_popcount(self.words)
 
-    def tap_popcounts(self) -> np.ndarray:
-        """Per-tap popcounts, shape ``(N, num_taps)``."""
+    def tap_popcounts(self, kernels=None) -> np.ndarray:
+        """Per-tap popcounts, shape ``(N, num_taps)``; ``kernels``
+        optionally selects a :mod:`repro.core.backends` backend."""
+        if kernels is not None:
+            return kernels.segment_popcount(self.words, self.tap_offsets)
         return segment_popcount(self.words, self.tap_offsets)
 
     def densities(self) -> np.ndarray:
@@ -310,22 +313,31 @@ def per_tap_similarity(
 
 
 def batch_path_similarity(
-    batch: PackedPathBatch, canary_words: np.ndarray
+    batch: PackedPathBatch, canary_words: np.ndarray, kernels=None
 ) -> np.ndarray:
     """Vectorized :func:`path_similarity`: per-row containment of the
-    batch in the (broadcast or per-row) canary word matrix."""
+    batch in the (broadcast or per-row) canary word matrix.
+    ``kernels`` optionally selects a :mod:`repro.core.backends` backend
+    (bit-identical by contract; numpy reference when ``None``)."""
+    if kernels is not None:
+        return kernels.batch_containment(batch.words, canary_words)
     return batch_containment(batch.words, canary_words)
 
 
 def batch_per_tap_similarity(
-    batch: PackedPathBatch, canary_words: np.ndarray
+    batch: PackedPathBatch, canary_words: np.ndarray, kernels=None
 ) -> np.ndarray:
-    """Vectorized :func:`per_tap_similarity` -> ``(N, num_taps)``."""
-    ones = batch.tap_popcounts()
-    hits = segment_popcount(
-        batch.words & np.asarray(canary_words, dtype=np.uint64),
-        batch.tap_offsets,
-    )
+    """Vectorized :func:`per_tap_similarity` -> ``(N, num_taps)``.
+    ``kernels`` optionally selects a :mod:`repro.core.backends` backend
+    whose fused segment kernel skips the batch-sized AND temporary."""
+    canary = np.asarray(canary_words, dtype=np.uint64)
+    ones = batch.tap_popcounts(kernels=kernels)
+    if kernels is not None:
+        hits = kernels.segment_and_popcount(
+            batch.words, canary, batch.tap_offsets
+        )
+    else:
+        hits = segment_popcount(batch.words & canary, batch.tap_offsets)
     out = np.zeros(ones.shape, dtype=np.float64)
     nz = ones > 0
     out[nz] = hits[nz] / ones[nz]

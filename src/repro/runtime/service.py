@@ -62,6 +62,7 @@ from repro.runtime.transport import (
     DEFAULT_SLAB_SLOTS,
     OUT_BYTES_PER_SAMPLE,
     SlabRing,
+    TransportError,
     WorkerSlabs,
     shm_available,
 )
@@ -90,6 +91,7 @@ def _worker_main(
     task_queue,
     result_queue,
     pin_cpus: Optional[Tuple[int, ...]] = None,
+    backend: Optional[str] = None,
 ) -> None:
     """Shard process entry point: rebuild the engine from the broadcast
     state, then serve micro-batches until told to stop."""
@@ -98,6 +100,8 @@ def _worker_main(
     if pin_cpus:
         # Pin before warming caches so they live on the pinned core;
         # best-effort — a shrunken cgroup mask must not kill the shard.
+        # Pinning happens before the engine exists, so a tiled kernel
+        # backend sizes its thread pool off this shard's own CPU share.
         try:
             os.sched_setaffinity(0, set(pin_cpus))
         except (AttributeError, OSError):
@@ -111,12 +115,18 @@ def _worker_main(
         )
         detector = detector_from_state(model_factory(), state)
         engine = DetectionEngine(
-            detector, threshold=threshold, batch_size=batch_size
+            detector,
+            threshold=threshold,
+            batch_size=batch_size,
+            backend=backend,
         )
     except Exception as exc:  # startup failure is fatal for this shard
         result_queue.put(("fatal", worker_id, repr(exc)))
         return
-    result_queue.put(("ready", worker_id, None))
+    # The ready payload names the kernel backend that actually resolved
+    # here (a requested numba may have degraded to numpy on this host),
+    # so parent-side introspection reports the shard's effective choice.
+    result_queue.put(("ready", worker_id, engine.kernel_backend))
     while True:
         message = task_queue.get()
         kind = message[0]
@@ -149,30 +159,72 @@ def _worker_main(
             if slabs is None:
                 result_queue.put(("reject", worker_id, (seq, slot)))
                 continue
-            batch = slabs.input_view(slot, shape, dtype_str)
+            chunks = [slabs.input_view(slot, shape, dtype_str)]
+        elif kind == "shm_spill":
+            # an oversized batch spilled across several slots: one
+            # zero-copy view per row chunk, processed in row order
+            seq, slot, shapes, dtype_str = message[1:]
+            if slabs is None:
+                result_queue.put(("reject", worker_id, (seq, slot)))
+                continue
+            chunks = slabs.input_views(slot, shapes, dtype_str)
         else:
             seq, batch = message[1], message[2]
             slot = None
+            chunks = [batch]
+            batch = None
         try:
-            result = engine.process_batch(batch)
+            # Chunk splits never change results — the kernels are
+            # bit-identical across batch sizes — so a spilled batch's
+            # concatenated decisions match the unsplit batch exactly.
+            parts = []
+            size = 0
+            seconds = 0.0
+            stages: dict = {}
+            for chunk in chunks:
+                parts.append(engine.process_batch(chunk))
+                size += len(chunk)
+                seconds += engine.last_batch_seconds
+                for stage, value in engine.last_batch_stages.items():
+                    stages[stage] = stages.get(stage, 0.0) + value
         except Exception as exc:
             result_queue.put(("error", worker_id, (seq, repr(exc), slot)))
             continue
-        arrays = {
-            "scores": result.scores,
-            "predicted_classes": result.predicted_classes,
-            "is_adversarial": result.is_adversarial,
-            "similarities": result.similarities,
-        }
+        if len(parts) == 1:
+            result = parts[0]
+            arrays = {
+                "scores": result.scores,
+                "predicted_classes": result.predicted_classes,
+                "is_adversarial": result.is_adversarial,
+                "similarities": result.similarities,
+            }
+        else:
+            arrays = {
+                "scores": np.concatenate([r.scores for r in parts]),
+                "predicted_classes": np.concatenate(
+                    [r.predicted_classes for r in parts]
+                ),
+                "is_adversarial": np.concatenate(
+                    [r.is_adversarial for r in parts]
+                ),
+                "similarities": np.concatenate(
+                    [r.similarities for r in parts]
+                ),
+            }
         payload = {
             "seq": seq,
-            "size": len(batch),
+            "size": size,
             "slot": slot,
-            "seconds": engine.last_batch_seconds,
-            "stages": engine.last_batch_stages,
+            "seconds": seconds,
+            "stages": stages,
         }
-        batch = result = None  # drop the slot view before it can be reused
-        spec = slabs.pack_output(slot, arrays) if slot is not None else None
+        # drop the slot views before they can be reused
+        chunks = parts = result = None
+        out_slot = slot[0] if isinstance(slot, tuple) else slot
+        spec = (
+            slabs.pack_output(out_slot, arrays)
+            if out_slot is not None else None
+        )
         if spec is not None:
             payload["spec"] = spec
             result_queue.put(("shm_batch", worker_id, payload))
@@ -189,16 +241,17 @@ class _Task:
     """One dispatched micro-batch.
 
     ``slot`` is the shard-local slab slot the batch currently occupies
-    when it went out over shared memory (``None`` on the queue path);
-    the parent keeps the batch array regardless so a crashed shard's
-    work can be requeued to a different shard's slabs.
+    when it went out over shared memory — or a tuple of slots when an
+    oversized batch spilled across several (``None`` on the queue
+    path); the parent keeps the batch array regardless so a crashed
+    shard's work can be requeued to a different shard's slabs.
     """
 
     seq: int
     request: "_Request"
     chunk_index: int
     batch: np.ndarray
-    slot: Optional[int] = None
+    slot: Union[int, Tuple[int, ...], None] = None
 
 
 @dataclass
@@ -240,6 +293,8 @@ class _Shard:
     # failure instead of retrying every batch
     slabs: Optional[SlabRing] = None
     slab_failed: bool = False
+    # effective kernel backend the worker reported at ready time
+    backend: Optional[str] = None
 
     def load(self) -> ShardLoad:
         return ShardLoad(
@@ -382,7 +437,16 @@ class ShardedDetectionService:
     slab_slots:
         Slots per shard slab ring (default 16); once a shard's ring is
         exhausted further batches for it fall back to the queue until
-        results free slots.
+        results free slots.  A batch too large for one slot spills
+        across several on row boundaries instead of leaving the
+        zero-copy path.
+    backend:
+        Kernel backend name broadcast to every worker (see
+        :mod:`repro.core.backends`); ``None`` lets each worker resolve
+        its own default (env var, then the detector config, then
+        numpy).  Workers report their effective backend at ready time
+        — see :meth:`shard_backends`.  Backends are bit-identical on
+        decisions; this is purely a throughput knob.
     """
 
     def __init__(
@@ -402,6 +466,7 @@ class ShardedDetectionService:
         transport: str = "shm",
         pin_workers: bool = False,
         slab_slots: int = DEFAULT_SLAB_SLOTS,
+        backend: Optional[str] = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
@@ -441,6 +506,7 @@ class ShardedDetectionService:
         self.transport_requested = transport
         self._shm_ok = transport == "shm" and shm_available()
         self.slab_slots = slab_slots
+        self.backend = backend
         self.pin_workers = bool(pin_workers)
         self._affinity_plan = (
             plan_worker_affinity(num_workers) if self.pin_workers else None
@@ -453,6 +519,8 @@ class ShardedDetectionService:
             "queue_batches": 0,
             "slot_fallbacks": 0,
             "size_fallbacks": 0,
+            "spill_batches": 0,
+            "spill_slots": 0,
             "shm_bytes_in": 0,
             "shm_bytes_out": 0,
             "slots_reclaimed": 0,
@@ -772,6 +840,7 @@ class ShardedDetectionService:
                 task_queue,
                 result_queue,
                 pin_cpus,
+                self.backend,
             ),
             name=f"detection-shard-{shard_id}",
             daemon=True,
@@ -853,7 +922,29 @@ class ShardedDetectionService:
                 self._create_shard_slabs(shard, batch)
             if shard.slabs is not None and not shard.slab_failed:
                 if not shard.slabs.fits(batch.nbytes):
-                    self._transport_counts["size_fallbacks"] += 1
+                    # too big for one slot: spill across several on row
+                    # boundaries, keeping the zero-copy path
+                    try:
+                        spilled = shard.slabs.spill_input(batch)
+                    except TransportError:
+                        # a single row outgrows a slot (or there is no
+                        # row axis): only the pickle queue can take it
+                        spilled = None
+                        self._transport_counts["size_fallbacks"] += 1
+                    else:
+                        if spilled is None:
+                            self._transport_counts["slot_fallbacks"] += 1
+                    if spilled is not None:
+                        slots, shapes = spilled
+                        task.slot = slots
+                        self._transport_counts["shm_batches"] += 1
+                        self._transport_counts["spill_batches"] += 1
+                        self._transport_counts["spill_slots"] += len(slots)
+                        self._transport_counts["shm_bytes_in"] += batch.nbytes
+                        return (
+                            "shm_spill", task.seq, slots,
+                            shapes, batch.dtype.str,
+                        )
                 else:
                     slot = shard.slabs.acquire()
                     if slot is None:
@@ -892,13 +983,16 @@ class ShardedDetectionService:
             return
         shard.task_queue.put(("attach", shard.slabs.attach_message()))
 
-    def _release_slot(self, shard: _Shard, slot: Optional[int]) -> None:
+    def _release_slot(
+        self, shard: _Shard, slot: Union[int, Tuple[int, ...], None]
+    ) -> None:
         if slot is None or shard.slabs is None:
             return
-        try:
-            shard.slabs.release(slot)
-        except Exception:
-            pass  # slab ring already torn down by a racing reap
+        for held in slot if isinstance(slot, tuple) else (slot,):
+            try:
+                shard.slabs.release(held)
+            except Exception:
+                pass  # slab ring already torn down by a racing reap
 
     def _destroy_shard_slabs(self, shard: _Shard) -> int:
         """Reclaim every slab slot the shard still holds and unlink its
@@ -906,8 +1000,10 @@ class ShardedDetectionService:
         reclaimed = 0
         for task in shard.inflight.values():
             if task.slot is not None:
-                task.slot = None  # the slot dies with the slab
-                reclaimed += 1
+                reclaimed += (
+                    len(task.slot) if isinstance(task.slot, tuple) else 1
+                )
+                task.slot = None  # the slot(s) die with the slab
         if shard.slabs is not None:
             shard.slabs.destroy()
             shard.slabs = None
@@ -918,6 +1014,15 @@ class ShardedDetectionService:
         """The effective payload channel: ``"shm"`` when slab rings are
         in play, ``"queue"`` when forced or unavailable."""
         return "shm" if self._shm_ok else "queue"
+
+    def shard_backends(self) -> Dict[int, Optional[str]]:
+        """Effective kernel backend per live shard, as each worker
+        reported at ready time (``None`` until a shard is warm)."""
+        with self._lock:
+            return {
+                shard_id: shard.backend
+                for shard_id, shard in sorted(self._shards.items())
+            }
 
     def transport_stats(self) -> dict:
         """Lifetime transport accounting: batches per channel, fallback
@@ -935,6 +1040,8 @@ class ShardedDetectionService:
         stats["transport"] = self.transport
         stats["requested"] = self.transport_requested
         stats["slab_slots"] = self.slab_slots
+        stats["backend_requested"] = self.backend
+        stats["kernel_backends"] = self.shard_backends()
         return stats
 
     def _collect_loop(self) -> None:
@@ -983,6 +1090,7 @@ class ShardedDetectionService:
                 return progressed
             progressed = True
             if kind == "ready":
+                shard.backend = payload
                 shard.ready.set()
             elif kind == "batch":
                 # a queue-path result — or a shm-dispatched batch whose
@@ -994,7 +1102,10 @@ class ShardedDetectionService:
                 slot = payload.pop("slot")
                 spec = payload.pop("spec")
                 if shard.slabs is not None:
-                    arrays = shard.slabs.read_output(slot, spec)
+                    # a spilled batch packs its result into its first
+                    # slot; the rest only carried input chunks
+                    out_slot = slot[0] if isinstance(slot, tuple) else slot
+                    arrays = shard.slabs.read_output(out_slot, spec)
                     payload.update(arrays)
                     with self._lock:
                         self._transport_counts["shm_bytes_out"] += sum(
@@ -1185,6 +1296,7 @@ def measure_worker_scaling(
     state: Optional[dict] = None,
     transport: str = "shm",
     pin_workers: bool = False,
+    backend: Optional[str] = None,
 ) -> dict:
     """Wall-clock samples/sec of the sharded service per pool size.
 
@@ -1211,6 +1323,7 @@ def measure_worker_scaling(
             scheduler=scheduler,
             transport=transport,
             pin_workers=pin_workers,
+            backend=backend,
         ) as service:
             service.run(traffic[: min(len(traffic), 2 * batch_size)])  # warm
             best = None
@@ -1236,6 +1349,7 @@ def measure_worker_scaling(
                 "scores": scores,
                 "rejection_rate": rejection_rate,
                 "transport": service.transport,
+                "kernel_backends": service.shard_backends(),
             }
         results[workers] = report
     return results

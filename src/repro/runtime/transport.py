@@ -257,6 +257,56 @@ class SlabRing:
             )
             dst[:] = batch.reshape(-1).view(np.uint8)
 
+    def spill_input(
+        self, batch: np.ndarray
+    ) -> Optional[Tuple[Tuple[int, ...], Tuple[tuple, ...]]]:
+        """Split an oversized batch across several slots on row
+        boundaries, keeping the zero-copy path for batches that outgrew
+        one slot (e.g. a workload whose sample shape grew after the
+        ring was sized).
+
+        Returns ``(slots, chunk_shapes)`` with chunk ``k`` written into
+        ``slots[k]``, or ``None`` when the ring cannot hand out enough
+        free slots right now (the caller falls back to the queue for
+        this batch, exactly like a single-slot acquire miss).  Raises
+        :class:`TransportError` when the batch can never spill here —
+        a single row already exceeds one slot, or the batch has no row
+        axis to split on.
+        """
+        batch = np.ascontiguousarray(batch)
+        if batch.ndim < 2 or batch.shape[0] < 2 or batch.nbytes == 0:
+            raise TransportError("batch has no row axis to spill across")
+        n_rows = batch.shape[0]
+        row_bytes = batch.nbytes // n_rows
+        if row_bytes > self.in_slot_bytes:
+            raise TransportError(
+                f"rows of {row_bytes} B exceed the "
+                f"{self.in_slot_bytes} B slot"
+            )
+        rows_per_slot = self.in_slot_bytes // row_bytes
+        num_slots = -(-n_rows // rows_per_slot)
+        if num_slots > self.slots:
+            raise TransportError(
+                f"batch needs {num_slots} slots, ring has {self.slots}"
+            )
+        slots: list = []
+        for _ in range(num_slots):
+            slot = self.acquire()
+            if slot is None:
+                for held in slots:
+                    self.release(held)
+                return None
+            slots.append(slot)
+        shapes = []
+        start = 0
+        for slot in slots:
+            stop = min(start + rows_per_slot, n_rows)
+            chunk = batch[start:stop]
+            self.write_input(slot, chunk)
+            shapes.append(chunk.shape)
+            start = stop
+        return tuple(slots), tuple(shapes)
+
     def read_output(self, slot: int, spec: SegmentSpec) -> Dict[str, np.ndarray]:
         """Copy the worker's packed result arrays out of the slot."""
         offset = slot * self.out_slot_bytes
@@ -331,6 +381,19 @@ class WorkerSlabs:
             offset=slot * self.in_slot_bytes,
         )
         return view.reshape(tuple(shape))
+
+    def input_views(
+        self,
+        slots: Sequence[int],
+        shapes: Sequence[Sequence[int]],
+        dtype_str: str,
+    ) -> list:
+        """Zero-copy views over a spilled batch's row chunks, in row
+        order (the inverse of :meth:`SlabRing.spill_input`)."""
+        return [
+            self.input_view(slot, shape, dtype_str)
+            for slot, shape in zip(slots, shapes)
+        ]
 
     def pack_output(
         self, slot: int, arrays: Dict[str, np.ndarray]

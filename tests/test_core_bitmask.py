@@ -226,3 +226,67 @@ class TestBatchKernels:
         assert words.shape == (0, 1)
         assert batch_popcount(words).shape == (0,)
         assert batch_containment(words, np.zeros(1, np.uint64)).shape == (0,)
+
+
+class TestSegmentPopcountEdges:
+    """Edge cases of the per-segment kernel: empty offset lists,
+    zero-length segments, non-contiguous views, and input validation
+    (mirroring the checks of the dense batch kernels)."""
+
+    def test_empty_offsets_give_zero_width_result(self):
+        words = pack_bool_matrix(np.ones((3, 70), dtype=bool))
+        counts = segment_popcount(words, np.zeros(0, dtype=np.intp))
+        assert counts.shape == (3, 0)
+        assert counts.dtype == np.int64
+
+    def test_zero_length_segments_count_zero(self):
+        words = pack_bool_matrix(np.ones((2, 200), dtype=bool))
+        n_words = words.shape[1]
+        offsets = np.array([0, 1, 1, 1, n_words], dtype=np.intp)
+        counts = segment_popcount(words, offsets)
+        assert counts.shape == (2, 5)
+        # segments 1 and 2 are [1, 1) and the last is [n_words, n_words)
+        assert (counts[:, 1] == 0).all()
+        assert (counts[:, 2] == 0).all()
+        assert (counts[:, 4] == 0).all()
+        # the non-empty segments still add up to every set bit
+        assert np.array_equal(counts.sum(axis=1), batch_popcount(words))
+
+    def test_leading_offset_need_not_be_zero(self):
+        words = pack_bool_matrix(np.ones((1, 64 * 4), dtype=bool))
+        counts = segment_popcount(words, np.array([2, 3], dtype=np.intp))
+        assert np.array_equal(counts, [[64, 64]])
+
+    def test_non_contiguous_view_matches_contiguous_copy(self):
+        rng = np.random.default_rng(5)
+        words = pack_bool_matrix(rng.random((8, 300)) < 0.5)
+        offsets = np.array([0, 2, 2, 4], dtype=np.intp)
+        strided = words[::2]
+        assert not strided.flags["C_CONTIGUOUS"]
+        assert np.array_equal(
+            segment_popcount(strided, offsets),
+            segment_popcount(np.ascontiguousarray(strided), offsets),
+        )
+        transposed = words.T[:, :4].T  # column-sliced view
+        assert np.array_equal(
+            segment_popcount(transposed, offsets),
+            segment_popcount(np.ascontiguousarray(transposed), offsets),
+        )
+
+    def test_single_row_vector_input(self):
+        words = pack_bool_matrix(np.ones((1, 70), dtype=bool))[0]
+        assert words.ndim == 1
+        counts = segment_popcount(words, np.array([0, 1], dtype=np.intp))
+        assert counts.shape == (1, 2)
+        assert np.array_equal(counts, [[64, 6]])
+
+    def test_validation_rejects_bad_offsets(self):
+        words = pack_bool_matrix(np.ones((2, 70), dtype=bool))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            segment_popcount(words, np.array([1, 0], dtype=np.intp))
+        with pytest.raises(ValueError, match="lie in"):
+            segment_popcount(words, np.array([0, 99], dtype=np.intp))
+        with pytest.raises(ValueError, match="lie in"):
+            segment_popcount(words, np.array([-1, 1], dtype=np.intp))
+        with pytest.raises(ValueError, match="1-D"):
+            segment_popcount(words, np.array([[0], [1]], dtype=np.intp))

@@ -1,0 +1,363 @@
+"""Kernel backend tests: registry resolution, per-backend bit-identity
+against the numpy reference, graceful numba degradation, and the
+compiler's batch kernel schedules executing on the ISS in the tiled
+backend's exact traversal order.
+
+The contract under test is the one the whole PR rides on: backend
+choice is a throughput knob, never an accuracy one.  Every primitive,
+on every backend, at every batch size — including size 1, a prime, and
+odd bit lengths that exercise the tail mask — must reproduce the
+reference kernels bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    compile_batch_containment,
+    compile_batch_per_tap,
+)
+from repro.core import ExtractionConfig
+from repro.core.backends import (
+    KERNEL_BACKEND_ENV,
+    KernelBackend,
+    NumbaBackend,
+    TiledBackend,
+    available_backends,
+    get_backend,
+    numba_available,
+    plan_row_tiles,
+    resolve_backend,
+    tile_rows_for,
+)
+from repro.core.bitmask import (
+    batch_and_popcount,
+    batch_containment,
+    batch_jaccard,
+    batch_or,
+    batch_popcount,
+    pack_bool_matrix,
+    segment_popcount,
+)
+from repro.isa import BatchKernelUnit, MachineError
+
+# Backends under test: the shared registry instances plus a tiled
+# instance forced to actually tile (min_rows=1, a fixed worker budget)
+# so the threaded path is exercised even on single-CPU CI hosts, and a
+# numba instance (which degrades to reference kernels where the JIT is
+# absent — the degraded path must be bit-identical too).
+BACKENDS = {
+    "numpy": lambda: KernelBackend(),
+    "tiled-auto": lambda: TiledBackend(),
+    "tiled-forced": lambda: TiledBackend(min_rows=1, workers=4),
+    "tiled-tiny-tiles": lambda: TiledBackend(
+        min_rows=1, workers=4, tile_bytes=64
+    ),
+    "numba": lambda: NumbaBackend(),
+}
+
+BATCH_SIZES = (1, 7, 64, 1000)
+#: Bit lengths chosen to land mid-word (tail mask active), on an exact
+#: word boundary, and inside a single word.
+BIT_LENGTHS = (37, 128, 777)
+
+
+def _packed(rng, n, bits, density=0.3):
+    return pack_bool_matrix(rng.random((n, bits)) < density)
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request):
+    return BACKENDS[request.param]()
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    @pytest.mark.parametrize("bits", BIT_LENGTHS)
+    def test_all_primitives_bit_identical(self, backend, n, bits):
+        rng = np.random.default_rng(n * 10_000 + bits)
+        a = _packed(rng, n, bits)
+        b_row = _packed(rng, 1, bits, density=0.4)
+        b_full = _packed(rng, n, bits, density=0.4)
+        half = a.shape[1] // 2
+        offsets = np.array([0, half, half], dtype=np.intp)
+
+        assert np.array_equal(backend.batch_or(a), batch_or(a))
+        assert np.array_equal(backend.batch_popcount(a), batch_popcount(a))
+        for b in (b_row, b_full):
+            assert np.array_equal(
+                backend.batch_and_popcount(a, b), batch_and_popcount(a, b)
+            )
+            # float scores must match bit for bit, not to a tolerance:
+            # every backend performs the same int counts then the same
+            # IEEE division.
+            assert np.array_equal(
+                backend.batch_containment(a, b), batch_containment(a, b)
+            )
+            assert np.array_equal(
+                backend.batch_jaccard(a, b), batch_jaccard(a, b)
+            )
+            assert np.array_equal(
+                backend.segment_and_popcount(a, b, offsets),
+                segment_popcount(a & np.atleast_2d(b), offsets),
+            )
+        assert np.array_equal(
+            backend.segment_popcount(a, offsets),
+            segment_popcount(a, offsets),
+        )
+
+    def test_empty_and_all_ones_rows(self, backend):
+        rng = np.random.default_rng(9)
+        bits = 130
+        a = pack_bool_matrix(np.vstack([
+            np.zeros((2, bits), dtype=bool),
+            np.ones((2, bits), dtype=bool),
+            rng.random((4, bits)) < 0.5,
+        ]))
+        b = _packed(rng, 1, bits)
+        assert np.array_equal(
+            backend.batch_containment(a, b), batch_containment(a, b)
+        )
+        assert np.array_equal(
+            backend.batch_jaccard(a, b), batch_jaccard(a, b)
+        )
+
+
+class TestTiling:
+    def test_plan_row_tiles_covers_exactly(self):
+        assert plan_row_tiles(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert plan_row_tiles(8, 4) == [(0, 4), (4, 8)]
+        assert plan_row_tiles(3, 100) == [(0, 3)]
+        assert plan_row_tiles(0, 4) == []
+        with pytest.raises(ValueError):
+            plan_row_tiles(-1, 4)
+        with pytest.raises(ValueError):
+            plan_row_tiles(4, 0)
+
+    def test_tile_rows_for_balances_across_parts(self):
+        # cache budget alone
+        assert tile_rows_for(10_000, 1024, tile_bytes=1 << 20) == 1024
+        # tightened so `parts` threads all get work
+        assert tile_rows_for(1000, 8, tile_bytes=1 << 20, parts=4) == 250
+        # never below one row, even for huge rows
+        assert tile_rows_for(10, 1 << 30, tile_bytes=1 << 20) == 1
+
+    def test_small_batches_fall_through_to_numpy(self):
+        tiled = TiledBackend()  # default min_rows well above 8
+        a = _packed(np.random.default_rng(0), 8, 200)
+        assert tiled._plan(a) is None
+        assert np.array_equal(tiled.batch_popcount(a), batch_popcount(a))
+
+    def test_forced_tiling_really_tiles(self):
+        tiled = TiledBackend(min_rows=1, workers=4)
+        a = _packed(np.random.default_rng(1), 1000, 200)
+        plan = tiled._plan(a)
+        assert plan is not None and len(plan) >= 2
+        assert plan == plan_row_tiles(1000, plan[0][1] - plan[0][0])
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        assert resolve_backend().name == "numpy"
+
+    def test_explicit_beats_env_beats_config(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "numpy")
+        assert resolve_backend("tiled", config_backend="numpy").name == "tiled"
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "tiled")
+        assert resolve_backend(config_backend="numpy").name == "tiled"
+        monkeypatch.delenv(KERNEL_BACKEND_ENV)
+        assert resolve_backend(config_backend="tiled").name == "tiled"
+
+    def test_unknown_backend_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+
+    def test_instances_are_shared(self):
+        assert get_backend("tiled") is get_backend("tiled")
+
+    def test_available_backends_reports_numba_truthfully(self):
+        avail = available_backends()
+        assert avail["numpy"] and avail["tiled"]
+        assert avail["numba"] == numba_available()
+
+    def test_numba_fallback_when_unavailable(self, monkeypatch):
+        """Forcing the numba leg unavailable must degrade to numpy with
+        a warning, never fail — on hosts with numba installed the same
+        code path is exercised by monkeypatching availability off."""
+        import repro.core.backends as backends_mod
+
+        monkeypatch.setattr(backends_mod, "numba_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            resolved = resolve_backend("numba")
+        assert resolved.name == "numpy"
+
+    def test_degraded_numba_instance_still_bit_identical(self):
+        """A NumbaBackend that cannot JIT (absent or broken) must serve
+        the reference kernels unchanged."""
+        backend = NumbaBackend()
+        rng = np.random.default_rng(3)
+        a = _packed(rng, 64, 777)
+        b = _packed(rng, 1, 777)
+        assert np.array_equal(
+            backend.batch_containment(a, b), batch_containment(a, b)
+        )
+        if not numba_available():
+            backend._ensure()
+            assert backend.degraded
+            assert backend.effective_name == "numpy"
+
+
+class TestConfigPlumbing:
+    def test_config_carries_backend_through_with_phi(self):
+        config = ExtractionConfig.fwab(3)
+        assert config.backend is None
+        tagged = ExtractionConfig(
+            config.direction, config.layers, backend="tiled"
+        )
+        phis = [0.1] * len(tagged.layers)
+        assert tagged.with_phi(phis).backend == "tiled"
+
+    def test_config_backend_round_trips_serialization(self):
+        from repro.core import config_from_dict, config_to_dict
+
+        config = ExtractionConfig.fwab(2)
+        tagged = ExtractionConfig(
+            config.direction, config.layers, backend="tiled"
+        )
+        data = config_to_dict(tagged)
+        assert config_from_dict(data).backend == "tiled"
+        # pre-backend dicts (older saved detectors) must still load
+        data.pop("backend")
+        assert config_from_dict(data).backend is None
+
+
+class TestDetectorBackends:
+    @pytest.fixture()
+    def scored_traffic(self, serving_detector, small_dataset):
+        xs = small_dataset.x_test[:20]
+        original = serving_detector.kernel_backend
+        yield serving_detector, xs
+        serving_detector.set_backend(original)
+
+    def test_detector_scores_identical_across_backends(self, scored_traffic):
+        from repro.runtime import DetectionEngine
+
+        detector, xs = scored_traffic
+        detector.set_backend("numpy")
+        reference = DetectionEngine(detector, batch_size=8).run(xs)
+        for name in ("tiled", "numba"):
+            engine = DetectionEngine(detector, batch_size=8, backend=name)
+            if name == "numba" and not numba_available():
+                assert engine.kernel_backend == "numpy"
+            run = engine.run(xs)
+            if not np.array_equal(run.scores, reference.scores):
+                raise RuntimeError(f"{name} backend changed scores")
+            assert np.array_equal(
+                run.is_adversarial, reference.is_adversarial
+            )
+            assert np.array_equal(
+                run.predicted_classes, reference.predicted_classes
+            )
+
+    def test_forced_tiled_instance_scores_identical(self, scored_traffic):
+        """Swap the detector onto a tiling-forced instance so the
+        threaded path runs under the real score pipeline even on a
+        single-CPU host."""
+        from repro.core import detector as detector_mod
+        from repro.runtime import DetectionEngine
+
+        detector, xs = scored_traffic
+        detector.set_backend("numpy")
+        reference = DetectionEngine(detector, batch_size=8).run(xs)
+        detector.kernels = TiledBackend(min_rows=1, workers=4)
+        run = DetectionEngine(detector, batch_size=8).run(xs)
+        assert detector_mod is not None
+        if not np.array_equal(run.scores, reference.scores):
+            raise RuntimeError("forced tiled backend changed scores")
+
+
+class TestBatchKernelSchedules:
+    """The compiler's batch schedules executed on the ISS: bit-identity
+    with the reference kernels, and a traversal trace matching the
+    tiled backend's :func:`plan_row_tiles` order exactly."""
+
+    def test_containment_schedule_matches_reference(self):
+        rng = np.random.default_rng(20)
+        a = _packed(rng, 300, 777)
+        b = _packed(rng, 1, 777)
+        schedule = compile_batch_containment(300, a.shape[1], tile_rows=64)
+        unit = BatchKernelUnit()
+        scores = unit.run_containment(schedule, a, b)
+        assert np.array_equal(scores, batch_containment(a, b))
+
+    def test_trace_is_the_tiled_traversal_order(self):
+        schedule = compile_batch_containment(300, 13, tile_rows=64)
+        unit = BatchKernelUnit()
+        unit.run_containment(
+            schedule, np.zeros((300, 13), np.uint64),
+            np.zeros((1, 13), np.uint64),
+        )
+        plan = plan_row_tiles(300, 64)
+        assert schedule.tiles == tuple(plan)
+        # two micro-ops per tile (andpop + pop), tile-major
+        rows_walked = [(t[1], t[2]) for t in unit.trace[::2]]
+        assert rows_walked == plan
+        assert all(t[0] == "andpop" for t in unit.trace[::2])
+        assert all(t[0] == "pop" for t in unit.trace[1::2])
+
+    def test_per_tap_schedule_matches_fused_kernel(self):
+        rng = np.random.default_rng(21)
+        a = _packed(rng, 500, 505)
+        b = _packed(rng, 1, 505)
+        offsets = np.array([0, 3, 3, 7], dtype=np.intp)
+        schedule = compile_batch_per_tap(
+            500, a.shape[1], offsets, tile_rows=128
+        )
+        unit = BatchKernelUnit()
+        hits = unit.run_per_tap(schedule, a, b)
+        assert np.array_equal(hits, segment_popcount(a & b, offsets))
+        # the zero-length segment emits no micro-ops and stays 0
+        assert (hits[:, 1] == 0).all()
+        assert not any(
+            mo.col == 1 for mo in schedule.micro_ops
+        )
+
+    def test_per_row_canary_matrix(self):
+        rng = np.random.default_rng(22)
+        a = _packed(rng, 257, 64)
+        b = _packed(rng, 257, 64)
+        schedule = compile_batch_containment(257, a.shape[1], tile_rows=50)
+        scores = BatchKernelUnit().run_containment(schedule, a, b)
+        assert np.array_equal(scores, batch_containment(a, b))
+
+    def test_default_tiling_matches_backend_cache_budget(self):
+        schedule = compile_batch_containment(4096, 128)
+        assert schedule.tile_rows == tile_rows_for(4096, 128 * 8)
+        assert schedule.tiles == tuple(
+            plan_row_tiles(4096, schedule.tile_rows)
+        )
+
+    def test_shape_mismatches_are_machine_errors(self):
+        schedule = compile_batch_containment(10, 4, tile_rows=4)
+        unit = BatchKernelUnit()
+        with pytest.raises(MachineError, match="compiled for"):
+            unit.execute(
+                schedule, np.zeros((9, 4), np.uint64),
+                np.zeros((1, 4), np.uint64),
+            )
+        with pytest.raises(MachineError, match="canary"):
+            unit.execute(
+                schedule, np.zeros((10, 4), np.uint64),
+                np.zeros((3, 4), np.uint64),
+            )
+
+    def test_invalid_offsets_rejected_at_compile_time(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            compile_batch_per_tap(8, 4, np.array([2, 1], dtype=np.intp))
+        with pytest.raises(ValueError):
+            compile_batch_per_tap(8, 4, np.array([0, 9], dtype=np.intp))

@@ -115,6 +115,63 @@ class TestSlabRing:
         finally:
             ring.destroy()
 
+    def test_spill_splits_rows_across_slots_losslessly(self):
+        """An oversized batch spills on row boundaries; worker-side
+        views over the spilled slots must reassemble it exactly."""
+        rng = np.random.default_rng(7)
+        batch = rng.standard_normal((5, 3, 4))  # 5 rows x 96 B
+        row_bytes = batch.nbytes // 5
+        ring = SlabRing(4, 4, 2 * row_bytes, 4096)  # 2 rows per slot
+        worker = None
+        try:
+            assert not ring.fits(batch.nbytes)
+            spilled = ring.spill_input(batch)
+            assert spilled is not None
+            slots, shapes = spilled
+            assert len(slots) == 3  # ceil(5 / 2)
+            assert [s[0] for s in shapes] == [2, 2, 1]
+            assert ring.in_use == 3
+            worker = WorkerSlabs(*ring.attach_message())
+            views = worker.input_views(slots, shapes, batch.dtype.str)
+            assert np.array_equal(np.concatenate(views), batch)
+            views = None
+            for slot in slots:
+                ring.release(slot)
+            assert ring.in_use == 0
+        finally:
+            if worker is not None:
+                worker.close()
+            ring.destroy()
+
+    def test_spill_slot_shortage_returns_none_without_leaking(self):
+        ring = SlabRing(5, 2, 64, 1024)  # two 64 B slots
+        try:
+            with pytest.raises(TransportError, match="slots"):
+                ring.spill_input(np.zeros((4, 8)))  # needs 4 of 2 slots
+            held = ring.acquire()  # leave only one slot free
+            batch = np.arange(16, dtype=np.float64).reshape(2, 8)
+            assert ring.spill_input(batch) is None  # needs 2, one free
+            # the tentatively-acquired slot was released, not leaked
+            assert ring.in_use == 1
+            ring.release(held)
+            slots, shapes = ring.spill_input(batch)
+            assert len(slots) == 2
+            assert [s[0] for s in shapes] == [1, 1]
+        finally:
+            ring.destroy()
+
+    def test_spill_rejects_unspillable_batches(self):
+        ring = SlabRing(6, 4, 64, 1024)
+        try:
+            with pytest.raises(TransportError, match="exceed"):
+                ring.spill_input(np.zeros((4, 32)))  # 256 B rows
+            with pytest.raises(TransportError, match="row axis"):
+                ring.spill_input(np.zeros(100))  # no row axis
+            with pytest.raises(TransportError, match="row axis"):
+                ring.spill_input(np.zeros((1, 100)))  # nothing to split
+        finally:
+            ring.destroy()
+
     def test_destroy_unlinks_and_is_idempotent(self):
         ring = SlabRing(3, 2, 1024, 1024)
         names = {ring.input_name, ring.output_name}
@@ -180,6 +237,35 @@ class TestTransportService:
                     assert stats["shm_bytes_out"] > 0
                 else:
                     assert stats["shm_batches"] == 0
+
+    @needs_shm
+    def test_grown_samples_spill_and_stay_bit_identical(
+        self, serving_detector, engine_reference
+    ):
+        """Slabs are sized from the first batch's sample shape; a later
+        workload with bigger samples must spill each chunk across
+        several slots — still zero-copy, still bit-identical — instead
+        of abandoning shm."""
+        xs, reference = engine_reference
+        with _service(
+            serving_detector, num_workers=1, transport="shm",
+        ) as service:
+            # size the slabs from float32 samples (half the row bytes)
+            service.run(xs.astype(np.float32), timeout=120)
+            sized = service.transport_stats()
+            # ...then serve the float64 workload: every chunk is now
+            # twice a slot, so it rides the spill path
+            result = service.run(xs, timeout=120)
+            stats = service.transport_stats()
+        assert sized["spill_batches"] == 0
+        assert stats["spill_batches"] > 0
+        assert stats["spill_slots"] >= 2 * stats["spill_batches"]
+        assert stats["size_fallbacks"] == 0
+        assert np.array_equal(result.scores, reference.scores)
+        assert np.array_equal(
+            result.is_adversarial, reference.is_adversarial
+        )
+        assert np.array_equal(result.similarities, reference.similarities)
 
     @needs_shm
     def test_slot_exhaustion_falls_back_without_deadlock(
