@@ -1,0 +1,80 @@
+"""Shared smoke-mode policy for the benchmark suite.
+
+Every benchmark entry point used to carry its own copy of the same
+three decisions — when smoke mode is on, how small the traffic gets,
+and how many workers may spawn.  This module is the single copy:
+``conftest.py`` and the standalone ``main()`` entry points all route
+through it, so CI time budgets are enforced in one place.
+
+Smoke mode activates from either direction: an explicit ``--smoke``
+flag, or the ``REPRO_SMOKE=1`` environment variable (which lets CI
+turn any benchmark invocation into a smoke run without editing its
+argument list).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+__all__ = [
+    "SMOKE_ENV",
+    "SMOKE_KERNEL_BITS",
+    "SMOKE_KERNEL_ROWS",
+    "SMOKE_SAMPLE_CAP",
+    "SMOKE_WORKER_CAP",
+    "activate_smoke",
+    "cap_kernel_sizes",
+    "cap_samples",
+    "cap_worker_counts",
+    "cap_workers",
+    "smoke_requested",
+]
+
+#: Environment override: any truthy value turns smoke mode on.
+SMOKE_ENV = "REPRO_SMOKE"
+#: Largest traffic size a smoke benchmark streams.
+SMOKE_SAMPLE_CAP = 96
+#: Largest worker pool a smoke benchmark spawns.
+SMOKE_WORKER_CAP = 2
+#: Packed-kernel matrix caps for the micro-primitive sweep.
+SMOKE_KERNEL_ROWS = 512
+SMOKE_KERNEL_BITS = 64 * 64
+
+
+def smoke_requested(flag: bool = False) -> bool:
+    """True when smoke mode is active: ``flag`` (a parsed ``--smoke``
+    option) or the ``REPRO_SMOKE`` environment override."""
+    if flag:
+        return True
+    return os.environ.get(SMOKE_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def activate_smoke() -> None:
+    """Shrink every named scenario to CI-smoke sizes (idempotent)."""
+    from repro.eval import workloads
+
+    workloads.shrink_for_smoke()
+
+
+def cap_samples(count: int) -> int:
+    """Traffic size under the smoke cap."""
+    return min(count, SMOKE_SAMPLE_CAP)
+
+
+def cap_workers(workers: int) -> int:
+    """A single pool size under the smoke cap."""
+    return min(workers, SMOKE_WORKER_CAP)
+
+
+def cap_worker_counts(workers: Iterable[int]) -> List[int]:
+    """A sweep of pool sizes under the smoke cap (deduplicated: a
+    ``[1, 2, 4]`` sweep becomes ``[1, 2]``, not ``[1, 2, 2]``)."""
+    return sorted({cap_workers(w) for w in workers})
+
+
+def cap_kernel_sizes(rows: int, bits: int) -> tuple:
+    """(rows, bits) for the packed-kernel sweep under the smoke caps."""
+    return min(rows, SMOKE_KERNEL_ROWS), min(bits, SMOKE_KERNEL_BITS)

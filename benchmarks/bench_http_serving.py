@@ -344,10 +344,10 @@ def main(argv=None) -> int:
                         help="write the JSON report here")
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        from repro.eval import workloads
+    from _smoke import activate_smoke, smoke_requested
 
-        workloads.shrink_for_smoke()
+    if smoke_requested(args.smoke):
+        activate_smoke()
 
     if args.url is not None:
         return _client_only(args)

@@ -242,9 +242,10 @@ def main(argv=None) -> int:
                         help="write the JSON report here")
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        args.rows = min(args.rows, 512)
-        args.bits = min(args.bits, 64 * 64)
+    from _smoke import cap_kernel_sizes, smoke_requested
+
+    if smoke_requested(args.smoke):
+        args.rows, args.bits = cap_kernel_sizes(args.rows, args.bits)
     report = measure_kernel_backends(
         n_rows=args.rows, bits=args.bits,
         backends=args.backend, repeats=args.repeats,

@@ -325,12 +325,18 @@ def main(argv=None) -> int:
                         "JSON report here")
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        from repro.eval import workloads
+    from _smoke import (
+        activate_smoke,
+        cap_samples,
+        cap_worker_counts,
+        smoke_requested,
+    )
 
-        workloads.shrink_for_smoke()
-        args.count = min(args.count, 96)
-        args.workers = sorted({min(w, 2) for w in args.workers})
+    args.smoke = smoke_requested(args.smoke)  # honour REPRO_SMOKE too
+    if args.smoke:
+        activate_smoke()
+        args.count = cap_samples(args.count)
+        args.workers = cap_worker_counts(args.workers)
 
     workbench = Workbench.get(DEFAULT_SCENARIO)
     results = measure_scaling(

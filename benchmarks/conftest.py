@@ -20,11 +20,14 @@ from pathlib import Path
 
 # Make the in-repo package importable from any working directory —
 # pytest (and CI) must not depend on the invoker exporting PYTHONPATH.
-_SRC = Path(__file__).resolve().parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+_HERE = Path(__file__).resolve().parent
+for _entry in (_HERE.parent / "src", _HERE):
+    if str(_entry) not in sys.path:
+        sys.path.insert(0, str(_entry))
 
 import pytest
+
+from _smoke import activate_smoke, cap_workers, smoke_requested
 
 
 def pytest_addoption(parser):
@@ -33,7 +36,8 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="tiny-sizes mode: shrink scenarios, relax paper-shape "
-        "assertions into skips (plumbing check only)",
+        "assertions into skips (plumbing check only; REPRO_SMOKE=1 "
+        "in the environment turns this on too)",
     )
     parser.addoption(
         "--workers",
@@ -44,21 +48,23 @@ def pytest_addoption(parser):
     )
 
 
-def pytest_configure(config):
-    if config.getoption("--smoke"):
-        from repro.eval import workloads
+def _smoke_active(config) -> bool:
+    return smoke_requested(config.getoption("--smoke"))
 
-        workloads.shrink_for_smoke()
+
+def pytest_configure(config):
+    if _smoke_active(config):
+        activate_smoke()
         # Smoke runs exist to check plumbing, not scaling curves: cap
         # the worker pool too, so the scaling benchmark never spawns a
         # 4-process fleet inside a CI time budget.
-        config.option.workers = min(config.option.workers, 2)
+        config.option.workers = cap_workers(config.option.workers)
 
 
 @pytest.fixture(scope="session")
 def smoke(request):
     """True when the suite runs in tiny-sizes smoke mode."""
-    return request.config.getoption("--smoke")
+    return _smoke_active(request.config)
 
 
 @pytest.fixture(scope="session")
@@ -80,7 +86,7 @@ def pytest_runtest_call(item):
     try:
         return (yield)
     except AssertionError as exc:
-        if item.config.getoption("--smoke"):
+        if _smoke_active(item.config):
             pytest.skip(f"paper-shape assertion relaxed in smoke mode: {exc}")
         raise
 

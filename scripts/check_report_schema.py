@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Validate suite ScenarioReport files against the versioned schema.
+
+The same stdlib-only checks the suite writer runs before touching disk
+(``repro.suite.schema.validate_report``), packaged for CI: point it at
+report files, a ``reports/`` directory, or a suite output directory
+containing ``manifest.json`` — every report must parse as JSON and
+satisfy the schema, every manifest entry must exist on disk, and
+``--expect N`` additionally pins the report count (a missing report is
+a failure, not a smaller run).
+
+Usage::
+
+    python scripts/check_report_schema.py suite_results/
+    python scripts/check_report_schema.py reports/a.json reports/b.json
+    python scripts/check_report_schema.py --expect 4 suite_results/
+    python scripts/check_report_schema.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.suite.schema import example_report, validate_report  # noqa: E402
+
+
+def collect_report_paths(target: Path) -> Tuple[List[Path], List[str]]:
+    """Report files under ``target`` plus any manifest-level errors."""
+    if target.is_file():
+        return [target], []
+    manifest_path = target / "manifest.json"
+    if manifest_path.exists():
+        errors: List[str] = []
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            return [], [f"{manifest_path}: invalid JSON ({exc})"]
+        paths = []
+        entries = manifest.get("reports", {})
+        if not isinstance(entries, dict) or not entries:
+            errors.append(f"{manifest_path}: has no reports mapping")
+            entries = {}
+        for scenario_id, relative in sorted(entries.items()):
+            path = target / relative
+            if not path.exists():
+                errors.append(
+                    f"{manifest_path}: listed report missing on disk: "
+                    f"{relative} ({scenario_id})"
+                )
+            else:
+                paths.append(path)
+        return paths, errors
+    paths = sorted(p for p in target.rglob("*.json")
+                   if p.name != "manifest.json")
+    if not paths:
+        return [], [f"{target}: no report files found"]
+    return paths, []
+
+
+def check_path(path: Path) -> List[str]:
+    """Errors for one report file (empty list = valid)."""
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    return [f"{path}: {error}" for error in validate_report(report)]
+
+
+def self_test() -> int:
+    """The validator must accept the canonical example and reject
+    representative corruptions of it — CI runs this before trusting
+    the validator with real reports."""
+    base = example_report()
+    errors = validate_report(base)
+    if errors:
+        print("SELF-TEST FAIL: example_report() rejected: "
+              + "; ".join(errors))
+        return 1
+    corruptions = {
+        "wrong schema_version": {**base, "schema_version": 99},
+        "missing metrics": {k: v for k, v in base.items()
+                            if k != "metrics"},
+        "auc out of range": {
+            **base, "metrics": {**base["metrics"], "auc": 1.5},
+        },
+        "stale fingerprint": {**base, "config_fingerprint": "0" * 64},
+        "non-increasing sweep": {
+            **base,
+            "threshold_sweep": [base["threshold_sweep"][0]] * 2,
+        },
+        "malformed digest": {**base, "scores_digest": "md5:abc"},
+    }
+    failures = 0
+    for label, bad in corruptions.items():
+        if not validate_report(bad):
+            print(f"SELF-TEST FAIL: validator accepted report with "
+                  f"{label}")
+            failures += 1
+    if failures:
+        return 1
+    print(f"self-test passed: example accepted, "
+          f"{len(corruptions)} corruptions rejected")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="report files, reports/ directories, or "
+                        "suite output directories (manifest-aware)")
+    parser.add_argument("--expect", type=int, default=None, metavar="N",
+                        help="fail unless exactly N reports validate")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the schema's own example and "
+                        "reject seeded corruptions, then exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.paths:
+        parser.error("no paths given (or use --self-test)")
+
+    all_errors: List[str] = []
+    checked = 0
+    for target in args.paths:
+        if not target.exists():
+            all_errors.append(f"{target}: does not exist")
+            continue
+        paths, errors = collect_report_paths(target)
+        all_errors.extend(errors)
+        for path in paths:
+            all_errors.extend(check_path(path))
+            checked += 1
+    if args.expect is not None and checked != args.expect:
+        all_errors.append(
+            f"expected {args.expect} reports, found {checked}"
+        )
+    if all_errors:
+        print(f"SCHEMA CHECK FAILED ({checked} reports checked):")
+        for error in all_errors:
+            print(f"  - {error}")
+        return 1
+    print(f"schema check passed: {checked} valid reports")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,20 @@ enforced as a ratio wherever >= 2 CPUs exist (on a single CPU the
 tiled backend deliberately falls through to numpy, so the gate is
 skipped, not failed).
 
+The scenario suite closes the accuracy side: the smoke gate grid
+({bim, fgsm} x {ptolemy_fwab, ep} x {none, gaussian_noise@3}) runs
+through ``repro.suite.SuiteRunner`` with bit-identity to a direct
+``DetectionEngine.run`` checked per scenario, and each scenario's
+detection AUC and TPR@0.1FPR are gated against the baseline's
+``suite`` section with an absolute ``--metric-tolerance`` floor.
+Detection quality at fixed seeds is hardware-independent, so the
+metric floors are enforced on ``--ratio-only`` CI runners too; the
+scores-digest drift check (exact bit-equality of the score stream
+against the recording machine) runs only on full gates, since digests
+legitimately differ across BLAS builds.  Scenarios absent from the
+baseline are skipped, not failed, so the gate grid can grow before
+the baseline is re-recorded.
+
 Usage::
 
     python scripts/perf_gate.py              # compare against baseline
@@ -100,6 +114,15 @@ TRANSPORT_SPEEDUP_FLOOR = 1.3
 #: hosts (it must never *cost* throughput), while the 1.3x channel
 #: claim above is where the transport win itself is enforced.
 TRANSPORT_PARITY_FLOOR = 0.95
+#: The suite gate grid: 2 attacks x 2 defenses x 2 corruptions at
+#: smoke sizes — the accuracy+robustness slice CI re-measures.
+SUITE_GATE_GRID = (
+    "attack=bim,fgsm",
+    "defense=ptolemy_fwab,ep",
+    "corruption=none,gaussian_noise@3",
+)
+#: Metrics gated per suite scenario (absolute floors).
+SUITE_GATED_METRICS = ("auc", "tpr_at_fpr")
 
 
 def run_bench() -> dict:
@@ -252,6 +275,46 @@ def run_http_bench() -> dict:
     return report
 
 
+def run_suite_bench() -> dict:
+    """The scenario-suite smoke grid, bit-identity checked per cell.
+
+    Returns ``{scenario_id: {auc, tpr_at_fpr, accuracy,
+    scores_digest, samples_per_sec}}`` — detection quality at fixed
+    seeds, which unlike throughput is hardware-independent.
+    """
+    from repro.eval import workloads
+    from repro.suite import (
+        DEFENSES,
+        SMOKE_AXES,
+        SuiteConfig,
+        SuiteRunner,
+        expand_grid,
+        parse_grid,
+    )
+
+    workloads.shrink_for_smoke()
+    axes = parse_grid(SUITE_GATE_GRID, SMOKE_AXES)
+    specs, _ = expand_grid(axes)
+    runner = SuiteRunner(SuiteConfig())
+    report = {}
+    for spec in specs:
+        scenario = runner.run_scenario(spec)
+        if DEFENSES[spec.defense].engine_scored and not spec.is_fault_attack:
+            try:
+                runner.verify_bit_identity(spec, scenario)
+            except RuntimeError as exc:
+                raise SystemExit(f"FATAL: {exc}") from exc
+        metrics = scenario["metrics"]
+        report[spec.scenario_id] = {
+            "auc": metrics["auc"],
+            "tpr_at_fpr": metrics["tpr_at_fpr"],
+            "accuracy": metrics["accuracy"],
+            "scores_digest": scenario["scores_digest"],
+            "samples_per_sec": scenario["timing"]["samples_per_sec"],
+        }
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -269,6 +332,11 @@ def main(argv=None) -> int:
         "envelope — skipping absolute samples/sec comparisons (use on "
         "CI runners whose absolute speed differs from the baseline "
         "machine)",
+    )
+    parser.add_argument(
+        "--metric-tolerance", type=float, default=0.08,
+        help="allowed absolute drop per gated suite detection metric "
+        "(default 0.08)",
     )
     args = parser.parse_args(argv)
 
@@ -339,6 +407,14 @@ def main(argv=None) -> int:
     print(f"  adaptive/fixed: {current_http['adaptive_over_fixed']:.2f}x "
           f"(SLO {current_http['slo_ms']:.1f} ms/batch)")
 
+    print(f"perf gate: measuring scenario-suite smoke grid "
+          f"({' '.join(SUITE_GATE_GRID)})...")
+    current_suite = run_suite_bench()
+    for scenario_id, row in current_suite.items():
+        print(f"  {scenario_id}: auc={row['auc']:.3f} "
+              f"tpr@0.1fpr={row['tpr_at_fpr']:.3f} "
+              f"acc={row['accuracy']:.3f}")
+
     if args.update or not BASELINE_PATH.exists():
         baseline = {
             "note": "recorded by scripts/perf_gate.py --update; "
@@ -351,6 +427,7 @@ def main(argv=None) -> int:
             "transport": current_transport,
             "kernels": current_kernels,
             "http": current_http,
+            "suite": current_suite,
         }
         BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
@@ -593,6 +670,48 @@ def main(argv=None) -> int:
             f"adaptive throughput {ratio:.2f}x of fixed < floor "
             f"{ADAPTIVE_THROUGHPUT_FLOOR:.2f}x"
         )
+
+    # -- scenario-suite accuracy envelope -------------------------------
+    suite_baseline = baseline_file.get("suite")
+    if suite_baseline is None:
+        print("  (baseline has no suite section; run --update to record "
+              "one — suite accuracy gates skipped)")
+    else:
+        for scenario_id, row in current_suite.items():
+            old_row = suite_baseline.get(scenario_id)
+            if old_row is None:
+                print(f"  suite {scenario_id}: no baseline row; gate "
+                      f"skipped")
+                continue
+            # detection quality at fixed seeds is hardware-independent,
+            # so the metric floors hold on --ratio-only runners too
+            for metric in SUITE_GATED_METRICS:
+                old = old_row[metric]
+                new = row[metric]
+                floor = old - args.metric_tolerance
+                status = "ok" if new >= floor else "REGRESSION"
+                print(f"  suite {scenario_id} {metric}: {new:.3f} vs "
+                      f"baseline {old:.3f} (floor {floor:.3f}) {status}")
+                if new < floor:
+                    failures.append(
+                        f"suite {scenario_id}: {metric} {new:.3f} < "
+                        f"floor {floor:.3f} ({args.metric_tolerance} "
+                        f"below {old:.3f})"
+                    )
+            # exact score-stream equality only holds on the machine
+            # that recorded the baseline (BLAS builds differ), so
+            # digest drift is a full-gate check, not a CI one
+            if not args.ratio_only:
+                if row["scores_digest"] != old_row["scores_digest"]:
+                    print(f"  suite {scenario_id} digest: DRIFT")
+                    failures.append(
+                        f"suite {scenario_id}: scores digest drifted "
+                        f"from the recorded baseline "
+                        f"({row['scores_digest']} != "
+                        f"{old_row['scores_digest']})"
+                    )
+                else:
+                    print(f"  suite {scenario_id} digest: ok")
 
     if failures:
         print("\nPERF GATE FAILED:")

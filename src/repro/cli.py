@@ -17,6 +17,9 @@ Commands
                 SLO-adaptive batching (``--slo-ms N``)
 ``explain``     saliency + per-layer divergence for a benign/attacked pair
 ``defend``      adversarial retraining + re-profiled Ptolemy (Sec. VIII)
+``suite``       run an {attack x defense x corruption x workload x
+                backend} scenario grid and write one versioned JSON
+                report per cell plus a combined results_summary.md
 """
 
 from __future__ import annotations
@@ -477,6 +480,52 @@ def cmd_serve(args) -> None:
           f"{transport_stats['shm_bytes_out'] / 1e6:.1f} MB out over shm)")
 
 
+def cmd_suite(args) -> None:
+    """Run a scenario grid and write ScenarioReport files + summary."""
+    from repro.suite import (
+        DEFAULT_AXES,
+        DEFENSES,
+        SMOKE_AXES,
+        SuiteConfig,
+        SuiteRunner,
+        expand_grid,
+        parse_grid,
+        write_reports,
+    )
+
+    if args.smoke:
+        from repro.eval import workloads
+
+        workloads.shrink_for_smoke()
+    defaults = SMOKE_AXES if args.smoke else DEFAULT_AXES
+    axes = parse_grid(args.grid or [], defaults)
+    specs, skipped = expand_grid(
+        axes, include=args.include or (), exclude=args.exclude or ()
+    )
+    for skip in skipped:
+        print(f"skip {skip.scenario_id}: {skip.reason}")
+    if not specs:
+        raise SystemExit("grid expanded to zero runnable scenarios")
+    print(f"running {len(specs)} scenarios "
+          f"({len(skipped)} skipped)...")
+    runner = SuiteRunner(SuiteConfig(
+        target_fpr=args.fpr, sweep_points=args.sweep_points,
+        fit_attack=args.fit_attack,
+    ))
+    reports = runner.run(specs, log=print)
+    if args.check_identity:
+        checked = 0
+        for spec, report in zip(specs, reports):
+            if DEFENSES[spec.defense].engine_scored and not spec.is_fault_attack:
+                runner.verify_bit_identity(spec, report)
+                checked += 1
+        print(f"bit-identity vs direct DetectionEngine.run verified for "
+              f"{checked}/{len(specs)} engine-scored scenarios")
+    manifest = write_reports(args.output, reports, skipped, axes)
+    print(f"wrote {len(reports)} reports, {manifest.name}, and "
+          f"results_summary.md under {args.output}/")
+
+
 def cmd_scenarios(args) -> None:
     """List the named evaluation scenarios."""
     from repro.eval import SCENARIOS
@@ -639,6 +688,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attack-rate", type=float, default=0.33)
     p.add_argument("--fpr", type=float, default=0.1)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "suite", help="run a scenario grid, write per-scenario JSON "
+        "reports + a combined results_summary.md"
+    )
+    p.add_argument("--grid", nargs="*", default=None, metavar="AXIS=V1,V2",
+                   help="grid axes as axis=v1,v2 tokens (axes: workload, "
+                   "attack, defense, corruption, backend; corruption "
+                   "values take name@severity); unspecified axes use "
+                   "the defaults")
+    p.add_argument("--smoke", action="store_true",
+                   help="shrink scenario sizes to CI-smoke scale and "
+                   "default to the 2x2x1 smoke grid")
+    p.add_argument("--output", default="suite_results",
+                   help="output directory (default suite_results/)")
+    p.add_argument("--include", nargs="*", default=None, metavar="GLOB",
+                   help="keep only scenario ids matching these globs")
+    p.add_argument("--exclude", nargs="*", default=None, metavar="GLOB",
+                   help="drop scenario ids matching these globs")
+    p.add_argument("--check-identity", action="store_true",
+                   help="verify every engine-scored scenario's scores "
+                   "digest is bit-identical to a direct "
+                   "DetectionEngine.run of the same workload")
+    p.add_argument("--fpr", type=float, default=0.1,
+                   help="target FPR for the operating point (default 0.1)")
+    p.add_argument("--sweep-points", type=int, default=21,
+                   help="thresholds per scenario sweep (default 21)")
+    p.add_argument("--fit-attack", default=None,
+                   choices=["bim", "cwl2", "deepfool", "fgsm", "jsma",
+                            "pgd"],
+                   help="fit every defense against this attack instead "
+                   "of each cell's own evaluation attack")
+    p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser("scenarios", help="list named scenarios")
     p.set_defaults(func=cmd_scenarios)

@@ -3,7 +3,11 @@ helpers shared by the benchmarks and examples."""
 
 from repro.eval.workloads import SCENARIOS, Scenario
 from repro.eval.harness import PTOLEMY_VARIANTS, VariantResult, Workbench
-from repro.eval.reporting import render_matrix, render_table
+from repro.eval.reporting import (
+    render_markdown_table,
+    render_matrix,
+    render_table,
+)
 from repro.eval.plots import (
     bar_chart,
     grouped_bars,
@@ -32,6 +36,7 @@ __all__ = [
     "PTOLEMY_VARIANTS",
     "VariantResult",
     "Workbench",
+    "render_markdown_table",
     "render_matrix",
     "render_table",
     "bar_chart",

@@ -19,6 +19,7 @@ from repro.attacks import (
     DeepFool,
     FGSM,
     JSMA,
+    PGD,
     AttackResult,
 )
 from repro.compiler import apply_optimizations
@@ -123,6 +124,7 @@ class Workbench:
             "deepfool": lambda: DeepFool(),
             "fgsm": lambda: FGSM(eps=0.10),
             "jsma": lambda: JSMA(),
+            "pgd": lambda: PGD(eps=0.08),
         }
         return attacks[name]()
 

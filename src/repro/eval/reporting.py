@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["render_table", "render_matrix"]
+__all__ = ["render_table", "render_matrix", "render_markdown_table"]
 
 
 def render_table(
@@ -35,6 +35,27 @@ def render_table(
     lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     for row in rendered_rows:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """GitHub-flavored markdown table (suite summaries, CI artifacts)."""
+    rendered = []
+    for row in rows:
+        rendered.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rendered:
+        lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines)
 
 

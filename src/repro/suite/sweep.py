@@ -1,0 +1,63 @@
+"""Per-scenario detection-threshold sweeps (cf. MicroSeq's
+``cutoff_sweeper``): every report carries the full operating curve, not
+just one point, so re-thresholding never requires a re-run."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.metrics import detection_report, roc_curve
+
+__all__ = ["sweep_thresholds", "threshold_at_fpr"]
+
+
+def sweep_thresholds(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    points: int = 21,
+) -> List[Dict[str, float]]:
+    """TPR/FPR/accuracy at ``points`` thresholds spanning the scores.
+
+    Thresholds are strictly increasing (the schema requires it); with a
+    constant score array the sweep collapses to a single row.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if points < 1:
+        raise ValueError("points must be >= 1")
+    low, high = float(scores.min()), float(scores.max())
+    thresholds = np.unique(np.linspace(low, high, points))
+    rows = []
+    for threshold in thresholds:
+        report = detection_report(labels, scores, float(threshold))
+        rows.append({
+            "threshold": float(threshold),
+            "tpr": report.true_positive_rate,
+            "fpr": report.false_positive_rate,
+            "accuracy": report.accuracy,
+        })
+    return rows
+
+
+def threshold_at_fpr(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    target_fpr: float = 0.1,
+) -> Tuple[float, float]:
+    """(threshold, tpr) of the best operating point holding
+    ``fpr <= target_fpr`` — the highest TPR the budget allows.
+
+    The returned threshold is always finite (the ROC's flag-nothing
+    endpoint maps to just above the maximum score) so reports stay
+    JSON-clean.
+    """
+    fpr, tpr, thresholds = roc_curve(labels, scores)
+    feasible = np.flatnonzero(fpr <= target_fpr)
+    # among feasible points take max TPR, ties broken toward lower FPR
+    best = feasible[np.lexsort((fpr[feasible], -tpr[feasible]))[0]]
+    threshold = float(thresholds[best])
+    if not np.isfinite(threshold):
+        high = float(np.asarray(scores).max())
+        threshold = high + max(abs(high), 1.0) * 1e-9 + 1e-12
+    return threshold, float(tpr[best])
