@@ -11,10 +11,13 @@ Commands
 ``scenarios``   list the named evaluation scenarios
 ``corrupt``     sweep natural corruptions over a scenario's test set
 ``monitor``     deploy an InferenceMonitor and stream mixed traffic
-``throughput``  measure batched detection-engine throughput
+``throughput``  measure batched detection-engine throughput (per-model
+                with repeatable ``--model NAME=SPEC`` registrations)
 ``serve``       stream traffic through the sharded multi-worker service,
                 or expose it over HTTP (``--http PORT``) with optional
-                SLO-adaptive batching (``--slo-ms N``)
+                SLO-adaptive batching (``--slo-ms N``) and extra
+                models (``--model NAME=SPEC``, hot-swappable over
+                ``POST /v1/models``)
 ``explain``     saliency + per-layer divergence for a benign/attacked pair
 ``defend``      adversarial retraining + re-profiled Ptolemy (Sec. VIII)
 ``suite``       run an {attack x defense x corruption x workload x
@@ -38,6 +41,85 @@ def _build_scenario(name: str):
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         )
     return SCENARIOS[name]
+
+
+_PTOLEMY_VARIANTS = ("BwCu", "BwAb", "FwAb", "FwCu", "Hybrid")
+
+
+def _add_pool_args(parser, *, workers: int, models: bool = False) -> None:
+    """Install the shared worker-pool flags on a subcommand parser.
+
+    ``serve``, ``throughput``, and ``suite`` all front the same
+    :class:`~repro.runtime.ShardedDetectionService`; this is the one
+    place its vocabulary (``--workers``/``--backend``/``--pin``/
+    ``--transport``/``--scheduler``, plus the repeatable ``--model``
+    for multi-model commands) is defined, so the front-ends cannot
+    drift apart.
+    """
+    parser.add_argument("--workers", type=int, default=workers,
+                        help="worker processes in the sharded pool "
+                        f"(default {workers})")
+    parser.add_argument("--backend", default=None,
+                        choices=["numpy", "tiled", "numba"],
+                        help="kernel backend for the hot detection "
+                        "primitives (default: REPRO_KERNEL_BACKEND env, "
+                        "then the detector config, then numpy)")
+    parser.add_argument("--pin", action="store_true",
+                        help="pin each worker to a disjoint CPU set "
+                        "(os.sched_setaffinity; no-op where unsupported)")
+    parser.add_argument("--transport", default="shm",
+                        choices=["shm", "queue"],
+                        help="batch payload channel: shared-memory slab "
+                        "rings (default; falls back per-batch to the "
+                        "queue when unavailable) or the pickle queue")
+    parser.add_argument("--scheduler", default="round-robin",
+                        choices=["round-robin", "least-loaded"])
+    if models:
+        parser.add_argument("--model", action="append", default=None,
+                            metavar="NAME=SPEC",
+                            help="serve an extra named model alongside "
+                            "the default: SPEC is a Ptolemy variant "
+                            f"({'/'.join(_PTOLEMY_VARIANTS)}) or a "
+                            "saved-detector path; repeatable")
+
+
+def _parse_model_args(workbench, tokens, fpr: float):
+    """Resolve repeatable ``--model NAME=SPEC`` flags into registerable
+    ``(name, state, threshold)`` tuples.
+
+    SPEC is either a Ptolemy variant (profiled + classifier-fitted on
+    this scenario's workbench) or a saved-detector path (``repro
+    profile --output ...``); each model's threshold is calibrated to
+    ``fpr`` on the workbench's held-out calibration split so every
+    model in the pool deploys at the same operating point.
+    """
+    import os
+
+    from repro.core import (
+        calibrate_threshold,
+        detector_to_state,
+        load_detector,
+    )
+
+    models = []
+    for token in tokens or ():
+        name, sep, spec = token.partition("=")
+        if not sep or not name or not spec:
+            raise SystemExit(f"--model expects NAME=SPEC, got {token!r}")
+        if spec in _PTOLEMY_VARIANTS:
+            detector = workbench.detector(spec)
+        elif os.path.exists(spec):
+            detector = load_detector(workbench.model, spec)
+        else:
+            raise SystemExit(
+                f"--model {name}: {spec!r} is neither a Ptolemy variant "
+                f"({', '.join(_PTOLEMY_VARIANTS)}) nor a saved-detector "
+                "path")
+        threshold = calibrate_threshold(
+            detector, workbench.calibration_set, fpr
+        )
+        models.append((name, detector_to_state(detector), threshold))
+    return models
 
 
 def cmd_train(args) -> None:
@@ -321,6 +403,9 @@ def cmd_throughput(args) -> None:
     traffic = workbench.traffic(
         attack=args.attack, count=args.count, attack_rate=args.attack_rate
     )
+    if args.model:
+        _throughput_models(args, workbench, detector, traffic)
+        return
     if args.workers > 1:
         from repro.core import detector_to_state
         from repro.runtime import measure_worker_scaling
@@ -334,6 +419,9 @@ def cmd_throughput(args) -> None:
                 worker_counts=(args.workers,),
                 batch_size=batch_size,
                 state=state,
+                scheduler=args.scheduler,
+                transport=args.transport,
+                pin_workers=args.pin,
                 backend=args.backend,
             )[args.workers])
             for batch_size in args.batch_sizes
@@ -368,7 +456,50 @@ def cmd_throughput(args) -> None:
     ))
 
 
-def _serve_http(args, workbench, threshold) -> None:
+def _throughput_models(args, workbench, detector, traffic) -> None:
+    """Multi-model throughput: one shared pool per batch size, every
+    registered model measured over the same traffic (``--model`` on
+    ``throughput``)."""
+    from repro.core import detector_to_state
+    from repro.eval import render_table
+    from repro.runtime import ShardedDetectionService
+
+    extra = _parse_model_args(workbench, args.model, args.fpr)
+    state = detector_to_state(detector)  # serialize once, reuse
+    workers = max(args.workers, 1)
+    rows = []
+    for batch_size in args.batch_sizes:
+        service = ShardedDetectionService(
+            state=state, model_factory=workbench.model_factory,
+            num_workers=workers, batch_size=batch_size,
+            scheduler=args.scheduler, transport=args.transport,
+            pin_workers=args.pin, backend=args.backend,
+        )
+        for name, model_state, model_threshold in extra:
+            service.load_model(
+                name, state=model_state,
+                model_factory=workbench.model_factory,
+                threshold=model_threshold,
+            )
+        with service:
+            for spec in (None, *[name for name, _, _ in extra]):
+                service.run(traffic[: 2 * batch_size], model=spec)  # warm
+                result = service.run(traffic, model=spec)
+                rows.append((
+                    spec or "default", batch_size,
+                    f"{result.samples_per_sec:.0f}",
+                    f"{float(result.is_adversarial.mean()):.2f}",
+                ))
+    print(render_table(
+        f"{args.scenario}: multi-model sharded throughput "
+        f"(default={args.variant} + {len(extra)} extra, {len(traffic)} "
+        f"samples, {workers} workers, wall-clock)",
+        ["model", "batch", "samples/s", "reject rate"],
+        rows,
+    ))
+
+
+def _serve_http(args, workbench, threshold, extra_models=()) -> None:
     """Run the HTTP front-end until interrupted, then drain cleanly."""
     import signal
     import threading
@@ -382,17 +513,44 @@ def _serve_http(args, workbench, threshold) -> None:
         transport=args.transport, pin_workers=args.pin,
         backend=args.backend,
     )
+    for name, state, model_threshold in extra_models:
+        service.load_model(
+            name, state=state, model_factory=workbench.model_factory,
+            threshold=model_threshold,
+        )
     service.start()
+
+    def model_loader(path):
+        # POST /v1/models {"path": ...}: load a saved detector from
+        # disk and calibrate it exactly like the boot-time models.
+        from repro.core import (
+            calibrate_threshold,
+            detector_to_state,
+            load_detector,
+        )
+
+        loaded = load_detector(workbench.model, path)
+        model_threshold = calibrate_threshold(
+            loaded, workbench.calibration_set, args.fpr
+        )
+        return (detector_to_state(loaded), workbench.model_factory,
+                model_threshold)
+
     server = DetectionHTTPServer(
         service, host=args.host, port=args.http,
-        max_inflight=args.max_inflight,
+        max_inflight=args.max_inflight, model_loader=model_loader,
     )
     server.start()
     slo = (f"adaptive batching, SLO {args.slo_ms:.0f} ms/batch"
            if args.slo_ms else f"fixed batch {args.batch_size}")
+    models = ", ".join(service.registry.names())
     print(f"serving {args.scenario}/{args.variant} on {server.url} "
-          f"({args.workers} workers, {slo})")
-    print(f"  POST {server.url}/v1/detect   (JSON or .npy body)")
+          f"({args.workers} workers, {slo}; models: {models})")
+    print(f"  POST {server.url}/v1/detect   (JSON or .npy body; "
+          f"?model=NAME[@V], X-Repro-Class: interactive|standard|batch)")
+    print(f"  GET  {server.url}/v1/models")
+    print(f"  POST {server.url}/v1/models   (hot-swap: "
+          "{\"name\": ..., \"path\"|\"from\": ...})")
     print(f"  GET  {server.url}/v1/stats")
     print(f"  GET  {server.url}/healthz")
     print("Ctrl-C (SIGINT/SIGTERM) to drain and stop.", flush=True)
@@ -423,25 +581,37 @@ def cmd_serve(args) -> None:
         workloads.shrink_for_smoke()
     workbench = Workbench.get(args.scenario)
     threshold = workbench.calibrated_threshold(args.variant, args.fpr)
+    extra_models = _parse_model_args(workbench, args.model, args.fpr)
     if args.http is not None:
-        _serve_http(args, workbench, threshold)
+        _serve_http(args, workbench, threshold, extra_models)
         return
     print(f"deploying {args.workers}-worker service: "
           f"threshold={threshold:.2f} (target FPR {args.fpr}), "
           f"scheduler={args.scheduler}, transport={args.transport}"
-          f"{', pinned' if args.pin else ''}")
+          f"{', pinned' if args.pin else ''}"
+          f"{f', +{len(extra_models)} extra models' if extra_models else ''}")
     frames, is_attack = workbench.traffic(
         attack=args.attack, count=args.count,
         attack_rate=args.attack_rate, return_truth=True,
     )
-    with workbench.service(
+    service = workbench.service(
         args.variant, num_workers=args.workers,
         batch_size=args.batch_size, scheduler=args.scheduler,
         threshold=threshold, slo_ms=args.slo_ms,
         transport=args.transport, pin_workers=args.pin,
         backend=args.backend,
-    ) as service:
+    )
+    for name, state, model_threshold in extra_models:
+        service.load_model(
+            name, state=state, model_factory=workbench.model_factory,
+            threshold=model_threshold,
+        )
+    with service:
         result = service.run(frames)
+        model_results = [
+            (name, service.run(frames, model=name))
+            for name, _, _ in extra_models
+        ]
         shard_stats = service.shard_stats()
         merged = service.stats()
         restarts = service.restarts
@@ -478,6 +648,18 @@ def cmd_serve(args) -> None:
           f"{transport_stats['slot_fallbacks']} slot fallbacks, "
           f"{transport_stats['shm_bytes_in'] / 1e6:.1f} MB in / "
           f"{transport_stats['shm_bytes_out'] / 1e6:.1f} MB out over shm)")
+    if model_results:
+        rows = [
+            (name, len(frames), f"{res.samples_per_sec:.0f}",
+             f"{float(res.is_adversarial.mean()):.2f}")
+            for name, res in [("default", result)] + model_results
+        ]
+        print()
+        print(render_table(
+            f"per-model wall-clock over the same {len(frames)} frames",
+            ["model", "samples", "samples/s", "reject rate"],
+            rows,
+        ))
 
 
 def cmd_suite(args) -> None:
@@ -521,6 +703,23 @@ def cmd_suite(args) -> None:
                 checked += 1
         print(f"bit-identity vs direct DetectionEngine.run verified for "
               f"{checked}/{len(specs)} engine-scored scenarios")
+    if args.service:
+        spec = next(
+            (s for s in specs
+             if DEFENSES[s.defense].engine_scored and not s.is_fault_attack),
+            None,
+        )
+        if spec is None:
+            print("--service: grid has no engine-scored scenarios to check")
+        else:
+            digest = runner.verify_service_identity(
+                spec, num_workers=args.workers, scheduler=args.scheduler,
+                transport=args.transport, pin_workers=args.pin,
+                backend=args.backend,
+            )
+            print(f"service identity: {spec.scenario_id} through a "
+                  f"{args.workers}-worker ShardedDetectionService matches "
+                  f"DetectionEngine.run (digest {digest[:12]})")
     manifest = write_reports(args.output, reports, skipped, axes)
     print(f"wrote {len(reports)} reports, {manifest.name}, and "
           f"results_summary.md under {args.output}/")
@@ -631,15 +830,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attack-rate", type=float, default=0.33)
     p.add_argument("--batch-sizes", type=int, nargs="+",
                    default=[1, 8, 64, 256])
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes; >1 measures the sharded "
-                   "service at wall clock instead of the in-process "
-                   "engine")
-    p.add_argument("--backend", default=None,
-                   choices=["numpy", "tiled", "numba"],
-                   help="kernel backend for the hot detection "
-                   "primitives (default: REPRO_KERNEL_BACKEND env, "
-                   "then the detector config, then numpy)")
+    p.add_argument("--fpr", type=float, default=0.1,
+                   help="target FPR used to calibrate --model extras "
+                   "(default 0.1)")
+    _add_pool_args(p, workers=1, models=True)
     p.set_defaults(func=cmd_throughput)
 
     p = sub.add_parser(
@@ -647,7 +841,6 @@ def build_parser() -> argparse.ArgumentParser:
         "expose it over HTTP with --http PORT"
     )
     p.add_argument("scenario")
-    p.add_argument("--workers", type=int, default=2)
     p.add_argument("--count", type=int, default=256)
     p.add_argument("--batch-size", type=int, default=32,
                    help="micro-batch size each shard processes at once "
@@ -666,21 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="shrink scenario sizes to CI-smoke scale "
                    "before building the workbench")
-    p.add_argument("--transport", default="shm",
-                   choices=["shm", "queue"],
-                   help="batch payload channel: shared-memory slab "
-                   "rings (default; falls back per-batch to the queue "
-                   "when unavailable) or the pickle queue")
-    p.add_argument("--pin", action="store_true",
-                   help="pin each worker to a disjoint CPU set "
-                   "(os.sched_setaffinity; no-op where unsupported)")
-    p.add_argument("--scheduler", default="round-robin",
-                   choices=["round-robin", "least-loaded"])
-    p.add_argument("--backend", default=None,
-                   choices=["numpy", "tiled", "numba"],
-                   help="kernel backend each shard's engine computes "
-                   "on (default: REPRO_KERNEL_BACKEND env, then the "
-                   "detector config, then numpy)")
+    _add_pool_args(p, workers=2, models=True)
     p.add_argument("--variant", default="FwAb",
                    choices=["BwCu", "BwAb", "FwAb", "FwCu", "Hybrid"])
     p.add_argument("--attack", choices=["bim", "fgsm", "deepfool",
@@ -711,6 +890,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify every engine-scored scenario's scores "
                    "digest is bit-identical to a direct "
                    "DetectionEngine.run of the same workload")
+    p.add_argument("--service", action="store_true",
+                   help="additionally score one engine-scored cell "
+                   "through a ShardedDetectionService pool (configured "
+                   "by the --workers/--transport/... flags) and verify "
+                   "its scores match DetectionEngine.run bit-for-bit")
+    _add_pool_args(p, workers=2)
     p.add_argument("--fpr", type=float, default=0.1,
                    help="target FPR for the operating point (default 0.1)")
     p.add_argument("--sweep-points", type=int, default=21,

@@ -9,8 +9,12 @@ replacement, sizing batches from observed latencies),
 kernels with warm canary caches, :class:`ShardedDetectionService` fans
 that engine out over a pool of worker processes (pluggable scheduling,
 ordered aggregation, crash recovery),
+:class:`ModelRegistry` gives that pool named+versioned multi-model
+routing with hot-swap (:mod:`repro.runtime.registry`, including the
+per-request :class:`RequestClass` SLO ladder),
 :class:`DetectionHTTPServer` puts the stdlib HTTP network boundary on
-that service (validation, bounded 429 backpressure, graceful drain),
+that service (validation, bounded class-aware 429 backpressure,
+graceful drain, per-model routing and ``/v1/models`` hot-swap),
 and :class:`ThroughputStats` keeps the samples/sec and per-stage
 latency accounting the benchmarks and the CI perf gate read.  Batch
 payloads move between the service and its shards over per-shard
@@ -25,6 +29,17 @@ from repro.runtime.engine import (
     DetectionEngine,
     EngineRunResult,
     measure_throughput,
+)
+from repro.runtime.registry import (
+    DEFAULT_CLASS,
+    DEFAULT_MODEL,
+    REQUEST_CLASSES,
+    ModelEntry,
+    ModelRegistry,
+    RequestClass,
+    UnknownModelError,
+    parse_model_spec,
+    resolve_request_class,
 )
 from repro.runtime.service import (
     ServiceError,
@@ -62,6 +77,15 @@ __all__ = [
     "DetectionEngine",
     "EngineRunResult",
     "measure_throughput",
+    "DEFAULT_CLASS",
+    "DEFAULT_MODEL",
+    "ModelEntry",
+    "ModelRegistry",
+    "REQUEST_CLASSES",
+    "RequestClass",
+    "UnknownModelError",
+    "parse_model_spec",
+    "resolve_request_class",
     "ServiceError",
     "ServiceFuture",
     "ServiceResult",

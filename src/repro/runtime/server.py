@@ -5,26 +5,57 @@
 (``http.server.ThreadingHTTPServer`` — no new dependencies), so real
 multi-user traffic can reach the engine:
 
-* ``POST /v1/detect`` — one detection request.  The body is either
-  JSON (``{"samples": [[...], ...]}`` or a bare nested list) or a raw
+* ``POST /v1/detect[?model=<name>[@<ver>]][&class=<class>]`` — one
+  detection request.  The body is either JSON
+  (``{"samples": [[...], ...]}`` or a bare nested list) or a raw
   ``.npy`` array (``Content-Type: application/octet-stream``).  The
-  response carries the ordered decision arrays, bit-identical to
-  :meth:`DetectionEngine.run` over the same samples at any worker
-  count.
+  ``model`` query parameter routes through the service's
+  :class:`~repro.runtime.registry.ModelRegistry` (absent → the default
+  model, preserving the single-model contract bit-identically); the
+  request class comes from the ``class`` query parameter or the
+  ``X-Repro-Class`` header (``interactive``/``standard``/``batch``,
+  default ``standard``).  The response carries the ordered decision
+  arrays — bit-identical to :meth:`DetectionEngine.run` over the same
+  samples at any worker count — plus the resolved ``model`` spec and
+  ``class``.
+* ``GET /v1/models`` — the registry listing: every name/version, which
+  version serves, per-version request counts, drain state, and the
+  request-class table.
+* ``POST /v1/models`` — hot-swap: register a new version and
+  drain-and-replace the old one.  Body is
+  ``{"name": ..., "from": "name[@ver]"}`` (clone an already-registered
+  state) or ``{"name": ..., "path": ...}`` (load a saved detector via
+  the server's ``model_loader`` callback), optionally with
+  ``"threshold"``.
 * ``GET /v1/stats`` — service throughput/latency accounting, server
-  counters, and the adaptive batcher's controller state.
+  counters (global and per request class), per-model sections, and the
+  per-(model, class) adaptive controller states.
 * ``GET /healthz`` — 200 while at least one worker is alive and the
   server is accepting traffic; 503 during worker-pool outage or drain.
 
-Backpressure is bounded and explicit: at most ``max_inflight``
-requests may be in flight; the next one is refused immediately with
-``429 Too Many Requests`` (plus ``Retry-After``) instead of queueing
-without bound.  Shutdown is a graceful drain — new requests get 503
-while in-flight ones finish (up to ``drain_timeout``), then the
-listener closes.
+Backpressure is bounded, explicit, and class-aware: at most
+``max_inflight`` requests may be in flight, and each request class may
+only occupy its ``admit_fraction`` share of that budget — so under
+overload the lowest class (``batch``) is refused first with ``429 Too
+Many Requests`` (plus ``Retry-After``) while ``interactive`` still
+admits, instead of queueing without bound.  Per-request deadlines
+scale with the class (``request_timeout * slo_scale``).  Shutdown is a
+graceful drain — new requests get 503 while in-flight ones finish (up
+to ``drain_timeout``), then the listener closes.
 
-Error mapping: malformed body/shape → 400, oversized body → 413,
-request deadline → 504, worker-pool failure or drain → 503.
+Every error response uses one JSON schema::
+
+    {"error": <human-readable message>,
+     "code":  <machine-readable slug>,
+     "retry_after": <seconds to back off, or null>}
+
+with ``Retry-After`` also set as a header when non-null.  Mapping:
+malformed body/shape/spec/class → 400 (``bad_request``), unknown
+model/version or path → 404 (``model_not_found`` / ``not_found``),
+oversized body → 413 (``payload_too_large``), class budget exhausted →
+429 (``backpressure``), drain → 503 (``draining``), worker-pool
+failure → 503 (``service_unavailable``), request deadline → 504
+(``deadline_exceeded``), anything else → 500 (``internal``).
 """
 
 from __future__ import annotations
@@ -34,16 +65,24 @@ import json
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
+
+from repro.runtime.registry import (
+    REQUEST_CLASSES,
+    UnknownModelError,
+    resolve_request_class,
+)
 
 __all__ = [
     "DetectionHTTPServer",
     "encode_npy",
     "post_detect",
+    "post_json",
     "get_json",
     "wait_for_health",
 ]
@@ -68,11 +107,15 @@ def post_detect(
     *,
     binary: bool = True,
     timeout: float = 120.0,
+    model: Optional[str] = None,
+    request_class: Optional[str] = None,
 ) -> dict:
     """POST one detection request; returns the decoded JSON response.
 
-    Raises :class:`urllib.error.HTTPError` on non-2xx (the bench and
-    the tests read ``exc.code`` off it).
+    ``model`` is a ``name[@version]`` spec sent as the ``model`` query
+    parameter; ``request_class`` is sent as the ``X-Repro-Class``
+    header.  Raises :class:`urllib.error.HTTPError` on non-2xx (the
+    bench and the tests read ``exc.code`` off it).
     """
     if binary:
         body = encode_npy(xs)
@@ -82,10 +125,31 @@ def post_detect(
             {"samples": np.asarray(xs).tolist()}
         ).encode("utf-8")
         content_type = "application/json"
+    path = "/v1/detect"
+    if model is not None:
+        path += "?" + urllib.parse.urlencode({"model": model})
+    headers = {"Content-Type": content_type}
+    if request_class is not None:
+        headers["X-Repro-Class"] = request_class
     request = urllib.request.Request(
-        base_url.rstrip("/") + "/v1/detect",
+        base_url.rstrip("/") + path,
         data=body,
-        headers={"Content-Type": content_type},
+        headers=headers,
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def post_json(
+    base_url: str, path: str, payload: dict, timeout: float = 60.0
+) -> dict:
+    """POST a JSON payload (e.g. a ``/v1/models`` hot-swap) and decode
+    the JSON response."""
+    request = urllib.request.Request(
+        base_url.rstrip("/") + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
         method="POST",
     )
     with urllib.request.urlopen(request, timeout=timeout) as response:
@@ -143,22 +207,33 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         front: "DetectionHTTPServer" = self.server.front
-        if self.path == "/healthz":
+        path = urllib.parse.urlsplit(self.path).path
+        if path == "/healthz":
             payload, code = front.health()
             self._send_json(code, payload)
-        elif self.path == "/v1/stats":
+        elif path == "/v1/stats":
             self._send_json(200, front.stats_payload())
+        elif path == "/v1/models":
+            front.handle_models_get(self)
         else:
-            self._send_json(404, {"error": f"no such path: {self.path}"})
+            front.send_error_json(
+                self, 404, "not_found", f"no such path: {self.path}"
+            )
 
     def do_POST(self) -> None:
         front: "DetectionHTTPServer" = self.server.front
-        if self.path != "/v1/detect":
+        split = urllib.parse.urlsplit(self.path)
+        query = urllib.parse.parse_qs(split.query)
+        if split.path == "/v1/detect":
+            front.handle_detect(self, query)
+        elif split.path == "/v1/models":
+            front.handle_models_post(self)
+        else:
             # the body was never read; a keep-alive reuse would misparse
             self.close_connection = True
-            self._send_json(404, {"error": f"no such path: {self.path}"})
-            return
-        front.handle_detect(self)
+            front.send_error_json(
+                self, 404, "not_found", f"no such path: {self.path}"
+            )
 
 
 class _Httpd(ThreadingHTTPServer):
@@ -192,6 +267,12 @@ class DetectionHTTPServer:
         Reject larger request bodies with 413.
     drain_timeout:
         How long :meth:`close` waits for in-flight requests.
+    model_loader:
+        Optional callback for ``POST /v1/models`` with a ``"path"``
+        body: ``model_loader(path) -> (state, model_factory,
+        threshold)``.  The CLI wires one that loads a saved detector
+        directory against the serving scenario's architecture; without
+        it only ``"from"`` (clone-an-existing-spec) hot-swaps work.
     """
 
     def __init__(
@@ -204,6 +285,7 @@ class DetectionHTTPServer:
         request_timeout: float = 120.0,
         max_body_bytes: int = MAX_BODY_BYTES,
         drain_timeout: float = 30.0,
+        model_loader: Optional[Callable] = None,
     ):
         if max_inflight < 1:
             raise ValueError("max_inflight must be positive")
@@ -214,6 +296,7 @@ class DetectionHTTPServer:
         self.request_timeout = request_timeout
         self.max_body_bytes = max_body_bytes
         self.drain_timeout = drain_timeout
+        self.model_loader = model_loader
         self._lock = threading.Lock()
         self._inflight = 0
         self._draining = False
@@ -224,9 +307,19 @@ class DetectionHTTPServer:
             "client_errors": 0,
             "server_errors": 0,
         }
+        # per-class admission accounting (admitted/shed per class name)
+        self._class_counters = {
+            name: {"admitted": 0, "shed": 0} for name in REQUEST_CLASSES
+        }
         self._httpd = _Httpd((host, port), _Handler, front=self)
         self._thread: Optional[threading.Thread] = None
         self._started_at = time.monotonic()
+
+    @property
+    def _multi(self) -> bool:
+        """Whether the backing service speaks the multi-model surface
+        (a real :class:`ShardedDetectionService`; test stubs may not)."""
+        return hasattr(self.service, "registry")
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -314,7 +407,29 @@ class DetectionHTTPServer:
             server["inflight"] = self._inflight
             server["max_inflight"] = self.max_inflight
             server["draining"] = self._draining
+            class_counters = {
+                name: dict(counts)
+                for name, counts in self._class_counters.items()
+            }
         adaptive = getattr(self.service, "adaptive", None)
+        # per-model engine accounting + per-(model, class) controllers
+        # (empty for single-model stubs without the registry surface)
+        models = {}
+        adaptive_classes = {}
+        if self._multi:
+            models = {
+                spec: stats.report()
+                for spec, stats in self.service.model_stats().items()
+            }
+            adaptive_classes = self.service.adaptive_snapshots()
+        classes = {
+            name: {
+                **cls.snapshot(),
+                "admit_limit": cls.admit_limit(self.max_inflight),
+                **class_counters.get(name, {}),
+            }
+            for name, cls in REQUEST_CLASSES.items()
+        }
         return {
             "service": self.service.stats().report(),
             "server": server,
@@ -332,11 +447,40 @@ class DetectionHTTPServer:
                 self.service.shard_backends()
                 if hasattr(self.service, "shard_backends") else {}
             ),
+            "default_model": getattr(self.service, "default_model", None),
+            "models": models,
+            "classes": classes,
+            "adaptive_classes": adaptive_classes,
         }
 
     def _count(self, key: str) -> None:
         with self._lock:
             self._counters[key] += 1
+
+    def send_error_json(
+        self,
+        handler: _Handler,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        """Emit the one error schema every non-2xx response uses:
+        ``{"error": <message>, "code": <slug>, "retry_after": <s|null>}``
+        (plus a ``Retry-After`` header when non-null)."""
+        headers = (
+            {"Retry-After": f"{retry_after:g}"}
+            if retry_after is not None else None
+        )
+        handler._send_json(
+            status,
+            {
+                "error": message,
+                "code": code,
+                "retry_after": retry_after,
+            },
+            headers,
+        )
 
     def _parse_body(self, body: bytes, content_type: str) -> np.ndarray:
         """Decode a request body into a sample array; ValueError on any
@@ -363,10 +507,22 @@ class DetectionHTTPServer:
                 f"samples are not a numeric array: {exc}"
             ) from exc
 
-    def handle_detect(self, handler: _Handler) -> None:
+    def handle_detect(self, handler: _Handler, query: dict) -> None:
         from repro.runtime.service import ServiceError
 
         self._count("requests_total")
+        model_spec = (query.get("model") or [None])[0]
+        class_name = (
+            (query.get("class") or [None])[0]
+            or handler.headers.get("X-Repro-Class")
+        )
+        try:
+            cls = resolve_request_class(class_name)
+        except ValueError as exc:
+            self._count("client_errors")
+            handler.close_connection = True  # body never read
+            self.send_error_json(handler, 400, "bad_request", str(exc))
+            return
         try:
             length = int(handler.headers.get("Content-Length") or 0)
         except ValueError:
@@ -374,62 +530,73 @@ class DetectionHTTPServer:
         if length <= 0:
             self._count("client_errors")
             handler.close_connection = True  # body (if any) never read
-            handler._send_json(
-                400, {"error": "request body required (Content-Length)"}
+            self.send_error_json(
+                handler, 400, "bad_request",
+                "request body required (Content-Length)",
             )
             return
         if length > self.max_body_bytes:
             self._count("client_errors")
             handler.close_connection = True  # body never read
-            handler._send_json(
-                413,
-                {"error": f"body exceeds {self.max_body_bytes} bytes"},
+            self.send_error_json(
+                handler, 413, "payload_too_large",
+                f"body exceeds {self.max_body_bytes} bytes",
             )
             return
-        # bounded backpressure: admit or refuse *before* reading work
+        # bounded, class-aware backpressure: admit or refuse *before*
+        # reading work.  Each class only gets its admit_fraction share
+        # of the in-flight budget, so the lowest class sheds first.
+        limit = cls.admit_limit(self.max_inflight)
         with self._lock:
             if self._draining:
                 admitted = False
                 draining = True
-            elif self._inflight >= self.max_inflight:
+            elif self._inflight >= limit:
                 admitted = False
                 draining = False
+                self._class_counters[cls.name]["shed"] += 1
             else:
                 self._inflight += 1
                 admitted = True
                 draining = False
+                self._class_counters[cls.name]["admitted"] += 1
         if not admitted:
             handler.close_connection = True  # refused before body read
             if draining:
                 self._count("server_errors")
-                handler._send_json(
-                    503,
-                    {"error": "server is draining"},
-                    {"Retry-After": "1"},
+                self.send_error_json(
+                    handler, 503, "draining", "server is draining",
+                    retry_after=1.0,
                 )
             else:
                 self._count("responses_429")
-                handler._send_json(
-                    429,
-                    {"error": "too many in-flight requests"},
-                    {"Retry-After": "1"},
+                self.send_error_json(
+                    handler, 429, "backpressure",
+                    (
+                        f"too many in-flight requests for class "
+                        f"{cls.name!r} ({limit} of "
+                        f"{self.max_inflight} slots)"
+                    ),
+                    retry_after=1.0,
                 )
             return
         try:
-            self._handle_admitted(handler, length)
+            self._handle_admitted(handler, length, model_spec, cls)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response; nothing to answer
         except ServiceError as exc:
             self._count("server_errors")
             try:
-                handler._send_json(503, {"error": str(exc)})
+                self.send_error_json(
+                    handler, 503, "service_unavailable", str(exc)
+                )
             except (BrokenPipeError, ConnectionResetError):
                 pass
         except Exception as exc:  # never let a bug wedge the slot
             self._count("server_errors")
             try:
-                handler._send_json(
-                    500, {"error": f"internal error: {exc!r}"}
+                self.send_error_json(
+                    handler, 500, "internal", f"internal error: {exc!r}"
                 )
             except (BrokenPipeError, ConnectionResetError):
                 pass
@@ -437,20 +604,43 @@ class DetectionHTTPServer:
             with self._lock:
                 self._inflight -= 1
 
-    def _handle_admitted(self, handler: _Handler, length: int) -> None:
+    def _handle_admitted(
+        self, handler: _Handler, length: int, model_spec, cls
+    ) -> None:
         started = time.perf_counter()
         body = handler.rfile.read(length)
         try:
             xs = self._parse_body(
                 body, handler.headers.get("Content-Type", "")
             )
-            future = self.service.submit(xs)
+            if self._multi:
+                future = self.service.submit(
+                    xs, model=model_spec, request_class=cls.name
+                )
+            elif model_spec is not None:
+                # a stub/legacy single-model service cannot route
+                self._count("client_errors")
+                self.send_error_json(
+                    handler, 404, "model_not_found",
+                    f"unknown model {model_spec!r}: "
+                    "this server hosts a single unnamed model",
+                )
+                return
+            else:
+                future = self.service.submit(xs)
+        except UnknownModelError as exc:
+            self._count("client_errors")
+            self.send_error_json(handler, 404, "model_not_found", str(exc))
+            return
         except ValueError as exc:
             self._count("client_errors")
-            handler._send_json(400, {"error": str(exc)})
+            self.send_error_json(handler, 400, "bad_request", str(exc))
             return
+        # class-aware deadline: interactive gets a tighter budget than
+        # batch, mirroring the per-class SLO scaling in the service
+        deadline = self.request_timeout * cls.slo_scale
         try:
-            result = future.result(timeout=self.request_timeout)
+            result = future.result(timeout=deadline)
         except TimeoutError:
             # abandon the request in the service too, or its queued
             # chunks would pile up behind every future deadline
@@ -458,14 +648,12 @@ class DetectionHTTPServer:
             if callable(cancel):
                 cancel()
             self._count("server_errors")
-            handler._send_json(
-                504,
-                {
-                    "error": (
-                        f"request deadline exceeded "
-                        f"({self.request_timeout:.1f}s)"
-                    )
-                },
+            self.send_error_json(
+                handler, 504, "deadline_exceeded",
+                (
+                    f"request deadline exceeded ({deadline:.1f}s, "
+                    f"class {cls.name!r})"
+                ),
             )
             return
         wall_ms = (time.perf_counter() - started) * 1e3
@@ -480,5 +668,124 @@ class DetectionHTTPServer:
                 "similarities": result.similarities.tolist(),
                 "rejection_rate": float(result.rejection_rate),
                 "wall_ms": wall_ms,
+                "model": getattr(future, "model", None),
+                "class": cls.name,
+            },
+        )
+
+    # -- model management endpoints -------------------------------------
+    def handle_models_get(self, handler: _Handler) -> None:
+        if not self._multi:
+            self.send_error_json(
+                handler, 404, "not_found",
+                "this server hosts a single unnamed model "
+                "(no registry attached)",
+            )
+            return
+        handler._send_json(200, self.service.models())
+
+    def handle_models_post(self, handler: _Handler) -> None:
+        """Hot-swap endpoint: register a new model version and
+        drain-and-replace the serving one (see module docstring)."""
+        from repro.runtime.service import ServiceError
+
+        try:
+            length = int(handler.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length <= 0 or length > self.max_body_bytes:
+            self._count("client_errors")
+            handler.close_connection = True
+            if length > self.max_body_bytes:
+                self.send_error_json(
+                    handler, 413, "payload_too_large",
+                    f"body exceeds {self.max_body_bytes} bytes",
+                )
+            else:
+                self.send_error_json(
+                    handler, 400, "bad_request",
+                    "request body required (Content-Length)",
+                )
+            return
+        body = handler.rfile.read(length)
+        if not self._multi:
+            self._count("client_errors")
+            self.send_error_json(
+                handler, 404, "not_found",
+                "this server hosts a single unnamed model "
+                "(no registry attached)",
+            )
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict) or "name" not in payload:
+                raise ValueError(
+                    'JSON body must be an object with a "name" key'
+                )
+        except (UnicodeDecodeError, json.JSONDecodeError, ValueError) as exc:
+            self._count("client_errors")
+            self.send_error_json(handler, 400, "bad_request", str(exc))
+            return
+        name = payload["name"]
+        threshold = payload.get("threshold")
+        try:
+            if "from" in payload:
+                entry = self.service.load_model(
+                    name, source=payload["from"], threshold=threshold
+                )
+            elif "path" in payload:
+                if self.model_loader is None:
+                    self._count("client_errors")
+                    self.send_error_json(
+                        handler, 400, "bad_request",
+                        'this server has no model_loader; only "from" '
+                        "(clone an existing spec) hot-swaps are available",
+                    )
+                    return
+                state, factory, default_threshold = self.model_loader(
+                    payload["path"]
+                )
+                entry = self.service.load_model(
+                    name,
+                    state=state,
+                    model_factory=factory,
+                    threshold=(
+                        default_threshold if threshold is None else threshold
+                    ),
+                )
+            else:
+                self._count("client_errors")
+                self.send_error_json(
+                    handler, 400, "bad_request",
+                    'body must carry "from" (an existing name[@version] '
+                    'to clone) or "path" (a saved detector directory)',
+                )
+                return
+        except UnknownModelError as exc:
+            self._count("client_errors")
+            self.send_error_json(handler, 404, "model_not_found", str(exc))
+            return
+        except FileNotFoundError as exc:
+            self._count("client_errors")
+            self.send_error_json(handler, 404, "not_found", str(exc))
+            return
+        except ValueError as exc:
+            self._count("client_errors")
+            self.send_error_json(handler, 400, "bad_request", str(exc))
+            return
+        except ServiceError as exc:
+            self._count("server_errors")
+            self.send_error_json(
+                handler, 503, "service_unavailable", str(exc)
+            )
+            return
+        self._count("responses_200")
+        handler._send_json(
+            200,
+            {
+                "name": entry.name,
+                "version": entry.version,
+                "spec": entry.spec,
+                "serving": True,
             },
         )

@@ -32,10 +32,24 @@ Guarantees:
   exhausted, oversized batch — falls back per-batch to the original
   pickle queue with bit-identical results (``transport="queue"``
   forces that path everywhere).
+* **Multi-model** — one pool serves N named, versioned detectors out
+  of a :class:`~repro.runtime.registry.ModelRegistry`: every worker
+  holds one engine per registered model, each batch descriptor carries
+  its ``(name, version)`` key through the transport, and
+  :meth:`ShardedDetectionService.load_model` hot-swaps a new version
+  with drain-and-replace (routing flips only after every worker holds
+  the new state; the old version unloads once its in-flight requests
+  finish).  The single-detector constructor path registers under
+  ``"default"`` and is bit-identical to the pre-registry service.
+  Requests also carry a :class:`~repro.runtime.registry.RequestClass`
+  (``interactive``/``standard``/``batch``): higher classes jump the
+  dispatch queue and batches form per (model, class) with
+  class-scaled SLOs.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import os
 import pickle
@@ -50,6 +64,16 @@ import numpy as np
 from repro.core.serialization import detector_from_state, detector_to_state
 from repro.runtime.adaptive import AdaptiveBatcher
 from repro.runtime.batching import iter_microbatches
+from repro.runtime.registry import (
+    DEFAULT_CLASS,
+    DEFAULT_MODEL,
+    REQUEST_CLASSES,
+    ModelEntry,
+    ModelRegistry,
+    RequestClass,
+    UnknownModelError,
+    resolve_request_class,
+)
 from repro.runtime.sharding import (
     ShardLoad,
     ShardScheduler,
@@ -82,60 +106,80 @@ class ServiceError(RuntimeError):
 
 # -- worker side -----------------------------------------------------------
 
+def _build_worker_engine(
+    model_factory: Callable,
+    state_payload,
+    threshold: float,
+    batch_size: int,
+    backend: Optional[str],
+):
+    """Rebuild one engine from a broadcast model payload (worker side)."""
+    from repro.runtime.engine import DetectionEngine
+
+    state = (
+        pickle.loads(state_payload)
+        if isinstance(state_payload, (bytes, bytearray))
+        else state_payload
+    )
+    detector = detector_from_state(model_factory(), state)
+    return DetectionEngine(
+        detector,
+        threshold=threshold,
+        batch_size=batch_size,
+        backend=backend,
+    )
+
+
 def _worker_main(
     worker_id: int,
-    state_payload,  # dict under fork (COW pages), pickled bytes under spawn
-    model_factory: Callable,
-    threshold: float,
+    # (name, version) -> (payload, model_factory, threshold); payloads
+    # are dicts under fork (COW pages), pickled bytes under spawn
+    models_payload: dict,
     batch_size: int,
     task_queue,
     result_queue,
     pin_cpus: Optional[Tuple[int, ...]] = None,
     backend: Optional[str] = None,
 ) -> None:
-    """Shard process entry point: rebuild the engine from the broadcast
-    state, then serve micro-batches until told to stop."""
-    from repro.runtime.engine import DetectionEngine
-
+    """Shard process entry point: rebuild one engine per broadcast
+    model, then serve model-keyed micro-batches until told to stop."""
     if pin_cpus:
         # Pin before warming caches so they live on the pinned core;
         # best-effort — a shrunken cgroup mask must not kill the shard.
-        # Pinning happens before the engine exists, so a tiled kernel
+        # Pinning happens before the engines exist, so a tiled kernel
         # backend sizes its thread pool off this shard's own CPU share.
         try:
             os.sched_setaffinity(0, set(pin_cpus))
         except (AttributeError, OSError):
             pass
     slabs: Optional[WorkerSlabs] = None
+    engines: Dict[Tuple[str, int], object] = {}
     try:
-        state = (
-            pickle.loads(state_payload)
-            if isinstance(state_payload, (bytes, bytearray))
-            else state_payload
-        )
-        detector = detector_from_state(model_factory(), state)
-        engine = DetectionEngine(
-            detector,
-            threshold=threshold,
-            batch_size=batch_size,
-            backend=backend,
-        )
+        for key, (payload, factory, threshold) in models_payload.items():
+            engines[key] = _build_worker_engine(
+                factory, payload, threshold, batch_size, backend
+            )
+        if not engines:
+            raise RuntimeError("worker started with no models to serve")
     except Exception as exc:  # startup failure is fatal for this shard
         result_queue.put(("fatal", worker_id, repr(exc)))
         return
     # The ready payload names the kernel backend that actually resolved
     # here (a requested numba may have degraded to numpy on this host),
     # so parent-side introspection reports the shard's effective choice.
-    result_queue.put(("ready", worker_id, engine.kernel_backend))
+    result_queue.put(
+        ("ready", worker_id, next(iter(engines.values())).kernel_backend)
+    )
     while True:
         message = task_queue.get()
         kind = message[0]
         if kind == "stop":
             if slabs is not None:
-                # the model's layer caches still reference the last
+                # the models' layer caches still reference the last
                 # batch's slot view; drop them so the mmap can close
                 # without "exported pointers exist" noise
-                engine = detector = None
+                engines.clear()
+                engine = None  # noqa: F841 — releases the last engine
                 import gc
 
                 gc.collect()
@@ -154,8 +198,25 @@ def _worker_main(
                 # which flips the parent back to the queue transport.
                 slabs = None
             continue
+        if kind == "load":
+            # hot-swap: build the new version's engine and ack, so the
+            # parent flips routing only once every worker holds it
+            key, payload, factory, threshold = message[1:]
+            try:
+                engines[key] = _build_worker_engine(
+                    factory, payload, threshold, batch_size, backend
+                )
+            except Exception as exc:
+                result_queue.put(("loaded", worker_id, (key, repr(exc))))
+            else:
+                result_queue.put(("loaded", worker_id, (key, None)))
+            continue
+        if kind == "unload":
+            # drained old version: drop its engine (and caches)
+            engines.pop(message[1], None)
+            continue
         if kind == "shm_batch":
-            seq, slot, shape, dtype_str = message[1:]
+            seq, key, slot, shape, dtype_str = message[1:]
             if slabs is None:
                 result_queue.put(("reject", worker_id, (seq, slot)))
                 continue
@@ -163,16 +224,25 @@ def _worker_main(
         elif kind == "shm_spill":
             # an oversized batch spilled across several slots: one
             # zero-copy view per row chunk, processed in row order
-            seq, slot, shapes, dtype_str = message[1:]
+            seq, key, slot, shapes, dtype_str = message[1:]
             if slabs is None:
                 result_queue.put(("reject", worker_id, (seq, slot)))
                 continue
             chunks = slabs.input_views(slot, shapes, dtype_str)
         else:
-            seq, batch = message[1], message[2]
+            seq, key, batch = message[1], message[2], message[3]
             slot = None
             chunks = [batch]
             batch = None
+        engine = engines.get(key)
+        if engine is None:
+            # should not happen (the parent broadcasts before routing),
+            # but a deterministic error beats a crashed worker
+            result_queue.put((
+                "error", worker_id,
+                (seq, f"model {key[0]}@{key[1]} is not loaded", slot),
+            ))
+            continue
         try:
             # Chunk splits never change results — the kernels are
             # bit-identical across batch sizes — so a spilled batch's
@@ -251,6 +321,8 @@ class _Task:
     request: "_Request"
     chunk_index: int
     batch: np.ndarray
+    key: Tuple[str, int] = (DEFAULT_MODEL, 1)
+    priority: int = 1
     slot: Union[int, Tuple[int, ...], None] = None
 
 
@@ -265,7 +337,10 @@ class _Request:
     remaining: int
     future: "ServiceFuture"
     submitted_at: float
+    key: Tuple[str, int] = (DEFAULT_MODEL, 1)
+    cls: RequestClass = REQUEST_CLASSES[DEFAULT_CLASS]
     failed: bool = False
+    closed: bool = False  # per-model open-request count released
 
 
 @dataclass
@@ -295,6 +370,9 @@ class _Shard:
     slab_failed: bool = False
     # effective kernel backend the worker reported at ready time
     backend: Optional[str] = None
+    # model keys this worker holds engines for: seeded at spawn, grown
+    # by "loaded" acks during hot-swap (read by load_model's barrier)
+    loaded_models: set = field(default_factory=set)
 
     def load(self) -> ShardLoad:
         return ShardLoad(
@@ -315,6 +393,10 @@ class ServiceFuture:
         # wired by the service once the request exists (the hook closes
         # over the request object, which itself holds this future)
         self._cancel_hook: Optional[Callable[[], bool]] = None
+        # routing record, set at submit time: the resolved model spec
+        # ("name@version") and request-class name this request ran as
+        self.model: Optional[str] = None
+        self.request_class: Optional[str] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -392,14 +474,23 @@ class ShardedDetectionService:
     ----------
     detector:
         A profiled and fitted detector; flattened once into the
-        broadcast state.  May be omitted when ``state`` is given.
+        broadcast state and registered as model ``"default"``.  May be
+        omitted when ``state`` or ``registry`` is given.
     model_factory:
         Zero-argument picklable callable building an
         architecture-compatible model (e.g. ``scenario.build_model``);
-        each worker calls it once and loads the broadcast weights.
+        each worker calls it once per model and loads the broadcast
+        weights.
     state:
         Pre-built :func:`repro.core.detector_to_state` payload; lets
         several pools share one serialisation pass.
+    registry:
+        A pre-populated :class:`~repro.runtime.registry.ModelRegistry`
+        to serve instead of a single detector (mutually exclusive with
+        ``detector``/``state``).  Every serving entry is broadcast to
+        every worker; requests route with ``submit(..., model=...)``.
+        The single-detector path builds an internal one-entry registry,
+        so multi-model introspection works either way.
     num_workers / threshold / batch_size:
         Pool size, decision threshold, and micro-batch size (the chunk
         granularity requests are split at — identical splitting to
@@ -453,8 +544,9 @@ class ShardedDetectionService:
         self,
         detector=None,
         *,
-        model_factory: Callable,
+        model_factory: Optional[Callable] = None,
         state: Optional[dict] = None,
+        registry: Optional[ModelRegistry] = None,
         num_workers: int = 2,
         threshold: float = 0.5,
         batch_size: int = 64,
@@ -478,28 +570,39 @@ class ShardedDetectionService:
             )
         if slab_slots < 1:
             raise ValueError("slab_slots must be positive")
-        if state is None:
-            if detector is None:
-                raise ValueError("provide a detector or a prebuilt state")
-            state = detector_to_state(detector)
-        if not state.get("fitted"):
-            raise ValueError("detector classifier must be fitted")
+        if registry is not None:
+            if detector is not None or state is not None:
+                raise ValueError(
+                    "pass either a registry or a detector/state, not both"
+                )
+            if len(registry) == 0:
+                raise ValueError("registry has no models")
+            self.registry = registry
+        else:
+            # single-detector back-compat path: a one-entry registry
+            # under the "default" name (register() validates the
+            # detector-or-state and fitted invariants)
+            self.registry = ModelRegistry(default=DEFAULT_MODEL)
+            self.registry.register(
+                DEFAULT_MODEL,
+                detector=detector,
+                state=state,
+                model_factory=model_factory,
+                threshold=threshold,
+            )
         method = start_method or (
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
         self._ctx = mp.get_context(method)
-        if method == "fork":
-            # fork inherits the dict as copy-on-write pages — zero
-            # serialization per spawn, so keep it as-is
-            self._state_payload: Union[dict, bytes] = state
-        else:
-            # spawn pickles Process args per worker: serialize the deep
-            # array dict exactly once and reuse the buffer for every
-            # spawn — the initial pool and respawned replacements alike
-            self._state_payload = pickle.dumps(
-                state, pickle.HIGHEST_PROTOCOL
-            )
-        self._model_factory = model_factory
+        self._fork = method == "fork"
+        # (name, version) -> (payload, factory, threshold), broadcast
+        # to every worker at spawn.  Under fork the payload is the
+        # state dict itself (copy-on-write pages, zero serialization);
+        # under spawn it is pickled exactly once and the buffer reused
+        # for every spawn — initial pool and respawns alike.
+        self._models: Dict[Tuple[str, int], tuple] = {}
+        for entry in self.registry.serving_entries():
+            self._models[entry.key] = self._model_payload(entry)
         self.num_workers = num_workers
         self.threshold = threshold
         self.batch_size = batch_size
@@ -525,9 +628,16 @@ class ShardedDetectionService:
             "shm_bytes_out": 0,
             "slots_reclaimed": 0,
         }
-        self.adaptive: Optional[AdaptiveBatcher] = None
+        self._slo_ms = slo_ms
+        # one AdaptiveBatcher per (model key, class name), lazily
+        # created with the class-scaled SLO; `adaptive` (back-compat)
+        # is the default model's standard-class controller
+        self._adaptive: Dict[
+            Tuple[Tuple[str, int], str], AdaptiveBatcher
+        ] = {}
         if slo_ms is not None:
-            self.adaptive = AdaptiveBatcher(
+            default_key = self.registry.resolve(None).key
+            self._adaptive[(default_key, DEFAULT_CLASS)] = AdaptiveBatcher(
                 slo_ms,
                 max_batch=batch_size,
                 initial_batch=min(8, batch_size),
@@ -544,8 +654,18 @@ class ShardedDetectionService:
         self._lifecycle_lock = threading.RLock()
         self._shards: Dict[int, _Shard] = {}
         self._shard_stats: Dict[int, ThroughputStats] = {}
-        self._dispatch_queue: "queue.Queue" = queue.Queue()
+        # class-priority dispatch: entries are (priority, tie-breaker,
+        # task); the tie-breaker keeps FIFO order within a class and
+        # makes entries comparable (tasks are not)
+        self._dispatch_queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._dispatch_counter = itertools.count()
         self._open_seqs: Dict[int, Tuple[_Request, int]] = {}
+        # per-model serving accounting + drain-and-replace state
+        self._model_stats: Dict[Tuple[str, int], ThroughputStats] = {}
+        self._model_requests: Dict[Tuple[str, int], int] = {}
+        self._open_model_requests: Dict[Tuple[str, int], int] = {}
+        self._retiring: set = set()
+        self._load_errors: Dict[Tuple[str, int], str] = {}
         self._seq = 0
         self._request_counter = 0
         self._next_shard_id = 0
@@ -577,6 +697,11 @@ class ShardedDetectionService:
             self._stopped = False
             self._stop_event = threading.Event()
             self._failure = None
+            # adopt anything registered directly on the registry while
+            # the pool was down (load_model keeps this in sync itself)
+            for entry in self.registry.serving_entries():
+                if entry.key not in self._models:
+                    self._models[entry.key] = self._model_payload(entry)
             for _ in range(self.num_workers):
                 self._spawn_shard()
             self._collector = threading.Thread(
@@ -625,7 +750,9 @@ class ShardedDetectionService:
             if shard.process.is_alive():
                 shard.process.terminate()
                 shard.process.join(timeout=5)
-        self._dispatch_queue.put(None)
+        # the stop sentinel sorts after every real task, so queued work
+        # is drained (and failed below) before the dispatcher exits
+        self._dispatch_queue.put((1 << 30, next(self._dispatch_counter), None))
         for thread in (self._dispatcher, self._collector):
             if thread is not None:
                 thread.join(timeout=10)
@@ -638,6 +765,7 @@ class ShardedDetectionService:
                 request.future._set_error(
                     ServiceError("service stopped with the request pending")
                 )
+                self._close_request_locked(request)
             for shard in shards:
                 # workers already joined (or were terminated): unlink
                 # every shared-memory segment so nothing outlives the
@@ -665,6 +793,271 @@ class ShardedDetectionService:
         """The terminal failure that killed the service, if any (what
         the HTTP front-end's ``/healthz`` reports)."""
         return self._failure
+
+    # -- multi-model surface --------------------------------------------
+    def _model_payload(self, entry: ModelEntry) -> tuple:
+        """The (payload, factory, threshold) triple workers rebuild an
+        engine from; the payload is serialized at most once."""
+        payload = (
+            entry.state
+            if self._fork
+            else pickle.dumps(entry.state, pickle.HIGHEST_PROTOCOL)
+        )
+        return (payload, entry.model_factory, entry.threshold)
+
+    @property
+    def default_model(self) -> Optional[str]:
+        """Name requests without a ``model`` argument route to."""
+        return self.registry.default_name
+
+    @property
+    def adaptive(self) -> Optional[AdaptiveBatcher]:
+        """The default model's standard-class adaptive batcher (the
+        pre-multi-model surface; ``None`` unless ``slo_ms`` was set).
+        Per-(model, class) controllers: :meth:`adaptive_snapshots`."""
+        if self._slo_ms is None:
+            return None
+        try:
+            key = self.registry.resolve(None).key
+        except (UnknownModelError, ValueError):
+            return None
+        return self._adaptive_for(key, REQUEST_CLASSES[DEFAULT_CLASS])
+
+    def _adaptive_for(
+        self, key: Tuple[str, int], cls: RequestClass
+    ) -> AdaptiveBatcher:
+        """The (model, class) batcher, created on first use with the
+        class-scaled SLO."""
+        with self._lock:
+            batcher = self._adaptive.get((key, cls.name))
+            if batcher is None:
+                batcher = AdaptiveBatcher(
+                    self._slo_ms * cls.slo_scale,
+                    max_batch=self.batch_size,
+                    initial_batch=min(8, self.batch_size),
+                )
+                self._adaptive[(key, cls.name)] = batcher
+            return batcher
+
+    def adaptive_snapshots(self) -> Dict[str, dict]:
+        """Controller state per ``name@version/class`` (empty without
+        ``slo_ms``)."""
+        with self._lock:
+            return {
+                f"{key[0]}@{key[1]}/{cls_name}": batcher.snapshot()
+                for (key, cls_name), batcher in sorted(
+                    self._adaptive.items()
+                )
+            }
+
+    def model_stats(self) -> Dict[str, ThroughputStats]:
+        """Lifetime engine-side accounting per served model version
+        (copies, keyed by ``name@version``; retired versions remain)."""
+        with self._lock:
+            return {
+                f"{key[0]}@{key[1]}": ThroughputStats().merge(stats)
+                for key, stats in sorted(self._model_stats.items())
+            }
+
+    def models(self) -> dict:
+        """JSON-safe listing of every registered model version plus the
+        live serving view: per-version request/sample counts, open
+        requests, and whether the version is draining toward retire.
+        This is what ``GET /v1/models`` returns."""
+        listing = self.registry.describe()
+        with self._lock:
+            requests = {
+                f"{k[0]}@{k[1]}": count
+                for k, count in self._model_requests.items()
+            }
+            open_requests = {
+                f"{k[0]}@{k[1]}": count
+                for k, count in self._open_model_requests.items()
+            }
+            draining = {f"{k[0]}@{k[1]}" for k in self._retiring}
+            stats = {
+                f"{k[0]}@{k[1]}": stats.samples
+                for k, stats in self._model_stats.items()
+            }
+        for row in listing["models"]:
+            spec = row["spec"]
+            row["requests"] = requests.get(spec, 0)
+            row["open_requests"] = open_requests.get(spec, 0)
+            row["samples"] = int(stats.get(spec, 0))
+            row["draining"] = spec in draining
+        return listing
+
+    def load_model(
+        self,
+        name: str,
+        *,
+        detector=None,
+        state: Optional[dict] = None,
+        model_factory: Optional[Callable] = None,
+        threshold: Optional[float] = None,
+        source: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> ModelEntry:
+        """Register a model version and make it serve — the hot-swap
+        primitive behind ``POST /v1/models``.
+
+        A new name starts serving immediately; an existing name gets
+        version ``highest + 1`` with **drain-and-replace**: the state is
+        broadcast to every live worker first, routing flips to the new
+        version only after all of them ack the load, and the old
+        version is retired (engine unloaded everywhere) once its last
+        in-flight request completes — in-flight requests on the old
+        version always finish on the old version.
+
+        ``source`` clones an already-registered spec (``name[@ver]``)
+        instead of passing a detector/state — the state is reused, so
+        this is cheap.  ``model_factory``/``threshold`` default to the
+        source's (or, for an existing name, the serving version's).
+        Raises :class:`ServiceError` if a worker cannot load the state
+        (the new version never serves) or the ack wait times out.
+        """
+        with self._lifecycle_lock:
+            if self._failure is not None:
+                raise self._failure
+            if source is not None:
+                if detector is not None or state is not None:
+                    raise ValueError(
+                        "pass either source= or a detector/state, not both"
+                    )
+                src = self.registry.resolve(source)
+                state = src.state
+                model_factory = model_factory or src.model_factory
+                threshold = src.threshold if threshold is None else threshold
+            if model_factory is None or threshold is None:
+                try:
+                    current = self.registry.get(name)
+                except UnknownModelError:
+                    current = None
+                if current is not None:
+                    model_factory = model_factory or current.model_factory
+                    if threshold is None:
+                        threshold = current.threshold
+            if threshold is None:
+                threshold = self.threshold
+            old_key: Optional[Tuple[str, int]] = None
+            serving = self.registry.serving_version(name)
+            if serving is not None:
+                old_key = (name, serving)
+            entry = self.registry.register(
+                name,
+                detector=detector,
+                state=state,
+                model_factory=model_factory,
+                threshold=threshold,
+            )
+            runtime = self._model_payload(entry)
+            with self._lock:
+                self._models[entry.key] = runtime
+                shards = [
+                    s
+                    for s in self._shards.values()
+                    if not s.stopping and s.process.is_alive()
+                ]
+            if self._started:
+                for shard in shards:
+                    try:
+                        shard.task_queue.put(
+                            ("load", entry.key) + runtime
+                        )
+                    except (ValueError, OSError):
+                        pass
+                self._await_model_loaded(entry, timeout)
+            self.registry.promote(name, entry.version)
+            if old_key is not None and old_key != entry.key:
+                with self._lock:
+                    self._retiring.add(old_key)
+                    self._retire_if_drained_locked(old_key)
+            return entry
+
+    def _await_model_loaded(self, entry: ModelEntry, timeout: float) -> None:
+        """Block until every live worker acks the new model's engine;
+        on any load failure or timeout roll the version back so routing
+        never flips to a state the pool cannot serve."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                error = self._load_errors.pop(entry.key, None)
+                pending = [
+                    s
+                    for s in self._shards.values()
+                    if not s.stopping
+                    and not s.broken
+                    and s.process.is_alive()
+                    and entry.key not in s.loaded_models
+                ]
+            if error is not None:
+                self._rollback_model(entry)
+                raise ServiceError(
+                    f"hot-swap of {entry.spec} failed on a worker: {error}"
+                )
+            if not pending:
+                return
+            if time.monotonic() >= deadline:
+                self._rollback_model(entry)
+                raise ServiceError(
+                    f"hot-swap of {entry.spec} timed out waiting for "
+                    f"{len(pending)} worker(s) to load it"
+                )
+            time.sleep(0.01)
+
+    def _rollback_model(self, entry: ModelEntry) -> None:
+        with self._lock:
+            self._models.pop(entry.key, None)
+            shards = [
+                s
+                for s in self._shards.values()
+                if not s.stopping and s.process.is_alive()
+            ]
+        for shard in shards:
+            try:
+                shard.task_queue.put(("unload", entry.key))
+            except (ValueError, OSError):
+                pass
+        try:
+            self.registry.retire(entry.name, entry.version)
+        except (ValueError, UnknownModelError):
+            pass  # never served / already gone
+
+    def _close_request_locked(self, request: _Request) -> None:
+        """Release the request's per-model open count exactly once and
+        advance any drain waiting on it (caller holds ``self._lock``)."""
+        if request.closed:
+            return
+        request.closed = True
+        count = self._open_model_requests.get(request.key, 0) - 1
+        if count > 0:
+            self._open_model_requests[request.key] = count
+        else:
+            self._open_model_requests.pop(request.key, None)
+        self._retire_if_drained_locked(request.key)
+
+    def _retire_if_drained_locked(self, key: Tuple[str, int]) -> None:
+        """Finish a drain-and-replace: once a retiring version has no
+        open requests, unload its engines and retire it in the registry
+        (caller holds ``self._lock``)."""
+        if key not in self._retiring:
+            return
+        if self._open_model_requests.get(key, 0) > 0:
+            return
+        self._retiring.discard(key)
+        self._models.pop(key, None)
+        for shard in self._shards.values():
+            if shard.stopping or not shard.process.is_alive():
+                continue
+            try:
+                shard.task_queue.put(("unload", key))
+            except (ValueError, OSError):
+                pass
+            shard.loaded_models.discard(key)
+        try:
+            self.registry.retire(*key)
+        except (ValueError, UnknownModelError):
+            pass
 
     # -- submission -----------------------------------------------------
     @staticmethod
@@ -696,16 +1089,30 @@ class ShardedDetectionService:
             )
         return xs
 
-    def submit(self, xs: np.ndarray) -> ServiceFuture:
+    def submit(
+        self,
+        xs: np.ndarray,
+        *,
+        model: Optional[str] = None,
+        request_class: Optional[str] = None,
+    ) -> ServiceFuture:
         """Queue a workload; returns a future resolving to the ordered
         :class:`ServiceResult`.
 
-        Raises :class:`ValueError` on malformed/empty input and
-        :class:`ServiceError` when called after :meth:`stop` (an
-        explicitly stopped pool must be restarted with :meth:`start`;
-        it never auto-resurrects, and never hangs on dead queues).
+        ``model`` is a ``name[@version]`` spec routed through the
+        registry (``None`` → the default model); ``request_class`` is
+        an SLO class name (``None`` → ``standard``).
+
+        Raises :class:`ValueError` on malformed/empty input, a
+        malformed model spec, or an unknown class;
+        :class:`~repro.runtime.registry.UnknownModelError` on an
+        unknown/retired model; and :class:`ServiceError` when called
+        after :meth:`stop` (an explicitly stopped pool must be
+        restarted with :meth:`start`; it never auto-resurrects, and
+        never hangs on dead queues).
         """
         xs = self._validate_workload(xs)
+        cls = resolve_request_class(request_class)
         with self._lifecycle_lock:
             # under the lifecycle lock a racing stop() cannot tear the
             # pool down between the started check and task enqueueing
@@ -715,9 +1122,15 @@ class ShardedDetectionService:
                 raise ServiceError(
                     "service is stopped; call start() before submitting"
                 )
+            entry = self.registry.resolve(model)
+            if entry.key not in self._models:
+                raise ServiceError(
+                    f"model {entry.spec} is registered but not loaded "
+                    "into the pool; use load_model() to serve it"
+                )
             if not self._started:
                 self.start()
-            return self._submit_started(xs)
+            return self._submit_started(xs, entry, cls)
 
     def _cancel_request(self, request: "_Request") -> bool:
         """Abandon a request: unregister its chunks so queued ones are
@@ -730,15 +1143,20 @@ class ShardedDetectionService:
             request.failed = True
             for seq in request.seqs:
                 self._open_seqs.pop(seq, None)
+            self._close_request_locked(request)
         request.future._set_error(
             ServiceError("request cancelled by the caller")
         )
         return True
 
-    def _submit_started(self, xs: np.ndarray) -> ServiceFuture:
+    def _submit_started(
+        self, xs: np.ndarray, entry: ModelEntry, cls: RequestClass
+    ) -> ServiceFuture:
         future = ServiceFuture()
-        if self.adaptive is not None:
-            chunks = list(self.adaptive.iter_chunks(xs))
+        future.model = entry.spec
+        future.request_class = cls.name
+        if self._slo_ms is not None:
+            chunks = list(self._adaptive_for(entry.key, cls).iter_chunks(xs))
         else:
             chunks = list(iter_microbatches(xs, self.batch_size))
         with self._lock:
@@ -750,23 +1168,53 @@ class ShardedDetectionService:
                 remaining=len(chunks),
                 future=future,
                 submitted_at=time.perf_counter(),
+                key=entry.key,
+                cls=cls,
             )
             future._cancel_hook = lambda: self._cancel_request(request)
             self._request_counter += 1
+            self._model_requests[entry.key] = (
+                self._model_requests.get(entry.key, 0) + 1
+            )
+            self._open_model_requests[entry.key] = (
+                self._open_model_requests.get(entry.key, 0) + 1
+            )
             tasks = []
             for index, chunk in enumerate(chunks):
                 seq = self._seq
                 self._seq += 1
                 request.seqs.append(seq)
                 self._open_seqs[seq] = (request, index)
-                tasks.append(_Task(seq, request, index, chunk))
+                tasks.append(
+                    _Task(
+                        seq, request, index, chunk,
+                        key=entry.key, priority=cls.priority,
+                    )
+                )
         for task in tasks:
-            self._dispatch_queue.put(task)
+            self._enqueue_task(task)
         return future
 
-    def run(self, xs: np.ndarray, timeout: Optional[float] = None) -> ServiceResult:
+    def _enqueue_task(self, task: _Task) -> None:
+        """Priority-queue entry: higher classes (lower priority number)
+        dispatch first; the monotonic tie-breaker keeps FIFO order
+        within a class and makes entries totally ordered."""
+        self._dispatch_queue.put(
+            (task.priority, next(self._dispatch_counter), task)
+        )
+
+    def run(
+        self,
+        xs: np.ndarray,
+        timeout: Optional[float] = None,
+        *,
+        model: Optional[str] = None,
+        request_class: Optional[str] = None,
+    ) -> ServiceResult:
         """Submit a workload and block for its ordered result."""
-        return self.submit(xs).result(timeout)
+        return self.submit(
+            xs, model=model, request_class=request_class
+        ).result(timeout)
 
     # -- accounting -----------------------------------------------------
     def stats(self) -> ThroughputStats:
@@ -829,13 +1277,16 @@ class ShardedDetectionService:
                 )
                 self._affinity_slots[shard_id] = slot
             pin_cpus = self._affinity_plan[slot]
+        with self._lock:
+            # snapshot of every currently-served model (including any
+            # hot-swapped since start), so replacements and late spawns
+            # can take traffic for all of them
+            models_payload = dict(self._models)
         process = self._ctx.Process(
             target=_worker_main,
             args=(
                 shard_id,
-                self._state_payload,
-                self._model_factory,
-                self.threshold,
+                models_payload,
                 self.batch_size,
                 task_queue,
                 result_queue,
@@ -846,6 +1297,7 @@ class ShardedDetectionService:
             daemon=True,
         )
         shard = _Shard(shard_id, process, task_queue, result_queue)
+        shard.loaded_models = set(models_payload)
         with self._lock:
             self._shards[shard_id] = shard
             self._shard_stats.setdefault(shard_id, ThroughputStats())
@@ -878,6 +1330,7 @@ class ShardedDetectionService:
             for request in open_requests:
                 request.failed = True
                 request.future._set_error(failure)
+                self._close_request_locked(request)
 
     def _dispatch_loop(self) -> None:
         try:
@@ -887,7 +1340,7 @@ class ShardedDetectionService:
 
     def _dispatch_forever(self) -> None:
         while True:
-            task = self._dispatch_queue.get()
+            _, _, task = self._dispatch_queue.get()
             if task is None:
                 return
             while not self._stop_event.is_set():
@@ -942,7 +1395,7 @@ class ShardedDetectionService:
                         self._transport_counts["spill_slots"] += len(slots)
                         self._transport_counts["shm_bytes_in"] += batch.nbytes
                         return (
-                            "shm_spill", task.seq, slots,
+                            "shm_spill", task.seq, task.key, slots,
                             shapes, batch.dtype.str,
                         )
                 else:
@@ -955,11 +1408,11 @@ class ShardedDetectionService:
                         self._transport_counts["shm_batches"] += 1
                         self._transport_counts["shm_bytes_in"] += batch.nbytes
                         return (
-                            "shm_batch", task.seq, slot,
+                            "shm_batch", task.seq, task.key, slot,
                             batch.shape, batch.dtype.str,
                         )
         self._transport_counts["queue_batches"] += 1
-        return ("batch", task.seq, task.batch)
+        return ("batch", task.seq, task.key, task.batch)
 
     def _create_shard_slabs(self, shard: _Shard, batch: np.ndarray) -> None:
         """Lazily build this shard's slab ring, sized from the first
@@ -1092,6 +1545,15 @@ class ShardedDetectionService:
             if kind == "ready":
                 shard.backend = payload
                 shard.ready.set()
+            elif kind == "loaded":
+                # hot-swap ack: the worker built (or failed to build)
+                # the new version's engine
+                key, error = payload
+                if error is None:
+                    shard.loaded_models.add(key)
+                else:
+                    with self._lock:
+                        self._load_errors[key] = error
             elif kind == "batch":
                 # a queue-path result — or a shm-dispatched batch whose
                 # result overflowed its output slot; either way any
@@ -1153,16 +1615,28 @@ class ShardedDetectionService:
                     payload["seconds"],
                     stages=payload["stages"],
                 )
-            if self.adaptive is not None:
-                # the controller learns from every shard's engine-side
-                # latency, steering how future requests are chunked
-                self.adaptive.observe(payload["size"], payload["seconds"])
             request, chunk_index = entry
+            model_stats = self._model_stats.setdefault(
+                request.key, ThroughputStats()
+            )
+            model_stats.record(
+                payload["size"],
+                payload["seconds"],
+                stages=payload["stages"],
+            )
+            if self._slo_ms is not None:
+                # this request's (model, class) controller learns from
+                # every shard's engine-side latency, steering how
+                # future same-class requests are chunked
+                self._adaptive_for(request.key, request.cls).observe(
+                    payload["size"], payload["seconds"]
+                )
             request.chunks[chunk_index] = payload
             request.chunk_shards[chunk_index] = worker_id
             request.remaining -= 1
             if request.remaining == 0:
                 finalize = request
+                self._close_request_locked(request)
         if finalize is not None:
             self._finalize_request(finalize)
 
@@ -1212,7 +1686,7 @@ class ShardedDetectionService:
                 self._destroy_shard_slabs(shard)
             )
         if task is not None and not task.request.failed:
-            self._dispatch_queue.put(task)
+            self._enqueue_task(task)
 
     def _fail_seq(self, worker_id: int, seq: int, message: str) -> None:
         """A worker hit a deterministic per-batch error: requeueing
@@ -1232,6 +1706,7 @@ class ShardedDetectionService:
             request.failed = True
             for other in request.seqs:
                 self._open_seqs.pop(other, None)
+            self._close_request_locked(request)
         request.future._set_error(
             ServiceError(f"worker failed processing batch: {message}")
         )
@@ -1279,7 +1754,7 @@ class ShardedDetectionService:
                 return
         for task in orphans:
             if not task.request.failed:
-                self._dispatch_queue.put(task)
+                self._enqueue_task(task)
 
 
 # -- measurement harness -----------------------------------------------------

@@ -265,3 +265,65 @@ class SuiteRunner:
                 f"{direct_digest}"
             )
         return report["scores_digest"], direct_digest
+
+    def verify_service_identity(
+        self,
+        spec: ScenarioSpec,
+        num_workers: int = 2,
+        scheduler: str = "round-robin",
+        transport: str = "shm",
+        pin_workers: bool = False,
+        backend: Optional[str] = None,
+    ) -> str:
+        """Prove the sharded service scores a cell bit-identically to a
+        direct in-process engine run (``repro suite --service``).
+
+        Scores the scenario's exact workload twice over the same fitted
+        detector — once through :class:`DetectionEngine` and once
+        through a ``num_workers``-shard
+        :class:`ShardedDetectionService` — and returns the common
+        scores digest, raising when the two paths diverge.  Like
+        :meth:`verify_bit_identity`, only engine-scored non-fault
+        scenarios are comparable.
+        """
+        from repro.runtime import DetectionEngine, ShardedDetectionService
+
+        adapter = DEFENSES[spec.defense]
+        if not adapter.engine_scored or spec.is_fault_attack:
+            raise RuntimeError(
+                f"{spec.scenario_id} is not engine-scored; service "
+                f"identity is defined against DetectionEngine scenarios "
+                f"only"
+            )
+        kernel_backend = spec.backend if backend is None else backend
+        fitted = self.fitted_defense(spec)
+        inputs, _, _ = self.eval_arrays(spec)
+        engine = DetectionEngine(
+            fitted.detector, batch_size=self.config.batch_size,
+            backend=kernel_backend,
+        )
+        direct = engine.run(inputs).scores
+        workbench = self.workbench(spec.workload)
+        with ShardedDetectionService(
+            fitted.detector,
+            model_factory=workbench.model_factory,
+            num_workers=num_workers,
+            batch_size=self.config.batch_size,
+            scheduler=scheduler,
+            transport=transport,
+            pin_workers=pin_workers,
+            backend=kernel_backend,
+        ) as service:
+            served = service.run(inputs).scores
+        direct_digest = scores_digest(
+            np.ascontiguousarray(direct, dtype=np.float64).tobytes()
+        )
+        served_digest = scores_digest(
+            np.ascontiguousarray(served, dtype=np.float64).tobytes()
+        )
+        if served_digest != direct_digest:
+            raise RuntimeError(
+                f"{spec.scenario_id}: service digest {served_digest} != "
+                f"direct engine digest {direct_digest}"
+            )
+        return direct_digest

@@ -235,6 +235,7 @@ class TestProtocol:
         assert set(stats) == {
             "service", "server", "adaptive", "alive_workers", "restarts",
             "backend_requested", "kernel_backends",
+            "default_model", "models", "classes", "adaptive_classes",
         }
         assert stats["server"]["requests_total"] == 1
         assert stats["server"]["max_inflight"] == 1
