@@ -120,7 +120,7 @@ def run_closed_loop(
                     with lock:
                         errors.append(exc)
                     return
-                except Exception as exc:
+                except Exception as exc:  # noqa: BLE001 - client records, never dies
                     with lock:
                         errors.append(exc)
                     return

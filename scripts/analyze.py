@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Repo static-analysis gate (stdlib-only, ruff-independent).
+
+Thin entry point over :mod:`repro.analysis.engine` so the gate runs
+without installing the package — it bootstraps ``src/`` onto
+``sys.path`` and anchors paths at the repo root, mirroring how
+``scripts/lint.py`` and ``scripts/check_report_schema.py`` stay usable
+offline.
+
+Usage:
+    python scripts/analyze.py                 # gate the default tree
+    python scripts/analyze.py --self-test     # prove the rules work
+    python scripts/analyze.py --list-rules    # rule table
+    python scripts/analyze.py src/repro/runtime --json
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    # Findings and baseline keys are repo-relative; anchor there so the
+    # gate behaves the same from any invocation directory.
+    os.chdir(REPO)
+    from repro.analysis.engine import main as engine_main
+
+    return engine_main()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""API-contract rules (RPR3xx): one error schema on every non-2xx.
+
+PR 8 promised that every non-2xx HTTP response carries
+``{"error", "code", "retry_after"}`` with a documented code slug.  The
+only sanctioned emitter is ``DetectionHTTPServer.send_error_json``;
+these rules keep hand-rolled error sends and undocumented slugs from
+creeping back into the front-end.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from .base import (
+    Checker,
+    FileContext,
+    Finding,
+    literal_int,
+    literal_str,
+    register,
+)
+
+#: The documented error-code slugs (README "HTTP API reference").
+ERROR_CODES = frozenset({
+    "bad_request",
+    "not_found",
+    "model_not_found",
+    "payload_too_large",
+    "backpressure",
+    "draining",
+    "service_unavailable",
+    "deadline_exceeded",
+    "internal",
+})
+
+#: Functions allowed to emit raw statuses: the schema helper itself and
+#: the single JSON emitter it delegates to.
+_EMITTER_FUNCS = {"send_error_json", "_send_json"}
+
+
+def _is_http_server_module(ctx: FileContext) -> bool:
+    """The rules bind to runtime modules built on http.server."""
+    if "repro/runtime/" not in ctx.path:
+        return False
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            if any(a.name.startswith("http.server") for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").startswith("http.server"):
+                return True
+    return False
+
+
+@register
+class ErrorSchemaChecker(Checker):
+    """RPR301: non-2xx responses only through ``send_error_json``."""
+
+    code = "RPR301"
+    name = "error-schema"
+    summary = (
+        "every non-2xx send in the HTTP front-end goes through "
+        "send_error_json (the one {error,code,retry_after} schema)"
+    )
+    paths_note = "repro/runtime/ modules importing http.server"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _is_http_server_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            if attr not in ("_send_json", "send_response", "send_error"):
+                continue
+            status = self._status_arg(node)
+            if status is None or status < 300:
+                continue
+            enclosing = ctx.enclosing_function(node)
+            if enclosing is not None and enclosing.name in _EMITTER_FUNCS:
+                continue  # the emitters themselves
+            yield self.finding(
+                ctx,
+                node,
+                f"raw {attr}({status}) bypasses send_error_json; "
+                "non-2xx responses must carry the unified "
+                "{error,code,retry_after} schema",
+            )
+
+    @staticmethod
+    def _status_arg(node: ast.Call) -> Optional[int]:
+        if node.args:
+            return literal_int(node.args[0])
+        for kw in node.keywords:
+            if kw.arg in ("code", "status"):
+                return literal_int(kw.value)
+        return None
+
+
+@register
+class ErrorCodeChecker(Checker):
+    """RPR302: error-code slugs come from the documented set."""
+
+    code = "RPR302"
+    name = "error-code"
+    summary = (
+        "send_error_json code slugs must come from the documented set "
+        "so clients can switch on them"
+    )
+    paths_note = "repro/runtime/ modules importing http.server"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _is_http_server_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name != "send_error_json":
+                continue
+            slug = self._code_arg(node)
+            if slug is None or slug in ERROR_CODES:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"undocumented error code {slug!r}; use one of the "
+                f"documented slugs ({', '.join(sorted(ERROR_CODES))}) "
+                "or add the new slug to the README table and "
+                "repro.analysis.api.ERROR_CODES together",
+            )
+
+    @staticmethod
+    def _code_arg(node: ast.Call) -> Optional[str]:
+        # Signature: send_error_json(handler, status, code, message,
+        # retry_after=None) — the slug is positional arg 2 or kw 'code'.
+        if len(node.args) > 2:
+            return literal_str(node.args[2])
+        for kw in node.keywords:
+            if kw.arg == "code":
+                return literal_str(kw.value)
+        return None

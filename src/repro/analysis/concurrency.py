@@ -1,0 +1,270 @@
+"""Concurrency rules (RPR1xx): shm lifecycle and lock discipline.
+
+These are the invariants PR 5's zero-copy transport depends on: a
+leaked ``/dev/shm`` segment outlives the process and a slab slot that
+is acquired but never released starves the ring.  The rules encode the
+two sanctioned lifecycles from ``runtime/transport.py``:
+
+* **try/finally** — a locally created segment is unlinked in a
+  ``finally`` block (or the create itself sits behind one).
+* **registered teardown** — the segment is stored on ``self`` inside a
+  class that unlinks it from a teardown method (``destroy``/``close``),
+  the pattern ``SlabRing`` uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .base import (
+    Checker,
+    FileContext,
+    Finding,
+    contains_call,
+    dotted_name,
+    register,
+)
+
+_LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+
+def _is_shm_create(node: ast.Call) -> bool:
+    """``SharedMemory(create=True, ...)`` under any import alias."""
+    name = dotted_name(node.func)
+    if not name.split(".")[-1] == "SharedMemory":
+        return False
+    for kw in node.keywords:
+        if kw.arg == "create" and isinstance(kw.value, ast.Constant) \
+                and kw.value.value is True:
+            return True
+    return False
+
+
+@register
+class ShmUnlinkChecker(Checker):
+    """RPR101: every created shm segment needs an unlink on all paths."""
+
+    code = "RPR101"
+    name = "shm-unlink"
+    summary = (
+        "SharedMemory(create=True) must be unlinked via try/finally or "
+        "a class teardown method, or the segment leaks in /dev/shm"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_shm_create(node):
+                continue
+            if self._compliant(ctx, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "SharedMemory(create=True) has no unlink() on the "
+                "failure path; unlink in a finally block or store the "
+                "segment on a class with a teardown method that "
+                "unlinks it",
+            )
+
+    def _compliant(self, ctx: FileContext, node: ast.Call) -> bool:
+        # Registered-teardown pattern: the enclosing class unlinks the
+        # segment from some method (destroy()/close()); an except
+        # handler covering a partial __init__ also counts because the
+        # instance never escapes otherwise.
+        cls = ctx.enclosing_class(node)
+        if cls is not None and contains_call([cls], "unlink"):
+            return True
+        # try/finally pattern inside the enclosing function (or at
+        # module scope): an unlink in a *finally* block guards every
+        # exit, including the exception edge between create and the
+        # straight-line unlink a naive probe would use.
+        scope = ctx.enclosing_function(node) or ctx.tree
+        for sub in ast.walk(scope):
+            if isinstance(sub, ast.Try) and contains_call(
+                sub.finalbody, "unlink"
+            ):
+                return True
+        return False
+
+
+@register
+class SlabPairingChecker(Checker):
+    """RPR102: slab-ring acquires must pair with release/reclaim."""
+
+    code = "RPR102"
+    name = "slab-pairing"
+    summary = (
+        "SlabRing.acquire() calls must pair with release() or the "
+        "documented crash-reclaim/destroy path in the same module"
+    )
+
+    _RECLAIM_ATTRS = ("release", "destroy", "_destroy_shard_slabs")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        acquires: List[ast.Call] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "acquire"):
+                continue
+            receiver = dotted_name(func.value).lower()
+            if "slab" in receiver or "ring" in receiver:
+                acquires.append(node)
+        if not acquires:
+            return
+        released = any(
+            contains_call([ctx.tree], attr) for attr in self._RECLAIM_ATTRS
+        )
+        if released:
+            return
+        for node in acquires:
+            yield self.finding(
+                ctx,
+                node,
+                "slab slot acquired but this module never calls "
+                "release()/destroy() or the crash-reclaim path; a "
+                "leaked slot starves the ring",
+            )
+
+
+@register
+class LockDisciplineChecker(Checker):
+    """RPR103: threading locks held only via ``with`` or try/finally."""
+
+    code = "RPR103"
+    name = "lock-discipline"
+    summary = (
+        "threading.Lock/Condition acquired only via 'with' or "
+        "try/finally release; a bare acquire() deadlocks on the "
+        "exception edge"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        lock_names = self._lock_names(ctx)
+        if not lock_names:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "acquire"):
+                continue
+            receiver = dotted_name(func.value)
+            if receiver not in lock_names:
+                continue
+            if self._guarded(ctx, node, receiver):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"explicit {receiver}.acquire() without a matching "
+                "release() in a finally block; use 'with "
+                f"{receiver}:' instead",
+            )
+
+    @staticmethod
+    def _lock_names(ctx: FileContext) -> set:
+        """Names/attribute chains bound to a threading lock factory."""
+        names = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            factory = dotted_name(node.value.func)
+            if factory.split(".")[-1] not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                name = dotted_name(target)
+                if name:
+                    names.add(name)
+        return names
+
+    @classmethod
+    def _guarded(cls, ctx: FileContext, node: ast.Call,
+                 receiver: str) -> bool:
+        """True when a finally block releases the same lock — either a
+        Try ancestor of the acquire, or (the classic idiom) a Try that
+        is the next statement after the acquire in the same body."""
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, ast.Try) and cls._releases(
+                anc.finalbody, receiver
+            ):
+                return True
+        stmt = cls._enclosing_statement(ctx, node)
+        if stmt is not None:
+            parent = ctx.parent(stmt)
+            for field in ("body", "orelse", "finalbody"):
+                siblings = getattr(parent, field, None)
+                if not isinstance(siblings, list) or stmt not in siblings:
+                    continue
+                idx = siblings.index(stmt)
+                if idx + 1 < len(siblings):
+                    nxt = siblings[idx + 1]
+                    if isinstance(nxt, ast.Try) and cls._releases(
+                        nxt.finalbody, receiver
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _releases(body, receiver: str) -> bool:
+        for root in body:
+            for sub in ast.walk(root):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                        and dotted_name(sub.func.value) == receiver):
+                    return True
+        return False
+
+    @staticmethod
+    def _enclosing_statement(ctx: FileContext, node: ast.AST):
+        """The statement node whose parent holds it in a body list."""
+        cur = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = ctx.parent(cur)
+        return cur
+
+
+@register
+class WorkerGlobalChecker(Checker):
+    """RPR104: worker entry points must not write module globals."""
+
+    code = "RPR104"
+    name = "worker-global"
+    summary = (
+        "no 'global' writes from worker/_loop entry points; "
+        "module-level mutable state is per-process and silently "
+        "diverges across shard workers"
+    )
+
+    @staticmethod
+    def _is_worker_name(name: str) -> bool:
+        lowered = name.lower()
+        return "worker" in lowered or lowered.endswith("_loop")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Global):
+                continue
+            func = ctx.enclosing_function(node)
+            if func is None or not self._is_worker_name(func.name):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"worker entry point {func.name}() declares global "
+                f"{', '.join(node.names)}; pass state through the "
+                "queue/slab descriptors instead of module globals",
+            )

@@ -1,0 +1,130 @@
+"""Dispatch rules (RPR2xx): hot packed-word math must use the backend
+registry.
+
+PR 6 made the seven hot primitives pluggable through
+``repro.core.backends``; the tiled/numba CI legs force a backend via
+``REPRO_KERNEL_BACKEND`` and assert bit-identity.  A direct
+``np.bitwise_count`` (or a direct import of the numpy reference
+kernels) in a hot path silently computes on the reference backend no
+matter what the matrix leg selected — the gate then measures nothing.
+``repro/core/`` itself is exempt: it is where the reference kernels
+and the sanctioned ``kernels=None -> reference`` dispatch live.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import Checker, FileContext, Finding, dotted_name, register
+
+#: Path fragments of the hot serving/validation layers the rule guards.
+HOT_PATHS = ("repro/runtime/", "repro/isa/", "repro/suite/")
+
+#: Raw numpy entry points that bypass the backend registry when applied
+#: to packed uint64 words.
+_NUMPY_BYPASS = {
+    "bitwise_count",
+    "bitwise_and",
+    "bitwise_or",
+    "bitwise_xor",
+    "packbits",
+    "unpackbits",
+}
+
+#: The batch primitives the backend registry owns; importing them
+#: straight from the reference module pins the numpy implementation.
+_HOT_PRIMITIVES = {
+    "batch_or",
+    "batch_popcount",
+    "batch_and_popcount",
+    "batch_containment",
+    "batch_jaccard",
+    "segment_popcount",
+    "popcount_words",
+}
+
+
+def _in_hot_path(path: str) -> bool:
+    return any(frag in path for frag in HOT_PATHS)
+
+
+@register
+class BackendBypassChecker(Checker):
+    """RPR201: no raw numpy popcount/bitwise calls in hot paths."""
+
+    code = "RPR201"
+    name = "backend-bypass"
+    summary = (
+        "hot paths must route packed-word math through "
+        "repro.core.backends, not raw numpy bitwise/popcount calls"
+    )
+    paths_note = "repro/{runtime,isa,suite}/"
+
+    def applies(self, path: str) -> bool:
+        return _in_hot_path(path)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if "." not in name:
+                continue
+            head, _, leaf = name.rpartition(".")
+            if leaf in _NUMPY_BYPASS and head in ("np", "numpy"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct {name}() bypasses the kernel backend "
+                    "registry; take a KernelBackend (kernels=...) and "
+                    "call its batch primitive so forced-backend CI "
+                    "legs exercise this path",
+                )
+
+
+@register
+class ReferenceImportChecker(Checker):
+    """RPR202: no direct reference-kernel imports in hot paths."""
+
+    code = "RPR202"
+    name = "reference-import"
+    summary = (
+        "hot paths must not import the batch primitives straight from "
+        "repro.core.bitmask; resolve them via repro.core.backends"
+    )
+    paths_note = "repro/{runtime,isa,suite}/"
+
+    def applies(self, path: str) -> bool:
+        return _in_hot_path(path)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if not module.endswith("core.bitmask"):
+                    continue
+                hot = [
+                    alias.name for alias in node.names
+                    if alias.name in _HOT_PRIMITIVES
+                ]
+                if hot:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"imports {', '.join(hot)} straight from the "
+                        "numpy reference module; use "
+                        "repro.core.backends.get_backend() so the "
+                        "backend stays selectable",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                head, _, leaf = name.rpartition(".")
+                if leaf in _HOT_PRIMITIVES and head.endswith("bitmask"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"direct {name}() call pins the numpy "
+                        "reference kernel; resolve a backend via "
+                        "repro.core.backends instead",
+                    )

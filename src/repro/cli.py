@@ -734,6 +734,13 @@ def cmd_scenarios(args) -> None:
               f"x{scenario.num_classes} classes, {scenario.epochs} epochs")
 
 
+def cmd_analyze(args) -> None:
+    """Run the repo-specific static analyzer (stdlib-only)."""
+    from repro.analysis.engine import run as analyze_run
+
+    raise SystemExit(analyze_run(args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -909,6 +916,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scenarios", help="list named scenarios")
     p.set_defaults(func=cmd_scenarios)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static-analysis gate for the repo's runtime invariants "
+             "(RPR rules; see --list-rules)",
+    )
+    # Stdlib-only import: safe at parser-build time, and the
+    # subcommand's flag surface stays identical to scripts/analyze.py.
+    from repro.analysis.engine import add_arguments as _add_analyzer_args
+
+    _add_analyzer_args(p)
+    p.set_defaults(func=cmd_analyze)
     return parser
 
 

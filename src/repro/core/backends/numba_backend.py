@@ -35,7 +35,7 @@ def numba_available() -> bool:
     """True when numba imports cleanly (no compilation attempted)."""
     try:
         import numba  # noqa: F401
-    except Exception:
+    except Exception:  # noqa: BLE001 - any import-time failure means no JIT
         return False
     return True
 
@@ -181,7 +181,7 @@ class NumbaBackend(KernelBackend):
         if self._kernels is None and not self.degraded:
             try:
                 self._kernels = _compile_kernels()
-            except Exception as exc:  # degrade, never break the batch
+            except Exception as exc:  # noqa: BLE001 - degrade, never break the batch
                 self._degrade(f"JIT compilation failed: {exc!r}")
         return self._kernels
 

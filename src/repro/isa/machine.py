@@ -258,7 +258,16 @@ class BatchKernelUnit:
     :func:`~repro.core.backends.plan_row_tiles` order.
     """
 
-    def __init__(self):
+    def __init__(self, kernels=None):
+        if kernels is None:
+            # Late import: the ISS stays importable without pulling the
+            # whole backends package at module load.
+            from repro.core.backends import get_backend
+
+            kernels = get_backend("numpy")
+        #: KernelBackend the micro-ops compute through; defaults to the
+        #: numpy reference (every backend is bit-identical to it).
+        self.kernels = kernels
         self.trace: List[tuple] = []
 
     def execute(self, schedule, activation_words, canary_words) -> dict:
@@ -293,11 +302,11 @@ class BatchKernelUnit:
             brows = b if b.shape[0] == 1 else b[mo.row0:mo.row1]
             bsub = brows[:, mo.word0:mo.word1]
             if mo.op == "andpop":
-                part = np.bitwise_count(asub & bsub)
+                part = self.kernels.batch_and_popcount(asub, bsub)
             elif mo.op == "pop":
-                part = np.bitwise_count(asub)
+                part = self.kernels.batch_popcount(asub)
             elif mo.op == "orpop":
-                part = np.bitwise_count(asub | bsub)
+                part = self.kernels.batch_popcount(asub | bsub)
             else:
                 raise MachineError(f"unknown micro-op {mo.op!r}")
             try:
@@ -306,7 +315,7 @@ class BatchKernelUnit:
                 raise MachineError(
                     f"micro-op targets undeclared buffer {mo.out!r}"
                 ) from None
-            out[mo.row0:mo.row1, mo.col] += part.sum(axis=1, dtype=np.int64)
+            out[mo.row0:mo.row1, mo.col] += part
         return outputs
 
     def run_containment(

@@ -1444,7 +1444,7 @@ class ShardedDetectionService:
         for held in slot if isinstance(slot, tuple) else (slot,):
             try:
                 shard.slabs.release(held)
-            except Exception:
+            except TransportError:
                 pass  # slab ring already torn down by a racing reap
 
     def _destroy_shard_slabs(self, shard: _Shard) -> int:

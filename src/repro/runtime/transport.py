@@ -99,8 +99,12 @@ def shm_available() -> bool:
         else:
             try:
                 probe = _shared_memory.SharedMemory(create=True, size=64)
-                probe.close()
-                probe.unlink()
+                # finally-unlink: close() raising must not leak the
+                # probe segment in /dev/shm (RPR101).
+                try:
+                    probe.close()
+                finally:
+                    probe.unlink()
                 _SHM_PROBED = True
             except Exception:
                 _SHM_PROBED = False

@@ -82,7 +82,7 @@ def environment_info(backend: str) -> Dict[str, str]:
         import numpy
 
         numpy_version = numpy.__version__
-    except Exception:  # pragma: no cover - numpy is a hard dep in-repo
+    except Exception:  # pragma: no cover - hard dep in-repo  # noqa: BLE001
         numpy_version = "unavailable"
     return {
         "python": platform.python_version(),

@@ -348,7 +348,7 @@ class TestEndToEnd:
                 outputs[index] = post_detect(
                     server.url, xs[lo:hi], binary=index % 2 == 0
                 )
-            except Exception as exc:  # surface in the main thread
+            except Exception as exc:  # noqa: BLE001 - surface in the main thread
                 errors.append((index, exc))
 
         threads = [
