@@ -19,10 +19,12 @@ The transport comparison rides along: the same traffic is served once
 per payload channel — shared-memory slab rings vs the pickle queue —
 and must come back bit-identical, with a raw IPC microbenchmark
 (:func:`repro.runtime.measure_ipc`) quantifying the per-batch
-round-trip each channel costs.  The transport win is gated at the
-channel layer, where it is payload-bound and hardware-independent: a
-raw shm round-trip must beat a queue round-trip by
-:data:`MIN_TRANSPORT_SPEEDUP`.  End-to-end, detection compute
+round-trip each channel costs.  Since every slab payload now carries
+a verified crc32 (see :mod:`repro.runtime.transport`), the channel
+claim is a near-parity guard rather than a speedup: integrity passes
+cost about what pickling saves on commodity zlib, so a raw shm
+round-trip must hold :data:`MIN_TRANSPORT_SPEEDUP` of a queue
+round-trip.  End-to-end, detection compute
 dominates each batch, so the service-level claim is a parity guard:
 on multi-core hosts shm must hold :data:`MIN_TRANSPORT_PARITY` of the
 queue's 2-worker samples/s (it must never cost throughput).  Both are
@@ -64,10 +66,16 @@ DEFAULT_VARIANT = "FwAb"
 SERVICE_BATCH = 32
 #: The scaling envelope CI gates at 2 workers (where >= 2 CPUs exist).
 MIN_SCALING_2X = 1.6
-#: Transport envelope at the channel layer: a raw shm round-trip must
-#: beat a raw pickle-queue round-trip by this much (payload-bound, so
-#: it holds on any host, single-core included).
-MIN_TRANSPORT_SPEEDUP = 1.3
+#: Transport envelope at the channel layer.  Every slab payload now
+#: travels with a crc32 computed at pack and verified at unpack (2
+#: passes per direction); at bench payload sizes those passes cost
+#: within noise of what skipping pickle saves (~1.4 ms/MB each way on
+#: stock zlib), so the raw round-trip claim is near-parity, not a
+#: speedup.  The floor still catches structural regressions — an
+#: accidental extra copy or serialization on the slab path lands well
+#: below it.  (Pre-crc the floor was 1.3x; the e2e win survives
+#: because production responses are tiny score vectors, not echoes.)
+MIN_TRANSPORT_SPEEDUP = 0.85
 #: End-to-end parity guard: on multi-core hosts the shm service must
 #: hold this fraction of the queue service's 2-worker samples/s.
 MIN_TRANSPORT_PARITY = 0.95

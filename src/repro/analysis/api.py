@@ -26,6 +26,7 @@ ERROR_CODES = frozenset({
     "bad_request",
     "not_found",
     "model_not_found",
+    "conflict",
     "payload_too_large",
     "backpressure",
     "draining",

@@ -741,6 +741,41 @@ def cmd_analyze(args) -> None:
     raise SystemExit(analyze_run(args))
 
 
+def cmd_chaos(args) -> None:
+    """Seeded chaos drill: fault storm vs. bit-identity invariant."""
+    import json
+
+    from repro.runtime.chaos import run_chaos_drill
+
+    report = run_chaos_drill(
+        seed=args.seed,
+        smoke=args.smoke,
+        num_requests=args.requests,
+        num_workers=args.workers,
+        batch_size=args.batch_size,
+        hang_timeout=args.hang_timeout,
+        task_timeout=args.task_timeout,
+    )
+    text = json.dumps(report, indent=2)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    if not report["passed"]:
+        print(
+            "chaos drill FAILED: "
+            f"lost={report['lost_requests']} "
+            f"digest_mismatches={report['digest_mismatches']} "
+            f"storm_complete={report['storm_complete']}"
+        )
+        raise SystemExit(1)
+    print(
+        "chaos drill passed: "
+        f"{report['requests']} requests, zero lost, digests bit-identical "
+        f"({report['elapsed_seconds']:.1f}s)"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -928,6 +963,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_analyzer_args(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault storm against a live sharded service",
+        description=(
+            "Run a deterministic chaos drill: boot a real "
+            "ShardedDetectionService, land a seeded storm of worker "
+            "crashes, hangs, slowdowns, slab corruptions and dropped "
+            "descriptors under live traffic, and fail unless zero "
+            "requests are lost and every response is bit-identical to "
+            "the single-process engine."
+        ),
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized drill (shrunken workload, fewer requests)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=None,
+        help="request count (default: 24 smoke / 60 full)",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--batch-size", type=int, default=8)
+    p.add_argument(
+        "--hang-timeout", type=float, default=2.0,
+        help="watchdog reap threshold for silent workers (s)",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=5.0,
+        help="in-flight redelivery threshold (s)",
+    )
+    p.add_argument(
+        "--report", default=None,
+        help="also write the JSON recovery report to this path",
+    )
+    p.set_defaults(func=cmd_chaos)
     return parser
 
 

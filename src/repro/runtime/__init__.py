@@ -21,7 +21,20 @@ payloads move between the service and its shards over per-shard
 shared-memory slab rings (:class:`SlabRing` in
 :mod:`repro.runtime.transport`) so the hot path never pickles a batch;
 the pickle queue remains as the transparent per-batch fallback.
+Faults are first-class: slab payloads carry crc32 checksums, workers
+heartbeat to a watchdog that reaps live-but-hung shards, the client
+helpers retry idempotent failures under :class:`RetryPolicy`, and
+:mod:`repro.runtime.chaos` drives seeded fault storms
+(:class:`ChaosPlan`/:class:`FaultInjector`, ``repro chaos``) that must
+keep responses bit-identical to the single-process engine.
 """
+
+from repro.runtime.chaos import (
+    ChaosPlan,
+    FaultInjector,
+    FaultSpec,
+    run_chaos_drill,
+)
 
 from repro.runtime.adaptive import AdaptiveBatcher
 from repro.runtime.batching import MicroBatcher, iter_microbatches
@@ -58,7 +71,7 @@ from repro.runtime.sharding import (
     merge_shard_stats,
     plan_worker_affinity,
 )
-from repro.runtime.server import DetectionHTTPServer
+from repro.runtime.server import DetectionHTTPServer, RetryPolicy
 from repro.runtime.stats import StageTimer, ThroughputStats
 from repro.runtime.transport import (
     DEFAULT_SLAB_SLOTS,
@@ -71,7 +84,12 @@ from repro.runtime.transport import (
 
 __all__ = [
     "AdaptiveBatcher",
+    "ChaosPlan",
     "DetectionHTTPServer",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "run_chaos_drill",
     "MicroBatcher",
     "iter_microbatches",
     "DetectionEngine",

@@ -27,9 +27,15 @@ multi-user traffic can reach the engine:
   state) or ``{"name": ..., "path": ...}`` (load a saved detector via
   the server's ``model_loader`` callback), optionally with
   ``"threshold"``.
+* ``DELETE /v1/models/<name[@version]>`` — explicit retirement of a
+  non-serving version: the registry marks it retired and every worker
+  unloads its engine.  Idempotent for an already-retired version; the
+  serving version (or one still draining) is refused with ``409``
+  (``conflict``) — promote a replacement first.
 * ``GET /v1/stats`` — service throughput/latency accounting, server
-  counters (global and per request class), per-model sections, and the
-  per-(model, class) adaptive controller states.
+  counters (global and per request class), per-model sections with
+  per-class queue-wait percentiles, and the per-(model, class)
+  adaptive controller states.
 * ``GET /healthz`` — 200 while at least one worker is alive and the
   server is accepting traffic; 503 during worker-pool outage or drain.
 
@@ -52,21 +58,30 @@ Every error response uses one JSON schema::
 with ``Retry-After`` also set as a header when non-null.  Mapping:
 malformed body/shape/spec/class → 400 (``bad_request``), unknown
 model/version or path → 404 (``model_not_found`` / ``not_found``),
+retiring the serving or still-draining version → 409 (``conflict``),
 oversized body → 413 (``payload_too_large``), class budget exhausted →
 429 (``backpressure``), drain → 503 (``draining``), worker-pool
 failure → 503 (``service_unavailable``), request deadline → 504
 (``deadline_exceeded``), anything else → 500 (``internal``).
+
+The client helpers honor that schema: :class:`RetryPolicy` retries
+idempotent-safe outcomes only (429/503, or a connection that died
+*before* any response) with exponential backoff, jitter, and the
+server's ``Retry-After`` when present.
 """
 
 from __future__ import annotations
 
+import http.client
 import io
 import json
+import random
 import threading
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
@@ -75,11 +90,13 @@ import numpy as np
 from repro.runtime.registry import (
     REQUEST_CLASSES,
     UnknownModelError,
+    parse_model_spec,
     resolve_request_class,
 )
 
 __all__ = [
     "DetectionHTTPServer",
+    "RetryPolicy",
     "encode_npy",
     "post_detect",
     "post_json",
@@ -94,11 +111,146 @@ MAX_BODY_BYTES = 64 << 20
 
 # -- client helpers ----------------------------------------------------------
 
+@dataclass
+class RetryPolicy:
+    """Retry budget + exponential backoff for the HTTP client helpers.
+
+    Retries only *idempotent-safe* outcomes: a 429/503 response (the
+    server explicitly said "back off and come again"), or a connection
+    that failed **before any response arrived** (refused, reset, or
+    dropped without a status line — the request was never processed).
+    A 4xx/5xx that proves the server processed the request (400, 404,
+    409, 500, 504, ...) is never retried.
+
+    The delay for attempt ``k`` is ``base_delay * multiplier**k``
+    capped at ``max_delay``, stretched by a uniform jitter of up to
+    ``jitter`` (a fraction) so synchronized clients fan out.  When the
+    failing response carried ``Retry-After`` (header or body field)
+    and ``honor_retry_after`` is set, that value replaces the computed
+    backoff (still capped at ``max_delay``).
+
+    ``seed`` pins the jitter stream and ``sleep`` is injectable, so
+    tests run deterministic and instant.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    honor_retry_after: bool = True
+    seed: Optional[int] = None
+    sleep: Callable[[float], None] = time.sleep
+    #: total retries performed across calls (observability for drills)
+    retries_used: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter:
+            raise ValueError("jitter must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def delay_for(
+        self, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
+        """Seconds to back off before retry number ``attempt`` (0-based)."""
+        if self.honor_retry_after and retry_after is not None:
+            return min(float(retry_after), self.max_delay)
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** attempt
+        )
+        if self.jitter:
+            delay *= 1.0 + self._rng.uniform(0.0, self.jitter)
+        return min(delay, self.max_delay)
+
+    @staticmethod
+    def is_retryable(exc: BaseException) -> bool:
+        """Whether this failure is safe to retry (see class docstring)."""
+        if isinstance(exc, urllib.error.HTTPError):
+            return exc.code in (429, 503)
+        if isinstance(exc, urllib.error.URLError):
+            return isinstance(
+                exc.reason,
+                (
+                    ConnectionResetError,
+                    ConnectionRefusedError,
+                    http.client.RemoteDisconnected,
+                ),
+            )
+        return isinstance(
+            exc,
+            (
+                ConnectionResetError,
+                ConnectionRefusedError,
+                http.client.RemoteDisconnected,
+            ),
+        )
+
+    @staticmethod
+    def retry_after_from(exc: BaseException) -> Optional[float]:
+        """Extract the server's ``Retry-After`` hint from a failed
+        response: the header first, the unified error body's
+        ``retry_after`` field as fallback; ``None`` when absent."""
+        if not isinstance(exc, urllib.error.HTTPError):
+            return None
+        header = None
+        if exc.headers is not None:
+            header = exc.headers.get("Retry-After")
+        if header is not None:
+            try:
+                return float(header)
+            except ValueError:
+                return None
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            value = payload.get("retry_after")
+            return None if value is None else float(value)
+        except (
+            OSError,
+            ValueError,
+            UnicodeDecodeError,
+            AttributeError,
+        ):
+            return None
+
+    def call(self, fn: Callable[[], dict]) -> dict:
+        """Run ``fn`` under this policy: on a retryable failure, back
+        off and try again until the budget is spent, then re-raise."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                if attempt >= self.max_retries or not self.is_retryable(exc):
+                    raise
+                delay = self.delay_for(attempt, self.retry_after_from(exc))
+                attempt += 1
+                self.retries_used += 1
+                self.sleep(delay)
+
+
 def encode_npy(xs: np.ndarray) -> bytes:
     """Serialize an array as ``.npy`` bytes (the binary request body)."""
     buf = io.BytesIO()
     np.save(buf, np.asarray(xs), allow_pickle=False)
     return buf.getvalue()
+
+
+def _send_request(
+    request: urllib.request.Request,
+    timeout: float,
+    retry: Optional[RetryPolicy],
+) -> dict:
+    def attempt() -> dict:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    if retry is None:
+        return attempt()
+    return retry.call(attempt)
 
 
 def post_detect(
@@ -109,13 +261,17 @@ def post_detect(
     timeout: float = 120.0,
     model: Optional[str] = None,
     request_class: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> dict:
     """POST one detection request; returns the decoded JSON response.
 
     ``model`` is a ``name[@version]`` spec sent as the ``model`` query
     parameter; ``request_class`` is sent as the ``X-Repro-Class``
-    header.  Raises :class:`urllib.error.HTTPError` on non-2xx (the
-    bench and the tests read ``exc.code`` off it).
+    header.  ``retry`` applies a :class:`RetryPolicy` to retryable
+    outcomes (429/503/connection-reset before response); detection is
+    idempotent, so redelivery is always safe.  Raises
+    :class:`urllib.error.HTTPError` on non-2xx (the bench and the
+    tests read ``exc.code`` off it).
     """
     if binary:
         body = encode_npy(xs)
@@ -137,23 +293,27 @@ def post_detect(
         headers=headers,
         method="POST",
     )
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read().decode("utf-8"))
+    return _send_request(request, timeout, retry)
 
 
 def post_json(
-    base_url: str, path: str, payload: dict, timeout: float = 60.0
+    base_url: str,
+    path: str,
+    payload: dict,
+    timeout: float = 60.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> dict:
     """POST a JSON payload (e.g. a ``/v1/models`` hot-swap) and decode
-    the JSON response."""
+    the JSON response.  ``retry`` applies a :class:`RetryPolicy`; only
+    pass one for idempotent payloads (note a retried hot-swap POST may
+    register two versions)."""
     request = urllib.request.Request(
         base_url.rstrip("/") + path,
         data=json.dumps(payload).encode("utf-8"),
         headers={"Content-Type": "application/json"},
         method="POST",
     )
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read().decode("utf-8"))
+    return _send_request(request, timeout, retry)
 
 
 def get_json(base_url: str, path: str, timeout: float = 10.0) -> dict:
@@ -165,17 +325,34 @@ def get_json(base_url: str, path: str, timeout: float = 10.0) -> dict:
 
 
 def wait_for_health(
-    base_url: str, timeout: float = 60.0, interval: float = 0.1
+    base_url: str,
+    timeout: float = 60.0,
+    interval: float = 0.1,
+    retry: Optional[RetryPolicy] = None,
 ) -> bool:
-    """Poll ``/healthz`` until it reports healthy or ``timeout``."""
+    """Poll ``/healthz`` until it reports healthy or ``timeout``.
+
+    Probes back off exponentially with jitter (a :class:`RetryPolicy`,
+    seeded from ``interval`` as the base delay) instead of a fixed
+    interval, so a fleet of clients booting against the same server
+    does not synchronize into probe storms."""
+    policy = retry if retry is not None else RetryPolicy(
+        base_delay=interval, max_delay=max(interval, 1.0)
+    )
     deadline = time.monotonic() + timeout
+    attempt = 0
     while time.monotonic() < deadline:
         try:
             if get_json(base_url, "/healthz")["status"] == "ok":
                 return True
         except (urllib.error.URLError, OSError, ValueError, KeyError):
             pass
-        time.sleep(interval)
+        delay = policy.delay_for(attempt)
+        attempt += 1
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        policy.sleep(min(delay, remaining))
     return False
 
 
@@ -231,6 +408,18 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             # the body was never read; a keep-alive reuse would misparse
             self.close_connection = True
+            front.send_error_json(
+                self, 404, "not_found", f"no such path: {self.path}"
+            )
+
+    def do_DELETE(self) -> None:
+        front: "DetectionHTTPServer" = self.server.front
+        path = urllib.parse.urlsplit(self.path).path
+        prefix = "/v1/models/"
+        if path.startswith(prefix) and len(path) > len(prefix):
+            spec = urllib.parse.unquote(path[len(prefix):])
+            front.handle_models_delete(self, spec)
+        else:
             front.send_error_json(
                 self, 404, "not_found", f"no such path: {self.path}"
             )
@@ -299,6 +488,11 @@ class DetectionHTTPServer:
         self.model_loader = model_loader
         self._lock = threading.Lock()
         self._inflight = 0
+        # admitted requests whose handler thread is still doing I/O:
+        # the admission slot (_inflight) frees as soon as the service
+        # work completes, but drain must also wait for the response
+        # bytes to finish going out (handler threads are daemonic)
+        self._responding = 0
         self._draining = False
         self._counters = {
             "requests_total": 0,
@@ -365,7 +559,7 @@ class DetectionHTTPServer:
             deadline = time.monotonic() + self.drain_timeout
             while time.monotonic() < deadline:
                 with self._lock:
-                    if self._inflight == 0:
+                    if self._inflight == 0 and self._responding == 0:
                         break
                 time.sleep(0.01)
         if self._thread is not None:
@@ -422,11 +616,19 @@ class DetectionHTTPServer:
                 for spec, stats in self.service.model_stats().items()
             }
             adaptive_classes = self.service.adaptive_snapshots()
+        # per-class enqueue→dispatch wait percentiles (absent for stubs
+        # without the dispatcher-side recording)
+        wait_fn = getattr(self.service, "class_wait_stats", None)
+        class_waits = wait_fn() if callable(wait_fn) else {}
         classes = {
             name: {
                 **cls.snapshot(),
                 "admit_limit": cls.admit_limit(self.max_inflight),
                 **class_counters.get(name, {}),
+                **(
+                    {"queue_wait": class_waits[name]}
+                    if name in class_waits else {}
+                ),
             }
             for name, cls in REQUEST_CLASSES.items()
         }
@@ -557,6 +759,7 @@ class DetectionHTTPServer:
                 self._class_counters[cls.name]["shed"] += 1
             else:
                 self._inflight += 1
+                self._responding += 1
                 admitted = True
                 draining = False
                 self._class_counters[cls.name]["admitted"] += 1
@@ -580,12 +783,27 @@ class DetectionHTTPServer:
                     retry_after=1.0,
                 )
             return
+        # One-shot slot release: the slot guards *service work*, not
+        # socket writing, so every response path frees it before the
+        # response bytes go out — otherwise a client that posts again
+        # the instant it reads a response races the handler thread's
+        # cleanup and bounces off a slot held only for I/O.  The
+        # finally below is the idempotent backstop for error paths.
+        released = [False]
+
+        def release() -> None:
+            with self._lock:
+                if not released[0]:
+                    released[0] = True
+                    self._inflight -= 1
+
         try:
-            self._handle_admitted(handler, length, model_spec, cls)
+            self._handle_admitted(handler, length, model_spec, cls, release)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response; nothing to answer
         except ServiceError as exc:
             self._count("server_errors")
+            release()
             try:
                 self.send_error_json(
                     handler, 503, "service_unavailable", str(exc)
@@ -594,6 +812,7 @@ class DetectionHTTPServer:
                 pass
         except Exception as exc:  # never let a bug wedge the slot
             self._count("server_errors")
+            release()
             try:
                 self.send_error_json(
                     handler, 500, "internal", f"internal error: {exc!r}"
@@ -601,11 +820,12 @@ class DetectionHTTPServer:
             except (BrokenPipeError, ConnectionResetError):
                 pass
         finally:
+            release()
             with self._lock:
-                self._inflight -= 1
+                self._responding -= 1
 
     def _handle_admitted(
-        self, handler: _Handler, length: int, model_spec, cls
+        self, handler: _Handler, length: int, model_spec, cls, release
     ) -> None:
         started = time.perf_counter()
         body = handler.rfile.read(length)
@@ -620,6 +840,7 @@ class DetectionHTTPServer:
             elif model_spec is not None:
                 # a stub/legacy single-model service cannot route
                 self._count("client_errors")
+                release()
                 self.send_error_json(
                     handler, 404, "model_not_found",
                     f"unknown model {model_spec!r}: "
@@ -630,10 +851,12 @@ class DetectionHTTPServer:
                 future = self.service.submit(xs)
         except UnknownModelError as exc:
             self._count("client_errors")
+            release()
             self.send_error_json(handler, 404, "model_not_found", str(exc))
             return
         except ValueError as exc:
             self._count("client_errors")
+            release()
             self.send_error_json(handler, 400, "bad_request", str(exc))
             return
         # class-aware deadline: interactive gets a tighter budget than
@@ -648,6 +871,7 @@ class DetectionHTTPServer:
             if callable(cancel):
                 cancel()
             self._count("server_errors")
+            release()
             self.send_error_json(
                 handler, 504, "deadline_exceeded",
                 (
@@ -658,6 +882,7 @@ class DetectionHTTPServer:
             return
         wall_ms = (time.perf_counter() - started) * 1e3
         self._count("responses_200")
+        release()
         handler._send_json(
             200,
             {
@@ -789,3 +1014,48 @@ class DetectionHTTPServer:
                 "serving": True,
             },
         )
+
+    def handle_models_delete(self, handler: _Handler, spec: str) -> None:
+        """Explicit retirement: ``DELETE /v1/models/<name[@version]>``.
+
+        404 for an unknown name/version, 409 (``conflict``) for the
+        serving version or one still draining — promote a replacement
+        (or wait) and retry.  Idempotent once retired."""
+        from repro.runtime.service import ServiceError
+
+        if not self._multi or not hasattr(self.service, "retire_model"):
+            self._count("client_errors")
+            self.send_error_json(
+                handler, 404, "not_found",
+                "this server hosts a single unnamed model "
+                "(no registry attached)",
+            )
+            return
+        try:
+            parse_model_spec(spec)
+        except ValueError as exc:
+            self._count("client_errors")
+            self.send_error_json(handler, 400, "bad_request", str(exc))
+            return
+        try:
+            payload = self.service.retire_model(spec)
+        except UnknownModelError as exc:
+            self._count("client_errors")
+            self.send_error_json(handler, 404, "model_not_found", str(exc))
+            return
+        except ValueError as exc:
+            # serving version, or a drain still in progress: the state
+            # can change shortly, so hint a quick retry
+            self._count("client_errors")
+            self.send_error_json(
+                handler, 409, "conflict", str(exc), retry_after=1.0
+            )
+            return
+        except ServiceError as exc:
+            self._count("server_errors")
+            self.send_error_json(
+                handler, 503, "service_unavailable", str(exc)
+            )
+            return
+        self._count("responses_200")
+        handler._send_json(200, payload)

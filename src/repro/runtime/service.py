@@ -56,6 +56,7 @@ import pickle
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -72,6 +73,7 @@ from repro.runtime.registry import (
     ModelRegistry,
     RequestClass,
     UnknownModelError,
+    parse_model_spec,
     resolve_request_class,
 )
 from repro.runtime.sharding import (
@@ -98,6 +100,15 @@ __all__ = [
     "ShardedDetectionService",
     "measure_worker_scaling",
 ]
+
+#: How often an idle worker bumps its heartbeat counter (it also bumps
+#: between chunks of a batch); the parent's watchdog declares a shard
+#: hung only after ``hang_timeout`` seconds without a bump, so keep
+#: ``hang_timeout`` several multiples of this.
+HEARTBEAT_INTERVAL = 0.25
+
+#: Window of per-class enqueue→dispatch waits kept for percentiles.
+WAIT_WINDOW = 4096
 
 
 class ServiceError(RuntimeError):
@@ -130,6 +141,40 @@ def _build_worker_engine(
     )
 
 
+def _beat(heartbeat) -> None:
+    """Bump the shard's liveness counter (monotonic, parent-visible).
+
+    Lock-free single-writer: only this worker increments, the parent
+    only reads, so a plain ``Value`` without a lock is race-free."""
+    if heartbeat is not None:
+        heartbeat.value += 1
+
+
+def _quiet_inherited_slab_teardown() -> None:
+    """Silence the one unfixable teardown wart of fork-mode respawns.
+
+    A replacement worker forked while the dispatcher was mid-write
+    inherits that thread's numpy view into a slab segment.  The view
+    can never be released here (its owning thread does not exist in the
+    child), so the interpreter-exit ``SharedMemory.__del__`` raises a
+    harmless ``BufferError: cannot close exported pointers exist``.
+    Filter exactly that unraisable; everything else still reports."""
+    import sys
+
+    default_hook = sys.unraisablehook
+
+    def hook(unraisable):
+        if isinstance(unraisable.exc_value, BufferError) and (
+            getattr(unraisable.object, "__qualname__", "").startswith(
+                "SharedMemory."
+            )
+        ):
+            return
+        default_hook(unraisable)
+
+    sys.unraisablehook = hook
+
+
 def _worker_main(
     worker_id: int,
     # (name, version) -> (payload, model_factory, threshold); payloads
@@ -138,11 +183,13 @@ def _worker_main(
     batch_size: int,
     task_queue,
     result_queue,
+    heartbeat=None,
     pin_cpus: Optional[Tuple[int, ...]] = None,
     backend: Optional[str] = None,
 ) -> None:
     """Shard process entry point: rebuild one engine per broadcast
     model, then serve model-keyed micro-batches until told to stop."""
+    _quiet_inherited_slab_teardown()
     if pin_cpus:
         # Pin before warming caches so they live on the pinned core;
         # best-effort — a shrunken cgroup mask must not kill the shard.
@@ -170,16 +217,26 @@ def _worker_main(
     result_queue.put(
         ("ready", worker_id, next(iter(engines.values())).kernel_backend)
     )
+    slow_delay = 0.0
     while True:
-        message = task_queue.get()
+        # Heartbeat-bounded get: an idle worker still proves liveness
+        # every interval, so the parent watchdog can tell "no traffic"
+        # from "alive but wedged".
+        _beat(heartbeat)
+        try:
+            message = task_queue.get(timeout=HEARTBEAT_INTERVAL)
+        except queue.Empty:
+            continue
         kind = message[0]
         if kind == "stop":
             if slabs is not None:
-                # the models' layer caches still reference the last
-                # batch's slot view; drop them so the mmap can close
-                # without "exported pointers exist" noise
+                # the models' layer caches — and this loop's own locals
+                # from the last batch — still reference slot views; drop
+                # them so the mmap can close without "exported pointers
+                # exist" noise
                 engines.clear()
                 engine = None  # noqa: F841 — releases the last engine
+                chunks = parts = None  # noqa: F841 — drops slot views
                 import gc
 
                 gc.collect()
@@ -190,6 +247,18 @@ def _worker_main(
             # segfaulted or OOM-killed worker would — no cleanup, no
             # farewell message.
             os._exit(17)
+        if kind == "hang":
+            # Fault-injection hook: stay alive but go completely silent
+            # — no queue reads, no heartbeats — the exact failure shape
+            # the watchdog exists to reap (terminate + requeue).
+            while True:
+                time.sleep(3600.0)
+        if kind == "slow":
+            # Fault-injection hook: delay every subsequent batch by
+            # message[1] seconds while still heartbeating, so the
+            # watchdog must classify this shard as slow, never hung.
+            slow_delay = float(message[1])
+            continue
         if kind == "attach":
             try:
                 slabs = WorkerSlabs(*message[1])
@@ -216,24 +285,46 @@ def _worker_main(
             engines.pop(message[1], None)
             continue
         if kind == "shm_batch":
-            seq, key, slot, shape, dtype_str = message[1:]
+            seq, key, slot, shape, dtype_str, crc = message[1:]
             if slabs is None:
                 result_queue.put(("reject", worker_id, (seq, slot)))
                 continue
-            chunks = [slabs.input_view(slot, shape, dtype_str)]
+            try:
+                chunks = [slabs.input_view(slot, shape, dtype_str, crc)]
+            except TransportError:
+                # the slot's bytes no longer match the descriptor's
+                # crc32 (corrupted slab payload): refuse it — the
+                # parent reclaims the slot and redispatches the batch
+                # over the pickle queue, bit-identically
+                result_queue.put(("corrupt", worker_id, (seq, slot)))
+                continue
         elif kind == "shm_spill":
             # an oversized batch spilled across several slots: one
             # zero-copy view per row chunk, processed in row order
-            seq, key, slot, shapes, dtype_str = message[1:]
+            seq, key, slot, shapes, dtype_str, crcs = message[1:]
             if slabs is None:
                 result_queue.put(("reject", worker_id, (seq, slot)))
                 continue
-            chunks = slabs.input_views(slot, shapes, dtype_str)
+            try:
+                chunks = slabs.input_views(slot, shapes, dtype_str, crcs)
+            except TransportError:
+                result_queue.put(("corrupt", worker_id, (seq, slot)))
+                continue
         else:
             seq, key, batch = message[1], message[2], message[3]
             slot = None
             chunks = [batch]
             batch = None
+        if slow_delay > 0.0:
+            # injected slowdown: sleep in heartbeat-sized increments so
+            # a slow shard still reads as alive
+            slow_until = time.monotonic() + slow_delay
+            while True:
+                remaining = slow_until - time.monotonic()
+                if remaining <= 0.0:
+                    break
+                _beat(heartbeat)
+                time.sleep(min(HEARTBEAT_INTERVAL / 4.0, remaining))
         engine = engines.get(key)
         if engine is None:
             # should not happen (the parent broadcasts before routing),
@@ -252,6 +343,7 @@ def _worker_main(
             seconds = 0.0
             stages: dict = {}
             for chunk in chunks:
+                _beat(heartbeat)
                 parts.append(engine.process_batch(chunk))
                 size += len(chunk)
                 seconds += engine.last_batch_seconds
@@ -291,12 +383,12 @@ def _worker_main(
         # drop the slot views before they can be reused
         chunks = parts = result = None
         out_slot = slot[0] if isinstance(slot, tuple) else slot
-        spec = (
+        packed = (
             slabs.pack_output(out_slot, arrays)
             if out_slot is not None else None
         )
-        if spec is not None:
-            payload["spec"] = spec
+        if packed is not None:
+            payload["spec"], payload["crc"] = packed
             result_queue.put(("shm_batch", worker_id, payload))
         else:
             # queue path, or a result too large for its output slot
@@ -324,6 +416,12 @@ class _Task:
     key: Tuple[str, int] = (DEFAULT_MODEL, 1)
     priority: int = 1
     slot: Union[int, Tuple[int, ...], None] = None
+    # pinned to the pickle queue after a crc32 mismatch, so the retry
+    # cannot go back through a (possibly damaged) slab
+    force_queue: bool = False
+    # monotonic timestamps: queue-wait accounting + redelivery watchdog
+    enqueued_at: float = 0.0
+    dispatched_at: float = 0.0
 
 
 @dataclass
@@ -373,6 +471,13 @@ class _Shard:
     # model keys this worker holds engines for: seeded at spawn, grown
     # by "loaded" acks during hot-swap (read by load_model's barrier)
     loaded_models: set = field(default_factory=set)
+    # liveness side channel: the worker bumps `heartbeat` (a lock-free
+    # mp.Value) every queue poll and every chunk; the parent watchdog
+    # tracks the last observed counter and when it last moved
+    heartbeat: Optional[object] = None
+    last_beat: int = -1
+    last_beat_at: float = field(default_factory=time.monotonic)
+    spawned_at: float = field(default_factory=time.monotonic)
 
     def load(self) -> ShardLoad:
         return ShardLoad(
@@ -538,6 +643,21 @@ class ShardedDetectionService:
         numpy).  Workers report their effective backend at ready time
         — see :meth:`shard_backends`.  Backends are bit-identical on
         decisions; this is purely a throughput knob.
+    hang_timeout:
+        Heartbeat watchdog: every worker bumps a lock-free counter at
+        least every ``HEARTBEAT_INTERVAL`` while healthy; a ready
+        shard whose counter stays frozen this many seconds is declared
+        hung and reaped exactly like a dead one (terminate, reclaim
+        slab slots, requeue its in-flight batches, respawn within the
+        ``max_restarts`` budget).  Must comfortably exceed the worst
+        single-chunk engine latency; ``None`` disables the watchdog.
+    task_timeout:
+        In-flight redelivery: a batch dispatched this many seconds ago
+        with no result is requeued to another shard (the seq-ordered
+        duplicate guard makes the late original harmless).  This is
+        what recovers a dropped descriptor without waiting for a shard
+        reap.  ``None`` (default) disables redelivery; when set it
+        must exceed the worst queued+processing time of one batch.
     """
 
     def __init__(
@@ -559,11 +679,17 @@ class ShardedDetectionService:
         pin_workers: bool = False,
         slab_slots: int = DEFAULT_SLAB_SLOTS,
         backend: Optional[str] = None,
+        hang_timeout: Optional[float] = 30.0,
+        task_timeout: Optional[float] = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive (or None)")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
         if transport not in ("shm", "queue"):
             raise ValueError(
                 f"unknown transport {transport!r}; choose 'shm' or 'queue'"
@@ -627,6 +753,30 @@ class ShardedDetectionService:
             "shm_bytes_in": 0,
             "shm_bytes_out": 0,
             "slots_reclaimed": 0,
+        }
+        self.hang_timeout = hang_timeout
+        self.task_timeout = task_timeout
+        # self-healing / chaos accounting (see fault_stats())
+        self._fault_counts = {
+            "dead_reaps": 0,
+            "hung_reaps": 0,
+            "corrupted_slots": 0,
+            "corrupt_redispatches": 0,
+            "descriptor_drops": 0,
+            "redelivered_tasks": 0,
+            "injected_crashes": 0,
+            "injected_hangs": 0,
+            "injected_slowdowns": 0,
+        }
+        # armed one-shot fault injections, consumed on the dispatch path
+        self._corrupt_next = 0
+        self._drop_next = 0
+        # spawn→ready latency of every shard this service ever started
+        # (respawns included) — the drill's time-to-respawn source
+        self._spawn_seconds: List[float] = []
+        # enqueue→dispatch wait per request class, recent window
+        self._class_waits: Dict[str, deque] = {
+            name: deque(maxlen=WAIT_WINDOW) for name in REQUEST_CLASSES
         }
         self._slo_ms = slo_ms
         # one AdaptiveBatcher per (model key, class name), lazily
@@ -974,6 +1124,43 @@ class ShardedDetectionService:
                     self._retire_if_drained_locked(old_key)
             return entry
 
+    def retire_model(self, spec: str) -> dict:
+        """Explicitly retire a non-serving model version — the primitive
+        behind ``DELETE /v1/models/<spec>``.
+
+        Idempotent for an already-retired version.  Raises
+        :class:`UnknownModelError` for an unknown spec, and
+        :class:`ValueError` for the serving version or a version that
+        still has open requests (the caller maps both to 409: retry
+        after promoting a replacement / after the drain finishes).
+        """
+        with self._lifecycle_lock:
+            name, version = parse_model_spec(spec)
+            entry = self.registry.get(name, version)
+            if entry.retired:
+                return {"spec": entry.spec, "retired": True}
+            with self._lock:
+                if self._open_model_requests.get(entry.key, 0) > 0:
+                    raise ValueError(
+                        f"{entry.spec} still has in-flight requests; "
+                        "retry once they drain"
+                    )
+                # raises ValueError for the serving version — checked
+                # under the lock so a concurrent submit cannot slip in
+                # between the check and the unload broadcast
+                self.registry.retire(name, entry.version)
+                self._retiring.discard(entry.key)
+                self._models.pop(entry.key, None)
+                for shard in self._shards.values():
+                    if shard.stopping or not shard.process.is_alive():
+                        continue
+                    try:
+                        shard.task_queue.put(("unload", entry.key))
+                    except (ValueError, OSError):
+                        pass
+                    shard.loaded_models.discard(entry.key)
+            return {"spec": entry.spec, "retired": True}
+
     def _await_model_loaded(self, entry: ModelEntry, timeout: float) -> None:
         """Block until every live worker acks the new model's engine;
         on any load failure or timeout roll the version back so routing
@@ -1199,6 +1386,7 @@ class ShardedDetectionService:
         """Priority-queue entry: higher classes (lower priority number)
         dispatch first; the monotonic tie-breaker keeps FIFO order
         within a class and makes entries totally ordered."""
+        task.enqueued_at = time.monotonic()
         self._dispatch_queue.put(
             (task.priority, next(self._dispatch_counter), task)
         )
@@ -1231,21 +1419,118 @@ class ShardedDetectionService:
                 for shard_id, stats in self._shard_stats.items()
             }
 
+    def class_wait_stats(self) -> Dict[str, dict]:
+        """Enqueue→dispatch wait percentiles per request class, over a
+        sliding window of the last ``WAIT_WINDOW`` dispatches.  Values
+        are milliseconds (``None`` until a class has seen traffic)."""
+        with self._lock:
+            windows = {
+                name: list(waits)
+                for name, waits in self._class_waits.items()
+            }
+        out: Dict[str, dict] = {}
+        for name, waits in windows.items():
+            if waits:
+                p50, p95, p99 = np.percentile(waits, [50.0, 95.0, 99.0])
+                out[name] = {
+                    "count": len(waits),
+                    "wait_ms_p50": float(p50) * 1e3,
+                    "wait_ms_p95": float(p95) * 1e3,
+                    "wait_ms_p99": float(p99) * 1e3,
+                }
+            else:
+                out[name] = {
+                    "count": 0,
+                    "wait_ms_p50": None,
+                    "wait_ms_p95": None,
+                    "wait_ms_p99": None,
+                }
+        return out
+
+    def fault_stats(self) -> dict:
+        """Lifetime fault/recovery accounting.  ``dead_reaps`` counts
+        every reaped shard (``hung_reaps`` is the watchdog-triggered
+        subset of it); ``spawn_to_ready_seconds`` holds one fork→ready
+        latency per shard ever spawned (respawns included)."""
+        with self._lock:
+            stats = dict(self._fault_counts)
+            stats["restarts"] = self.restarts
+            stats["max_restarts"] = self.max_restarts
+            stats["spawn_to_ready_seconds"] = list(self._spawn_seconds)
+        return stats
+
     # -- fault injection ------------------------------------------------
+    # The seeded chaos layer (repro.runtime.chaos) drives these five
+    # hooks; each one forges a distinct production failure shape and
+    # each is recovered by a different mechanism (see fault_stats()).
+
+    def _pick_shard_locked(self, shard_id: Optional[int], verb: str) -> _Shard:
+        """Target of one injection (caller holds ``self._lock``)."""
+        candidates = sorted(
+            s for s in self._shards if not self._shards[s].stopping
+        )
+        if not candidates:
+            raise ServiceError(f"no live shard to {verb}")
+        target = candidates[0] if shard_id is None else shard_id
+        if target not in self._shards:
+            raise ServiceError(f"no shard {target} to {verb}")
+        return self._shards[target]
+
     def inject_crash(self, shard_id: Optional[int] = None) -> int:
         """Make one worker die abruptly (``os._exit``), exercising the
         requeue-and-respawn path.  Returns the doomed shard's id."""
         with self._lock:
-            candidates = sorted(
-                s for s in self._shards if not self._shards[s].stopping
-            )
-            if not candidates:
-                raise ServiceError("no live shard to crash")
-            target = candidates[0] if shard_id is None else shard_id
-            if target not in self._shards:
-                raise ServiceError(f"no shard {target} to crash")
-            self._shards[target].task_queue.put(("crash",))
-            return target
+            shard = self._pick_shard_locked(shard_id, "crash")
+            shard.task_queue.put(("crash",))
+            self._fault_counts["injected_crashes"] += 1
+            return shard.shard_id
+
+    def inject_hang(self, shard_id: Optional[int] = None) -> int:
+        """Make one worker hang: the process stays alive but stops
+        reading its queue and stops heartbeating, exercising the
+        heartbeat watchdog (reap + requeue + respawn).  Returns the
+        hung shard's id."""
+        with self._lock:
+            shard = self._pick_shard_locked(shard_id, "hang")
+            shard.task_queue.put(("hang",))
+            self._fault_counts["injected_hangs"] += 1
+            return shard.shard_id
+
+    def inject_slowdown(
+        self, delay_s: float, shard_id: Optional[int] = None
+    ) -> int:
+        """Delay every subsequent batch on one worker by ``delay_s``
+        seconds (still heartbeating: the watchdog must classify it as
+        slow, not hung).  ``delay_s=0`` restores full speed.  Returns
+        the slowed shard's id."""
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        with self._lock:
+            shard = self._pick_shard_locked(shard_id, "slow down")
+            shard.task_queue.put(("slow", float(delay_s)))
+            self._fault_counts["injected_slowdowns"] += 1
+            return shard.shard_id
+
+    def inject_slot_corruption(self, batches: int = 1) -> None:
+        """Arm byte-flips in the next ``batches`` shared-memory batch
+        payloads (flipped *after* the slot is written, so the crc32 in
+        the descriptor no longer matches).  The worker's integrity
+        check must refuse each one and the batch must redispatch over
+        the pickle queue, bit-identically."""
+        if batches < 1:
+            raise ValueError("batches must be positive")
+        with self._lock:
+            self._corrupt_next += int(batches)
+
+    def inject_descriptor_drop(self, batches: int = 1) -> None:
+        """Arm dropping of the next ``batches`` dispatch descriptors:
+        the batch is accounted in flight but its control message never
+        reaches the worker.  Recovery needs ``task_timeout`` (in-flight
+        redelivery); without it the batch waits for a shard reap."""
+        if batches < 1:
+            raise ValueError("batches must be positive")
+        with self._lock:
+            self._drop_next += int(batches)
 
     # -- internals ------------------------------------------------------
     def _spawn_shard(self) -> _Shard:
@@ -1260,6 +1545,10 @@ class ShardedDetectionService:
         self._next_shard_id += 1
         task_queue = self._ctx.Queue()
         result_queue = self._ctx.Queue()
+        # Heartbeat side channel: a lock-free shared counter the worker
+        # bumps and the watchdog samples.  Single writer, so torn reads
+        # at worst delay one watchdog tick.
+        heartbeat = self._ctx.Value("Q", 0, lock=False)
         pin_cpus = None
         if self._affinity_plan:
             # claim the lowest plan slot no live shard holds, so a
@@ -1290,6 +1579,7 @@ class ShardedDetectionService:
                 self.batch_size,
                 task_queue,
                 result_queue,
+                heartbeat,
                 pin_cpus,
                 self.backend,
             ),
@@ -1297,6 +1587,7 @@ class ShardedDetectionService:
             daemon=True,
         )
         shard = _Shard(shard_id, process, task_queue, result_queue)
+        shard.heartbeat = heartbeat
         shard.loaded_models = set(models_payload)
         with self._lock:
             self._shards[shard_id] = shard
@@ -1354,10 +1645,28 @@ class ShardedDetectionService:
                         )
                         shard = self._shards[target]
                         message = self._transport_message(shard, task)
+                        now = time.monotonic()
+                        task.dispatched_at = now
+                        if task.enqueued_at:
+                            self._class_waits[task.request.cls.name].append(
+                                now - task.enqueued_at
+                            )
                         shard.inflight[task.seq] = task
                         shard.inflight_samples += len(task.batch)
                         shard.dispatched_batches += 1
-                        shard.task_queue.put(message)
+                        if self._drop_next > 0:
+                            # injected descriptor drop: the batch is
+                            # accounted in flight but its control
+                            # message never reaches the worker.  Any
+                            # slab slot is released here — the worker
+                            # never learned about it, so nothing else
+                            # can be reading it.
+                            self._drop_next -= 1
+                            self._fault_counts["descriptor_drops"] += 1
+                            self._release_slot(shard, task.slot)
+                            task.slot = None
+                        else:
+                            shard.task_queue.put(message)
                         break
                 # no ready shard right now (e.g. respawn in progress)
                 time.sleep(0.005)
@@ -1368,7 +1677,7 @@ class ShardedDetectionService:
         into a slab slot when the shm path can take it (called under
         ``self._lock``)."""
         task.slot = None
-        if self._shm_ok:
+        if self._shm_ok and not task.force_queue:
             batch = np.ascontiguousarray(task.batch)
             task.batch = batch  # a requeue reuses the contiguous form
             if shard.slabs is None and not shard.slab_failed:
@@ -1388,7 +1697,11 @@ class ShardedDetectionService:
                         if spilled is None:
                             self._transport_counts["slot_fallbacks"] += 1
                     if spilled is not None:
-                        slots, shapes = spilled
+                        slots, shapes, crcs = spilled
+                        if self._corrupt_next > 0:
+                            self._corrupt_next -= 1
+                            self._fault_counts["corrupted_slots"] += 1
+                            shard.slabs.corrupt_input(slots[0])
                         task.slot = slots
                         self._transport_counts["shm_batches"] += 1
                         self._transport_counts["spill_batches"] += 1
@@ -1396,20 +1709,27 @@ class ShardedDetectionService:
                         self._transport_counts["shm_bytes_in"] += batch.nbytes
                         return (
                             "shm_spill", task.seq, task.key, slots,
-                            shapes, batch.dtype.str,
+                            shapes, batch.dtype.str, crcs,
                         )
                 else:
                     slot = shard.slabs.acquire()
                     if slot is None:
                         self._transport_counts["slot_fallbacks"] += 1
                     else:
-                        shard.slabs.write_input(slot, batch)
+                        crc = shard.slabs.write_input(slot, batch)
+                        if self._corrupt_next > 0:
+                            # flip payload bytes *after* the descriptor
+                            # crc was computed, so the worker's
+                            # integrity check must reject the slot
+                            self._corrupt_next -= 1
+                            self._fault_counts["corrupted_slots"] += 1
+                            shard.slabs.corrupt_input(slot)
                         task.slot = slot
                         self._transport_counts["shm_batches"] += 1
                         self._transport_counts["shm_bytes_in"] += batch.nbytes
                         return (
                             "shm_batch", task.seq, task.key, slot,
-                            batch.shape, batch.dtype.str,
+                            batch.shape, batch.dtype.str, crc,
                         )
         self._transport_counts["queue_batches"] += 1
         return ("batch", task.seq, task.key, task.batch)
@@ -1544,6 +1864,11 @@ class ShardedDetectionService:
             progressed = True
             if kind == "ready":
                 shard.backend = payload
+                with self._lock:
+                    shard.last_beat_at = time.monotonic()
+                    self._spawn_seconds.append(
+                        time.monotonic() - shard.spawned_at
+                    )
                 shard.ready.set()
             elif kind == "loaded":
                 # hot-swap ack: the worker built (or failed to build)
@@ -1563,11 +1888,22 @@ class ShardedDetectionService:
             elif kind == "shm_batch":
                 slot = payload.pop("slot")
                 spec = payload.pop("spec")
+                crc = payload.pop("crc", None)
                 if shard.slabs is not None:
                     # a spilled batch packs its result into its first
                     # slot; the rest only carried input chunks
                     out_slot = slot[0] if isinstance(slot, tuple) else slot
-                    arrays = shard.slabs.read_output(out_slot, spec)
+                    try:
+                        arrays = shard.slabs.read_output(
+                            out_slot, spec, crc
+                        )
+                    except TransportError:
+                        # the packed result failed its crc32 check:
+                        # drop it, reclaim the slot(s), and redispatch
+                        # the batch over the pickle queue
+                        self._release_slot(shard, slot)
+                        self._redispatch_corrupt(shard, payload["seq"])
+                        continue
                     payload.update(arrays)
                     with self._lock:
                         self._transport_counts["shm_bytes_out"] += sum(
@@ -1577,6 +1913,14 @@ class ShardedDetectionService:
                     self._finish_chunk(worker_id, payload)
                 # else: the slabs were already torn down (reap race) —
                 # the seq stays open and the batch requeues as an orphan
+            elif kind == "corrupt":
+                # the worker refused an input slot whose payload failed
+                # its crc32 check: reclaim the slot(s) and redispatch
+                # the batch over the pickle queue (the parent still
+                # holds the pristine array)
+                seq, slot = payload
+                self._release_slot(shard, slot)
+                self._redispatch_corrupt(shard, seq)
             elif kind == "reject":
                 # the worker could not attach its slabs: requeue the
                 # batch and stop offering this shard the shm path
@@ -1711,15 +2055,82 @@ class ShardedDetectionService:
             ServiceError(f"worker failed processing batch: {message}")
         )
 
+    def _redispatch_corrupt(self, shard: _Shard, seq: int) -> None:
+        """A batch failed its crc32 integrity check (either direction):
+        pull it back from the shard's in-flight set and re-enqueue it
+        pinned to the pickle-queue transport, so the retry cannot hit
+        the same corrupted-slab failure and the caller still gets the
+        bit-identical result.  The caller has already released any
+        slab slot."""
+        with self._lock:
+            self._fault_counts["corrupt_redispatches"] += 1
+            task = shard.inflight.pop(seq, None)
+            if task is not None:
+                shard.inflight_samples -= len(task.batch)
+                task.slot = None
+                task.force_queue = True
+        if task is not None and not task.request.failed:
+            self._enqueue_task(task)
+
     def _check_health(self) -> None:
         orphans: List[_Task] = []
+        redelivered: List[_Task] = []
         with self._lock:
+            now = time.monotonic()
+            for shard in self._shards.values():
+                # Heartbeat watchdog: a worker that stops bumping its
+                # counter for longer than hang_timeout is alive but
+                # wedged (hung syscall, deadlocked import, injected
+                # hang).  Mark it broken so the reap below treats it
+                # exactly like a dead worker: terminate, reclaim slots,
+                # requeue in-flight batches, respawn.
+                if (
+                    self.hang_timeout is not None
+                    and not shard.stopping
+                    and not shard.broken
+                    and shard.ready.is_set()
+                    and shard.heartbeat is not None
+                    and shard.process.is_alive()
+                ):
+                    beat = shard.heartbeat.value
+                    if beat != shard.last_beat:
+                        shard.last_beat = beat
+                        shard.last_beat_at = now
+                    elif now - shard.last_beat_at > self.hang_timeout:
+                        shard.broken = True
+                        self._fault_counts["hung_reaps"] += 1
+                # In-flight redelivery: a batch whose descriptor was
+                # lost (dropped control message) never comes back on
+                # its own; with a task_timeout it is redelivered to the
+                # pool.  The original slot is NOT released — the worker
+                # may still be reading it, and at-least-once delivery
+                # is already safe (late duplicates are dropped by the
+                # seq guard in _finish_chunk; the slot itself returns
+                # via the worker's late result or a shard reap).
+                if (
+                    self.task_timeout is not None
+                    and not shard.stopping
+                    and not shard.broken
+                ):
+                    overdue = [
+                        t
+                        for t in shard.inflight.values()
+                        if t.dispatched_at
+                        and now - t.dispatched_at > self.task_timeout
+                    ]
+                    for task in overdue:
+                        del shard.inflight[task.seq]
+                        shard.inflight_samples -= len(task.batch)
+                        task.slot = None
+                        self._fault_counts["redelivered_tasks"] += 1
+                        redelivered.append(task)
             dead = [
                 s
                 for s in self._shards.values()
                 if not s.stopping
                 and (s.broken or not s.process.is_alive())
             ]
+            self._fault_counts["dead_reaps"] += len(dead)
             for shard in dead:
                 if shard.process.is_alive():  # broken stream, live body
                     shard.process.terminate()
@@ -1752,7 +2163,7 @@ class ShardedDetectionService:
                     "all workers died and the restart budget is exhausted"
                 ))
                 return
-        for task in orphans:
+        for task in redelivered + orphans:
             if not task.request.failed:
                 self._enqueue_task(task)
 

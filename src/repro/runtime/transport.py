@@ -30,6 +30,15 @@ Every path degrades transparently to the pickle queue: shared memory
 unavailable (platform or permission), a slab ring exhausted under
 burst load, or a batch larger than a slot all fall back per-batch with
 bit-identical results.
+
+Integrity: every slab payload travels with a crc32 over its bytes —
+the parent checksums a batch as it writes the slot, the worker
+verifies before building its zero-copy view, and the worker's packed
+result carries its own crc back for the parent to verify before
+unpacking.  A mismatch raises :class:`TransportError`; the service
+releases the slot and redispatches that batch over the pickle queue,
+so a flipped bit in shared memory can corrupt a transfer but never a
+response.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ import os
 import secrets
 import threading
 import time
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -54,6 +64,8 @@ __all__ = [
     "SlabRing",
     "TransportError",
     "WorkerSlabs",
+    "checksum_array",
+    "checksum_segments",
     "measure_ipc",
     "pack_arrays",
     "shm_available",
@@ -81,6 +93,34 @@ class TransportError(RuntimeError):
 
 def _align(nbytes: int) -> int:
     return -(-int(nbytes) // _ALIGN) * _ALIGN
+
+
+def checksum_array(arr: np.ndarray) -> int:
+    """crc32 over a (contiguous) array's raw bytes."""
+    arr = np.ascontiguousarray(arr)
+    if arr.nbytes == 0:
+        return 0
+    return zlib.crc32(arr.reshape(-1).view(np.uint8))
+
+
+def _segment_nbytes(shape: Tuple[int, ...], dtype_str: str) -> int:
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    return count * np.dtype(dtype_str).itemsize
+
+
+def checksum_segments(buf: memoryview, spec: SegmentSpec) -> int:
+    """crc32 over the packed segments of ``spec``, in spec order.
+
+    Alignment gaps between segments are *excluded* — they hold stale
+    slab bytes, not payload — so writer and reader agree on exactly
+    the bytes that carry data.
+    """
+    crc = 0
+    for _key, shape, dtype_str, offset in spec:
+        nbytes = _segment_nbytes(shape, dtype_str)
+        if nbytes:
+            crc = zlib.crc32(buf[offset:offset + nbytes], crc)
+    return crc
 
 
 _SHM_PROBED: Optional[bool] = None
@@ -245,9 +285,11 @@ class SlabRing:
     def fits(self, nbytes: int) -> bool:
         return nbytes <= self.in_slot_bytes
 
-    def write_input(self, slot: int, batch: np.ndarray) -> None:
+    def write_input(self, slot: int, batch: np.ndarray) -> int:
         """One memcpy of the batch into its slot (the only copy on the
-        dispatch side — the worker reads the slot zero-copy)."""
+        dispatch side — the worker reads the slot zero-copy).  Returns
+        the payload's crc32 for the descriptor, which the worker
+        verifies before trusting its view."""
         batch = np.ascontiguousarray(batch)
         if batch.nbytes > self.in_slot_bytes:
             raise TransportError(
@@ -260,22 +302,38 @@ class SlabRing:
                 offset=slot * self.in_slot_bytes,
             )
             dst[:] = batch.reshape(-1).view(np.uint8)
+        return checksum_array(batch)
+
+    def corrupt_input(self, slot: int, nbytes: int = 8) -> None:
+        """Fault injection (chaos drills only): XOR-flip the first
+        ``nbytes`` of a slot *after* the batch was written, so the
+        worker-side crc32 verification must catch the damage."""
+        if not 0 <= slot < self.slots:
+            raise TransportError(f"slot {slot} out of range")
+        window = np.frombuffer(
+            self._input.buf, dtype=np.uint8,
+            count=min(max(1, int(nbytes)), self.in_slot_bytes),
+            offset=slot * self.in_slot_bytes,
+        )
+        window ^= 0xFF
 
     def spill_input(
         self, batch: np.ndarray
-    ) -> Optional[Tuple[Tuple[int, ...], Tuple[tuple, ...]]]:
+    ) -> Optional[
+        Tuple[Tuple[int, ...], Tuple[tuple, ...], Tuple[int, ...]]
+    ]:
         """Split an oversized batch across several slots on row
         boundaries, keeping the zero-copy path for batches that outgrew
         one slot (e.g. a workload whose sample shape grew after the
         ring was sized).
 
-        Returns ``(slots, chunk_shapes)`` with chunk ``k`` written into
-        ``slots[k]``, or ``None`` when the ring cannot hand out enough
-        free slots right now (the caller falls back to the queue for
-        this batch, exactly like a single-slot acquire miss).  Raises
-        :class:`TransportError` when the batch can never spill here —
-        a single row already exceeds one slot, or the batch has no row
-        axis to split on.
+        Returns ``(slots, chunk_shapes, chunk_crcs)`` with chunk ``k``
+        written into ``slots[k]``, or ``None`` when the ring cannot
+        hand out enough free slots right now (the caller falls back to
+        the queue for this batch, exactly like a single-slot acquire
+        miss).  Raises :class:`TransportError` when the batch can never
+        spill here — a single row already exceeds one slot, or the
+        batch has no row axis to split on.
         """
         batch = np.ascontiguousarray(batch)
         if batch.ndim < 2 or batch.shape[0] < 2 or batch.nbytes == 0:
@@ -302,22 +360,37 @@ class SlabRing:
                 return None
             slots.append(slot)
         shapes = []
+        crcs = []
         start = 0
         for slot in slots:
             stop = min(start + rows_per_slot, n_rows)
             chunk = batch[start:stop]
-            self.write_input(slot, chunk)
+            crcs.append(self.write_input(slot, chunk))
             shapes.append(chunk.shape)
             start = stop
-        return tuple(slots), tuple(shapes)
+        return tuple(slots), tuple(shapes), tuple(crcs)
 
-    def read_output(self, slot: int, spec: SegmentSpec) -> Dict[str, np.ndarray]:
-        """Copy the worker's packed result arrays out of the slot."""
+    def read_output(
+        self, slot: int, spec: SegmentSpec, crc: Optional[int] = None
+    ) -> Dict[str, np.ndarray]:
+        """Copy the worker's packed result arrays out of the slot.
+
+        ``crc`` is the checksum the worker computed when packing; a
+        mismatch (the slab was scribbled on between pack and read)
+        raises :class:`TransportError` *before* any array is unpacked.
+        """
         offset = slot * self.out_slot_bytes
         shifted = [
             (key, shape, dtype_str, offset + seg_offset)
             for key, shape, dtype_str, seg_offset in spec
         ]
+        if crc is not None:
+            found = checksum_segments(self._output.buf, shifted)
+            if found != crc:
+                raise TransportError(
+                    f"output slot {slot} failed its crc32 check "
+                    f"(expected {crc:#010x}, found {found:#010x})"
+                )
         return unpack_arrays(self._output.buf, shifted)
 
     # -- lifecycle ------------------------------------------------------
@@ -375,11 +448,33 @@ class WorkerSlabs:
             raise
 
     def input_view(
-        self, slot: int, shape: Sequence[int], dtype_str: str
+        self,
+        slot: int,
+        shape: Sequence[int],
+        dtype_str: str,
+        crc: Optional[int] = None,
     ) -> np.ndarray:
-        """Zero-copy ndarray over the batch the parent wrote."""
+        """Zero-copy ndarray over the batch the parent wrote.
+
+        ``crc`` is the checksum from the descriptor; when given, the
+        slot's bytes are verified first and a mismatch (a corrupted
+        slab payload) raises :class:`TransportError` instead of
+        handing the engine damaged samples.
+        """
         dtype = np.dtype(dtype_str)
         count = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        if crc is not None and count:
+            window = np.frombuffer(
+                self._input.buf, dtype=np.uint8,
+                count=count * dtype.itemsize,
+                offset=slot * self.in_slot_bytes,
+            )
+            found = zlib.crc32(window)
+            if found != crc:
+                raise TransportError(
+                    f"input slot {slot} failed its crc32 check "
+                    f"(expected {crc:#010x}, found {found:#010x})"
+                )
         view = np.frombuffer(
             self._input.buf, dtype=dtype, count=count,
             offset=slot * self.in_slot_bytes,
@@ -391,23 +486,30 @@ class WorkerSlabs:
         slots: Sequence[int],
         shapes: Sequence[Sequence[int]],
         dtype_str: str,
+        crcs: Optional[Sequence[int]] = None,
     ) -> list:
         """Zero-copy views over a spilled batch's row chunks, in row
         order (the inverse of :meth:`SlabRing.spill_input`)."""
+        if crcs is None:
+            crcs = [None] * len(list(slots))
         return [
-            self.input_view(slot, shape, dtype_str)
-            for slot, shape in zip(slots, shapes)
+            self.input_view(slot, shape, dtype_str, crc)
+            for slot, shape, crc in zip(slots, shapes, crcs)
         ]
 
     def pack_output(
         self, slot: int, arrays: Dict[str, np.ndarray]
-    ) -> Optional[SegmentSpec]:
-        """Pack result arrays into the paired output slot; ``None`` on
+    ) -> Optional[Tuple[SegmentSpec, int]]:
+        """Pack result arrays into the paired output slot; returns
+        ``(spec, crc32)`` for the result descriptor, or ``None`` on
         overflow (caller falls back to the queue for this batch)."""
         offset = slot * self.out_slot_bytes
         window = self._output.buf[offset:offset + self.out_slot_bytes]
         try:
-            return pack_arrays(window, arrays)
+            spec = pack_arrays(window, arrays)
+            if spec is None:
+                return None
+            return spec, checksum_segments(window, spec)
         finally:
             window.release()
 
@@ -434,11 +536,11 @@ def _echo_main(task_queue, result_queue, slab_args) -> None:
                 slabs.close()
             return
         if kind == "shm":
-            _, slot, shape, dtype_str = message
-            view = slabs.input_view(slot, shape, dtype_str)
-            spec = slabs.pack_output(slot, {"echo": view})
+            _, slot, shape, dtype_str, crc = message
+            view = slabs.input_view(slot, shape, dtype_str, crc)
+            spec, out_crc = slabs.pack_output(slot, {"echo": view})
             view = None  # release the slot view before the next get
-            result_queue.put(("shm", slot, spec))
+            result_queue.put(("shm", slot, spec, out_crc))
         else:
             result_queue.put(("arr", message[1]))
 
@@ -449,10 +551,10 @@ def _roundtrip(
     """One echo round trip over the given channel."""
     if transport == "shm":
         slot = ring.acquire()
-        ring.write_input(slot, payload)
-        task_queue.put(("shm", slot, payload.shape, payload.dtype.str))
-        _, out_slot, spec = result_queue.get(timeout=60)
-        echoed = ring.read_output(out_slot, spec)["echo"]
+        crc = ring.write_input(slot, payload)
+        task_queue.put(("shm", slot, payload.shape, payload.dtype.str, crc))
+        _, out_slot, spec, out_crc = result_queue.get(timeout=60)
+        echoed = ring.read_output(out_slot, spec, out_crc)["echo"]
         ring.release(out_slot)
         return echoed
     task_queue.put(("arr", payload))

@@ -14,6 +14,7 @@ and the ``/v1/models`` endpoints during a swap.
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
@@ -340,6 +341,97 @@ class TestHotSwap:
             body = json.loads(excinfo.value.read().decode("utf-8"))
             assert set(body) == {"error", "code", "retry_after"}
             assert body["code"] == code
+
+
+def _http_delete(server, path):
+    """DELETE with full control (status + body even on errors)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("DELETE", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+class TestRetirement:
+    """``DELETE /v1/models/<spec>`` and its service-level primitive.
+
+    Ordering note: runs after TestHotSwap (pytest preserves file
+    order) and walks ``alt`` one more version forward; nothing later
+    depends on the version it leaves serving."""
+
+    def test_retire_model_service_level(self, serving_detector):
+        service = ShardedDetectionService(
+            serving_detector,
+            model_factory=build_serving_model,
+            num_workers=1,
+            batch_size=4,
+        )
+        service.load_model("tmp", source="default")
+        entry = service.load_model("tmp", source="tmp")  # clone -> v2
+        assert entry.version == 2
+        # the serving version is protected: promote a replacement first
+        with pytest.raises(ValueError, match="serving"):
+            service.retire_model("tmp@2")
+        # the demoted version drained instantly (no traffic) — retiring
+        # it reports retired, and doing it again is idempotent
+        payload = service.retire_model("tmp@1")
+        assert payload == {"spec": "tmp@1", "retired": True}
+        assert service.retire_model("tmp@1") == payload
+        with pytest.raises(UnknownModelError):
+            service.retire_model("ghost")
+        with pytest.raises(ValueError):
+            service.retire_model("@@")
+
+    def test_delete_unknown_and_malformed_specs(self, multi_pool):
+        server, _, _, _ = multi_pool
+        status, body = _http_delete(server, "/v1/models/ghost")
+        assert status == 404
+        assert set(body) == {"error", "code", "retry_after"}
+        assert body["code"] == "model_not_found"
+        status, body = _http_delete(server, "/v1/models/bad@@spec")
+        assert status == 400
+        assert body["code"] == "bad_request"
+
+    def test_delete_serving_version_is_409_conflict(self, multi_pool):
+        server, service, _, _ = multi_pool
+        version = service.registry.serving_version("default")
+        spec = f"default@{version}"
+        status, body = _http_delete(server, f"/v1/models/{spec}")
+        assert status == 409
+        assert set(body) == {"error", "code", "retry_after"}
+        assert body["code"] == "conflict"
+        assert body["retry_after"] == 1.0
+        # the refused version is untouched and still serving
+        listing = get_json(server.url, "/v1/models")
+        assert any(
+            row["spec"] == spec and row["serving"]
+            for row in listing["models"]
+        )
+
+    def test_delete_drained_version_succeeds(self, multi_pool):
+        server, service, _, _ = multi_pool
+        old_version = service.registry.serving_version("alt")
+        spec = f"alt@{old_version}"
+        # promote a clone; the demoted version drains (no in-flight
+        # work) and becomes deletable
+        post_json(server.url, "/v1/models", {"name": "alt", "from": "alt"})
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status, body = _http_delete(server, f"/v1/models/{spec}")
+            if status == 200:
+                break
+            assert status == 409  # drain still finishing
+            time.sleep(0.05)
+        assert status == 200
+        assert body == {"spec": spec, "retired": True}
+        rows = {
+            row["spec"]: row
+            for row in get_json(server.url, "/v1/models")["models"]
+        }
+        assert rows[spec]["retired"]
+        assert not rows[spec]["serving"]
 
 
 # -- HTTP: class-aware admission and deadlines (stub service) ----------------

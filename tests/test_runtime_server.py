@@ -229,6 +229,35 @@ class TestProtocol:
         status, _ = _raw_post(stub_server, "/v1/nope", b"{}")
         assert status == 404
 
+    def test_back_to_back_requests_never_bounce_off_response_io(
+        self, stub_server
+    ):
+        """The admission slot guards service work, not socket writes:
+        with max_inflight=1, a client that posts again the instant it
+        reads a response must never see 429 from a slot held only
+        while the previous response's bytes go out."""
+        body = json.dumps({"samples": [[1.0, 2.0]]}).encode("utf-8")
+        for _ in range(25):
+            status, _ = _raw_post(stub_server, "/v1/detect", body)
+            assert status == 200
+
+    def test_delete_models_on_single_model_server_is_404(self, stub_server):
+        """The stub has no registry surface: DELETE /v1/models/<spec>
+        must 404 with the unified schema, not crash the handler."""
+        conn = http.client.HTTPConnection(
+            stub_server.host, stub_server.port, timeout=10
+        )
+        try:
+            conn.request("DELETE", "/v1/models/default@1")
+            response = conn.getresponse()
+            status = response.status
+            body = json.loads(response.read() or b"{}")
+        finally:
+            conn.close()
+        assert status == 404
+        assert set(body) == {"error", "code", "retry_after"}
+        assert body["code"] == "not_found"
+
     def test_stats_payload_shape(self, stub, stub_server):
         post_detect(stub_server.url, np.ones((3, 2)))
         stats = get_json(stub_server.url, "/v1/stats")
@@ -394,6 +423,23 @@ class TestEndToEnd:
         assert stats["alive_workers"] == 2
         assert stats["service"]["samples"] >= 8
         assert stats["server"]["responses_200"] >= 1
+
+    def test_stats_report_per_class_queue_waits(self, served_pool):
+        """/v1/stats carries enqueue→dispatch wait percentiles for
+        every request class once the real dispatcher is behind it."""
+        server, _, xs, _ = served_pool
+        post_detect(server.url, xs[:8])
+        stats = get_json(server.url, "/v1/stats")
+        for name, cls_stats in stats["classes"].items():
+            waits = cls_stats["queue_wait"]
+            assert set(waits) == {
+                "count", "wait_ms_p50", "wait_ms_p95", "wait_ms_p99"
+            }
+        # the class we just drove has a populated, ordered window
+        waits = stats["classes"]["standard"]["queue_wait"]
+        assert waits["count"] >= 1
+        assert 0.0 <= waits["wait_ms_p50"] <= waits["wait_ms_p95"]
+        assert waits["wait_ms_p95"] <= waits["wait_ms_p99"]
 
     def test_crash_recovery_keeps_endpoint_serving(self, served_pool):
         """A worker dying under the HTTP boundary: requests keep

@@ -83,18 +83,19 @@ class TestSlabRing:
         try:
             worker = WorkerSlabs(*ring.attach_message())
             slot = ring.acquire()
-            ring.write_input(slot, batch)
-            view = worker.input_view(slot, batch.shape, batch.dtype.str)
+            crc = ring.write_input(slot, batch)
+            view = worker.input_view(slot, batch.shape, batch.dtype.str, crc)
             assert np.array_equal(view, batch)
             outputs = {
                 "scores": rng.standard_normal(4),
                 "flags": np.array([True, False, True, True]),
                 "classes": np.arange(4, dtype=np.int64),
             }
-            spec = worker.pack_output(slot, outputs)
+            packed = worker.pack_output(slot, outputs)
             view = None  # drop the slot view before closing the slabs
-            assert spec is not None
-            unpacked = ring.read_output(slot, spec)
+            assert packed is not None
+            spec, out_crc = packed
+            unpacked = ring.read_output(slot, spec, out_crc)
             for key, arr in outputs.items():
                 assert np.array_equal(unpacked[key], arr)
                 assert unpacked[key].dtype == arr.dtype
@@ -127,12 +128,12 @@ class TestSlabRing:
             assert not ring.fits(batch.nbytes)
             spilled = ring.spill_input(batch)
             assert spilled is not None
-            slots, shapes = spilled
+            slots, shapes, crcs = spilled
             assert len(slots) == 3  # ceil(5 / 2)
             assert [s[0] for s in shapes] == [2, 2, 1]
             assert ring.in_use == 3
             worker = WorkerSlabs(*ring.attach_message())
-            views = worker.input_views(slots, shapes, batch.dtype.str)
+            views = worker.input_views(slots, shapes, batch.dtype.str, crcs)
             assert np.array_equal(np.concatenate(views), batch)
             views = None
             for slot in slots:
@@ -154,7 +155,7 @@ class TestSlabRing:
             # the tentatively-acquired slot was released, not leaked
             assert ring.in_use == 1
             ring.release(held)
-            slots, shapes = ring.spill_input(batch)
+            slots, shapes, _crcs = ring.spill_input(batch)
             assert len(slots) == 2
             assert [s[0] for s in shapes] == [1, 1]
         finally:
